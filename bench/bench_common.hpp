@@ -1,0 +1,166 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Scaling note: the paper sweeps 18M-49.45M index entries on a 4-node/16-core
+// cluster with 32 GB RAM; these benches sweep tens to hundreds of thousands
+// of entries so each figure regenerates in seconds on one core. All checks
+// are *shape* checks (who wins, by what factor, where curves bend) — the
+// algorithms are size-linear, so the shapes survive the scaling.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "core/lbe_layer.hpp"
+#include "perf/figure.hpp"
+#include "perf/metrics.hpp"
+#include "search/distributed.hpp"
+#include "synth/workload.hpp"
+
+namespace lbe::bench {
+
+/// Scaled-down analogues of the paper's 18M / 30M / 41M / 49.45M sweep.
+inline const std::vector<std::uint64_t>& index_sizes() {
+  static const std::vector<std::uint64_t> kSizes = {30000, 60000, 120000,
+                                                    200000};
+  return kSizes;
+}
+
+/// The paper's cluster: 16 MPI processes (4 machines x 4 cores).
+inline constexpr int kPaperRanks = 16;
+
+/// MPI-process sweep of Figs. 7-10.
+inline const std::vector<int>& rank_sweep() {
+  static const std::vector<int> kRanks = {2, 4, 8, 12, 16, 20};
+  return kRanks;
+}
+
+/// §V-A engine settings (scaled): r = 0.01, ΔF = 0.05 Da, ΔM = ∞ (open
+/// search), shared-peak threshold 4, top-100 peaks.
+inline search::DistributedParams paper_params() {
+  search::DistributedParams params;
+  params.index.resolution = 0.01;
+  params.index.max_fragment_mz = 2000.0;
+  params.index.fragments.max_fragment_charge = 1;
+  params.search.preprocess.top_peaks = 100;
+  params.search.filter.fragment_tolerance = 0.05;
+  params.search.filter.shared_peak_min = 4;
+  params.search.score.fragments = params.index.fragments;
+  params.search.top_k = 5;
+  params.search.rescore_depth = 32;
+  params.result_batch = 256;
+  return params;
+}
+
+/// Caches workloads by size so multi-series benches pay generation once.
+class WorkloadCache {
+ public:
+  const synth::Workload& at(std::uint64_t entries, std::uint32_t queries) {
+    const auto key = std::make_pair(entries, queries);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      Stopwatch timer;
+      it = cache_.emplace(key,
+                          synth::make_paper_workload(entries, queries))
+               .first;
+      std::fprintf(stderr, "# workload %llu entries: %.2fs\n",
+                   static_cast<unsigned long long>(entries),
+                   timer.seconds());
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::pair<std::uint64_t, std::uint32_t>, synth::Workload> cache_;
+};
+
+struct RunResult {
+  search::DistributedReport report;
+  double prep_seconds = 0.0;  ///< measured LbePlan construction time
+};
+
+/// Builds the LBE plan (timed, charged as the serial prep term) and runs the
+/// distributed search on a fresh virtual cluster with measured time.
+inline RunResult run_distributed(const synth::Workload& workload,
+                                 core::Policy policy, int ranks,
+                                 const search::DistributedParams& base,
+                                 bool measured_time = true) {
+  core::LbeParams lbe;
+  lbe.partition.policy = policy;
+  lbe.partition.ranks = ranks;
+
+  Stopwatch prep;
+  const core::LbePlan plan(workload.base_peptides, workload.mods,
+                           workload.variant_params, lbe);
+  RunResult result;
+  result.prep_seconds = prep.seconds();
+
+  search::DistributedParams params = base;
+  params.prep_seconds = result.prep_seconds;
+
+  mpi::ClusterOptions options;
+  options.ranks = ranks;
+  options.engine = mpi::Engine::kVirtual;
+  options.measured_time = measured_time;
+  mpi::Cluster cluster(options);
+  result.report = search::run_distributed_search(cluster, plan,
+                                                 workload.queries, params);
+  return result;
+}
+
+/// Work-unit (deterministic) per-rank loads of the query phase.
+inline std::vector<double> work_units(const search::DistributedReport& r) {
+  std::vector<double> units;
+  units.reserve(r.work.size());
+  for (const auto& work : r.work) units.push_back(work.cost_units());
+  return units;
+}
+
+/// Timing-stabilized sweep point: repeats the run and keeps, per rank, the
+/// MINIMUM observed query-phase seconds (noise on a shared single core is
+/// strictly additive) plus the minimum makespan. The first run's report is
+/// returned for the non-timing fields (work counters are deterministic).
+struct RepeatedRun {
+  search::DistributedReport report;       ///< first run (counters etc.)
+  std::vector<double> query_seconds_min;  ///< per-rank best query phase
+  double query_wall_min = 0.0;            ///< max over ranks of best times
+  double makespan_min = 0.0;
+  double prep_seconds = 0.0;
+};
+
+inline RepeatedRun run_distributed_repeated(
+    const synth::Workload& workload, core::Policy policy, int ranks,
+    const search::DistributedParams& base, int repeats = 3) {
+  RepeatedRun out;
+  for (int rep = 0; rep < repeats; ++rep) {
+    RunResult run = run_distributed(workload, policy, ranks, base);
+    const auto seconds = run.report.query_phase_seconds();
+    if (rep == 0) {
+      out.query_seconds_min = seconds;
+      out.makespan_min = run.report.makespan;
+      out.prep_seconds = run.prep_seconds;
+      out.report = std::move(run.report);
+    } else {
+      for (std::size_t r = 0; r < seconds.size(); ++r) {
+        out.query_seconds_min[r] = std::min(out.query_seconds_min[r],
+                                            seconds[r]);
+      }
+      out.makespan_min = std::min(out.makespan_min, run.report.makespan);
+      out.prep_seconds = std::min(out.prep_seconds, run.prep_seconds);
+    }
+  }
+  for (const double t : out.query_seconds_min) {
+    out.query_wall_min = std::max(out.query_wall_min, t);
+  }
+  return out;
+}
+
+inline std::string fmt(double v) { return CsvWriter::field(v); }
+inline std::string fmt(std::uint64_t v) { return CsvWriter::field(v); }
+inline std::string fmt(int v) { return CsvWriter::field(v); }
+
+}  // namespace lbe::bench

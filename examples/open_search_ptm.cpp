@@ -1,0 +1,105 @@
+// Open search with post-translational modifications — the use case that
+// motivates the paper's introduction: spectra whose precursor mass is
+// shifted by an unexpected modification escape narrow-window search, so the
+// engine runs with ΔM = ∞ (open search) and the index carries modified
+// variants. This example:
+//
+//   1. indexes peptides with the paper's PTM set (up to 5 mod residues),
+//   2. generates queries from *modified* peptide forms,
+//   3. searches open-window and reports the identified modification state,
+//   4. shows the same spectra failing under a narrow ±0.1 Da search with an
+//      unmodified index — the "dark matter" the intro describes.
+#include <cstdio>
+
+#include "digest/variants.hpp"
+#include "search/query_engine.hpp"
+#include "synth/spectra.hpp"
+#include "theospec/fragmenter.hpp"
+
+int main() {
+  using namespace lbe;
+
+  const chem::ModificationSet mods = chem::ModificationSet::paper_default();
+  const std::vector<std::string> peptides = {
+      "NMKAAAGGK", "MMGFNNK", "QCKAAWK", "PEPTMIDEK", "GGNQMKR",
+  };
+
+  // Index A: modified variants included (paper settings, <=5 sites).
+  digest::VariantParams with_mods;
+  with_mods.max_mod_residues = 5;
+  index::IndexParams index_params;
+  index_params.fragments.max_fragment_charge = 1;
+  index::PeptideStore store_mods(&mods);
+  for (const auto& seq : peptides) {
+    for (const auto& variant :
+         digest::enumerate_variants(seq, mods, with_mods)) {
+      store_mods.add(variant, mods);
+    }
+  }
+  const index::ChunkedIndex open_index(std::move(store_mods), mods,
+                                       index_params,
+                                       index::ChunkingParams{});
+  std::printf("open-search index: %zu entries from %zu peptides (%.1fx "
+              "blow-up from PTMs)\n",
+              open_index.num_peptides(), peptides.size(),
+              static_cast<double>(open_index.num_peptides()) /
+                  static_cast<double>(peptides.size()));
+
+  // Index B: unmodified only (what a narrow search engine would hold).
+  index::PeptideStore store_plain(&mods);
+  for (const auto& seq : peptides) {
+    store_plain.add(chem::Peptide(seq), mods);
+  }
+  const index::ChunkedIndex plain_index(std::move(store_plain), mods,
+                                        index_params,
+                                        index::ChunkingParams{});
+
+  // Queries: every spectrum comes from a modified peptide form.
+  synth::SpectraParams spectra_params;
+  spectra_params.num_spectra = 12;
+  spectra_params.modified_fraction = 1.0;
+  spectra_params.max_mods_per_query = 3;
+  spectra_params.fragments = index_params.fragments;
+  const auto generated = synth::generate_spectra(peptides, mods,
+                                                 spectra_params);
+
+  search::SearchParams open_params;
+  open_params.filter.shared_peak_min = 4;  // ΔM defaults to infinity
+  open_params.score.fragments = index_params.fragments;
+  const search::QueryEngine open_engine(open_index, mods, open_params);
+
+  search::SearchParams narrow_params = open_params;
+  narrow_params.filter.precursor_tolerance = 0.1;  // closed search
+  const search::QueryEngine narrow_engine(plain_index, mods, narrow_params);
+
+  std::printf("\n%-4s %-28s %-12s %s\n", "qid", "open-search id",
+              "mass shift", "narrow search vs plain index");
+  std::size_t open_hits = 0;
+  std::size_t narrow_hits = 0;
+  for (std::size_t q = 0; q < generated.spectra.size(); ++q) {
+    index::QueryWork work;
+    const auto open_result = open_engine.search(
+        generated.spectra[q], static_cast<std::uint32_t>(q), work);
+    const auto narrow_result = narrow_engine.search(
+        generated.spectra[q], static_cast<std::uint32_t>(q), work);
+
+    std::string open_id = "(none)";
+    double shift = 0.0;
+    if (!open_result.top.empty()) {
+      ++open_hits;
+      const auto peptide =
+          open_index.store().materialize(open_result.top[0].peptide);
+      open_id = peptide.annotated(mods);
+      shift = peptide.mass(mods) - chem::Peptide(peptide.sequence()).mass(mods);
+    }
+    if (!narrow_result.top.empty()) ++narrow_hits;
+    std::printf("%-4zu %-28s %+9.4f Da %s\n", q, open_id.c_str(), shift,
+                narrow_result.top.empty() ? "MISSED (dark matter)"
+                                          : "matched");
+  }
+  std::printf("\nopen search identified %zu/%zu modified spectra; "
+              "narrow+unmodified identified %zu/%zu\n",
+              open_hits, generated.spectra.size(), narrow_hits,
+              generated.spectra.size());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "chem/amino_acid.hpp"
+
+#include "chem/mass.hpp"
+
+namespace lbe::chem {
+namespace {
+
+// Indexed by (c - 'A'); 0.0 marks letters that are not canonical residues
+// (B, J, O, U, X, Z).
+constexpr std::array<Mass, 26> kResidueMass = {
+    /*A*/ 71.03711381,  /*B*/ 0.0,           /*C*/ 103.00918496,
+    /*D*/ 115.02694302, /*E*/ 129.04259309,  /*F*/ 147.06841391,
+    /*G*/ 57.02146374,  /*H*/ 137.05891186,  /*I*/ 113.08406398,
+    /*J*/ 0.0,          /*K*/ 128.09496302,  /*L*/ 113.08406398,
+    /*M*/ 131.04048491, /*N*/ 114.04292744,  /*O*/ 0.0,
+    /*P*/ 97.05276385,  /*Q*/ 128.05857751,  /*R*/ 156.10111102,
+    /*S*/ 87.03202841,  /*T*/ 101.04767847,  /*U*/ 0.0,
+    /*V*/ 99.06841391,  /*W*/ 186.07931295,  /*X*/ 0.0,
+    /*Y*/ 163.06332853, /*Z*/ 0.0};
+
+// SwissProt release-wide composition (percent / 100), order = kResidues
+// (ACDEFGHIKLMNPQRSTVWY). Slightly renormalized to sum to 1.
+constexpr std::array<double, 20> kSwissProtFreq = {
+    0.0826, 0.0137, 0.0546, 0.0672, 0.0386, 0.0708, 0.0228,
+    0.0593, 0.0582, 0.0965, 0.0241, 0.0406, 0.0474, 0.0393,
+    0.0553, 0.0660, 0.0535, 0.0687, 0.0110, 0.0292};
+
+}  // namespace
+
+bool is_residue(char c) noexcept {
+  return c >= 'A' && c <= 'Z' &&
+         kResidueMass[static_cast<std::size_t>(c - 'A')] > 0.0;
+}
+
+Mass residue_mass(char c) noexcept {
+  return kResidueMass[static_cast<std::size_t>(c - 'A')];
+}
+
+Mass residue_mass_or_zero(char c) noexcept {
+  if (c < 'A' || c > 'Z') return 0.0;
+  return kResidueMass[static_cast<std::size_t>(c - 'A')];
+}
+
+std::size_t find_invalid_residue(std::string_view seq) noexcept {
+  if (seq.empty()) return 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (!is_residue(seq[i])) return i;
+  }
+  return std::string_view::npos;
+}
+
+Mass peptide_mass(std::string_view seq) noexcept {
+  Mass sum = kWater;
+  for (const char c : seq) sum += residue_mass(c);
+  return sum;
+}
+
+const std::array<double, 20>& swissprot_frequencies() noexcept {
+  return kSwissProtFreq;
+}
+
+}  // namespace lbe::chem

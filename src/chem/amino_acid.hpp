@@ -1,0 +1,37 @@
+// The 20 proteinogenic amino acids and their monoisotopic residue masses.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace lbe::chem {
+
+/// Canonical residue alphabet in alphabetical order.
+inline constexpr std::string_view kResidues = "ACDEFGHIKLMNPQRSTVWY";
+
+/// True if `c` is one of the 20 canonical residues (upper-case).
+bool is_residue(char c) noexcept;
+
+/// Monoisotopic residue mass (peptide-bond residue, i.e. minus water).
+/// Precondition: is_residue(c).
+Mass residue_mass(char c) noexcept;
+
+/// Residue mass or 0.0 for non-residues (no precondition); used by
+/// validators that want to report rather than crash.
+Mass residue_mass_or_zero(char c) noexcept;
+
+/// Validates a peptide/protein string: non-empty, all canonical residues.
+/// Returns the offset of the first invalid character or npos if valid.
+std::size_t find_invalid_residue(std::string_view seq) noexcept;
+
+/// Sum of residue masses plus water: the neutral monoisotopic mass of the
+/// unmodified peptide. Precondition: sequence is valid.
+Mass peptide_mass(std::string_view seq) noexcept;
+
+/// Average residue frequencies in SwissProt (order matches kResidues);
+/// used by the synthetic proteome generator.
+const std::array<double, 20>& swissprot_frequencies() noexcept;
+
+}  // namespace lbe::chem

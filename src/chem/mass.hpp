@@ -1,0 +1,36 @@
+// Physical mass constants (monoisotopic, Daltons).
+//
+// Values follow the CODATA/Unimod conventions used by every search engine so
+// theoretical fragment masses line up with other tools to < 1e-5 Da.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lbe::chem {
+
+/// Mass of a proton (H+), used for charge-state arithmetic.
+inline constexpr Mass kProton = 1.00727646688;
+
+/// Mass of a hydrogen atom (1H).
+inline constexpr Mass kHydrogen = 1.0078250319;
+
+/// Mass of a water molecule (H2O); added to residue-sum for a full peptide.
+inline constexpr Mass kWater = 18.0105646863;
+
+/// Mass of ammonia (NH3); used for neutral-loss ions.
+inline constexpr Mass kAmmonia = 17.0265491015;
+
+/// Mass of carbon monoxide (CO); b-ion/a-ion offset.
+inline constexpr Mass kCarbonMonoxide = 27.9949146221;
+
+/// Converts a neutral mass to m/z at charge z.
+constexpr Mz mz_from_mass(Mass neutral, Charge z) {
+  return (neutral + static_cast<Mass>(z) * kProton) / static_cast<Mass>(z);
+}
+
+/// Converts an observed m/z at charge z back to neutral mass.
+constexpr Mass mass_from_mz(Mz mz, Charge z) {
+  return mz * static_cast<Mass>(z) - static_cast<Mass>(z) * kProton;
+}
+
+}  // namespace lbe::chem

@@ -1,0 +1,74 @@
+// Post-translational modifications (PTMs).
+//
+// The paper's §V-A experiment indexes variable modifications: deamidation on
+// N/Q, Gly-Gly adducts on K/C, and oxidation on M, with at most 5 modified
+// residues per peptide. The registry below models variable (and optionally
+// fixed) modifications with residue-site rules; `ModificationSet` is the
+// engine-facing view used by the variant generator in src/digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbe::chem {
+
+/// Identifier of a modification inside a ModificationSet (small, dense).
+using ModId = std::uint8_t;
+inline constexpr ModId kNoMod = 0xFF;
+
+struct Modification {
+  std::string name;      ///< e.g. "Oxidation"
+  Mass delta;            ///< mass shift in Da (may be negative)
+  std::string residues;  ///< residues it can attach to, e.g. "NQ"
+  bool fixed = false;    ///< fixed mods apply to every site, always
+
+  /// True if this modification can sit on residue `c`.
+  bool applies_to(char c) const noexcept {
+    return residues.find(c) != std::string::npos;
+  }
+};
+
+/// An ordered, immutable collection of modifications used by one search.
+class ModificationSet {
+ public:
+  ModificationSet() = default;
+
+  /// Adds a modification; throws ConfigError on duplicate name, empty
+  /// residue list, or invalid residue letters. Returns its ModId.
+  ModId add(Modification mod);
+
+  std::size_t size() const noexcept { return mods_.size(); }
+  const Modification& operator[](ModId id) const { return mods_.at(id); }
+
+  /// Ids of variable modifications applicable to residue `c` (fixed mods are
+  /// excluded; they are applied unconditionally by mass routines).
+  std::vector<ModId> variable_mods_for(char c) const;
+
+  /// Sum of fixed-modification deltas applicable to `c` (0 for none).
+  Mass fixed_delta(char c) const noexcept;
+
+  /// Parses "name:delta:residues[:fixed]" triples separated by ';', e.g.
+  ///   "Oxidation:15.994915:M;Deamidation:0.984016:NQ;GlyGly:114.042927:KC"
+  static ModificationSet parse(std::string_view spec);
+
+  /// The exact variable-modification set of the paper's evaluation (§V-A):
+  /// deamidation (N,Q), Gly-Gly (K,C), oxidation (M).
+  static ModificationSet paper_default();
+
+ private:
+  std::vector<Modification> mods_;
+};
+
+/// One concrete modification placement on a peptide.
+struct ModSite {
+  std::uint16_t position;  ///< 0-based residue offset
+  ModId mod;
+
+  friend bool operator==(const ModSite&, const ModSite&) = default;
+};
+
+}  // namespace lbe::chem

@@ -1,0 +1,86 @@
+#include "chem/peptide.hpp"
+
+#include "chem/amino_acid.hpp"
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+
+namespace lbe::chem {
+
+Peptide::Peptide(std::string seq) : seq_(std::move(seq)) {
+  const std::size_t bad = find_invalid_residue(seq_);
+  if (bad != std::string_view::npos) {
+    throw ConfigError("invalid residue '" +
+                      (seq_.empty() ? std::string("<empty>")
+                                    : std::string(1, seq_[bad])) +
+                      "' in peptide: " + seq_);
+  }
+}
+
+Peptide::Peptide(std::string seq, std::vector<ModSite> sites,
+                 const ModificationSet& mods)
+    : Peptide(std::move(seq)) {
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& site : sites) {
+    if (site.position >= seq_.size()) {
+      throw ConfigError("mod site beyond peptide end");
+    }
+    if (!first && site.position <= prev) {
+      throw ConfigError("mod sites must be sorted and unique");
+    }
+    if (site.mod >= mods.size()) {
+      throw ConfigError("mod id out of range");
+    }
+    if (!mods[site.mod].applies_to(seq_[site.position])) {
+      throw ConfigError("modification '" + mods[site.mod].name +
+                        "' cannot attach to residue '" +
+                        std::string(1, seq_[site.position]) + "'");
+    }
+    prev = site.position;
+    first = false;
+  }
+  sites_ = std::move(sites);
+}
+
+Mass Peptide::mass(const ModificationSet& mods) const noexcept {
+  Mass sum = kWater;
+  for (const char c : seq_) {
+    sum += residue_mass(c) + mods.fixed_delta(c);
+  }
+  for (const auto& site : sites_) {
+    sum += mods[site.mod].delta;
+  }
+  return sum;
+}
+
+Mass Peptide::residue_delta(std::size_t pos,
+                            const ModificationSet& mods) const noexcept {
+  const char c = seq_[pos];
+  Mass delta = residue_mass(c) + mods.fixed_delta(c);
+  for (const auto& site : sites_) {
+    if (site.position == pos) {
+      delta += mods[site.mod].delta;
+      break;  // at most one variable mod per site by construction
+    }
+    if (site.position > pos) break;  // sites are sorted
+  }
+  return delta;
+}
+
+std::string Peptide::annotated(const ModificationSet& mods) const {
+  std::string out;
+  out.reserve(seq_.size() + sites_.size() * 12);
+  std::size_t next_site = 0;
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    out += seq_[i];
+    if (next_site < sites_.size() && sites_[next_site].position == i) {
+      out += '(';
+      out += mods[sites_[next_site].mod].name;
+      out += ')';
+      ++next_site;
+    }
+  }
+  return out;
+}
+
+}  // namespace lbe::chem

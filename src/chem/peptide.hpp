@@ -1,0 +1,54 @@
+// Peptide value type: a validated sequence plus optional modification sites.
+//
+// Unmodified peptides dominate the database, so `Peptide` keeps the common
+// case allocation-light: the mod-site vector is empty unless the variant
+// generator placed modifications. Mass is computed on demand (and cached by
+// the index, not here) to keep the type a plain value.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chem/modification.hpp"
+#include "common/types.hpp"
+
+namespace lbe::chem {
+
+class Peptide {
+ public:
+  Peptide() = default;
+
+  /// Validates and stores `seq`; throws ConfigError on invalid residues.
+  explicit Peptide(std::string seq);
+
+  /// Modified variant: `sites` must be sorted by position, unique positions,
+  /// every site's mod must apply to the residue there (checked).
+  Peptide(std::string seq, std::vector<ModSite> sites,
+          const ModificationSet& mods);
+
+  const std::string& sequence() const noexcept { return seq_; }
+  const std::vector<ModSite>& sites() const noexcept { return sites_; }
+  std::size_t length() const noexcept { return seq_.size(); }
+  bool modified() const noexcept { return !sites_.empty(); }
+
+  /// Neutral monoisotopic mass including fixed + placed variable mods.
+  Mass mass(const ModificationSet& mods) const noexcept;
+
+  /// Residue-by-residue mass ladder contribution at `pos` (residue + fixed
+  /// mods + any variable mod placed at pos). Used by the fragmenter.
+  Mass residue_delta(std::size_t pos, const ModificationSet& mods) const
+      noexcept;
+
+  /// Canonical text form: sequence with "(name)" after modified residues,
+  /// e.g. "PEPTM(Oxidation)IDE". Stable across runs; used for dedup & tests.
+  std::string annotated(const ModificationSet& mods) const;
+
+  friend bool operator==(const Peptide&, const Peptide&) = default;
+
+ private:
+  std::string seq_;
+  std::vector<ModSite> sites_;
+};
+
+}  // namespace lbe::chem

@@ -1,0 +1,60 @@
+// MS/MS spectrum value types.
+//
+// `Spectrum` holds centroided peaks as parallel mz/intensity arrays (struct
+// of arrays: the query path scans mz only, so keeping intensities separate
+// halves the cache traffic of the hot loop). Both experimental (query) and
+// theoretical (reference) spectra use this type; theoretical spectra carry
+// unit intensities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbe::chem {
+
+struct Precursor {
+  Mz mz = 0.0;        ///< observed precursor m/z (0 when unknown)
+  Charge charge = 0;  ///< 0 when undetermined
+  Mass neutral_mass = 0.0;
+};
+
+class Spectrum {
+ public:
+  Spectrum() = default;
+
+  /// Appends one peak. Peaks may arrive unsorted; call `finalize()` once
+  /// after the last peak.
+  void add_peak(Mz mz, float intensity) {
+    mz_.push_back(mz);
+    intensity_.push_back(intensity);
+  }
+
+  /// Sorts peaks by m/z and merges duplicates (same m/z within 1e-6 Th sums
+  /// intensity). Must be called before querying/serialization.
+  void finalize();
+
+  std::size_t size() const noexcept { return mz_.size(); }
+  bool empty() const noexcept { return mz_.empty(); }
+
+  const std::vector<Mz>& mzs() const noexcept { return mz_; }
+  const std::vector<float>& intensities() const noexcept { return intensity_; }
+
+  Mz mz(std::size_t i) const { return mz_[i]; }
+  float intensity(std::size_t i) const { return intensity_[i]; }
+
+  /// Total ion current (sum of intensities).
+  double tic() const noexcept;
+
+  Precursor precursor;
+  std::uint32_t scan_id = 0;
+  std::string title;  ///< free-text identifier from the source file
+
+ private:
+  std::vector<Mz> mz_;
+  std::vector<float> intensity_;
+};
+
+}  // namespace lbe::chem

@@ -1,0 +1,87 @@
+// Binary stream serialization helpers (little-endian, fixed-width).
+//
+// Used by the index on-disk format (index/serialize.hpp). Reads validate
+// against stream truncation and throw IoError; a sanity cap guards vector
+// sizes so corrupted headers fail fast instead of attempting huge
+// allocations.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lbe::bin {
+
+/// Upper bound on any serialized vector's element count (16 Gi entries);
+/// anything larger indicates corruption, not data.
+inline constexpr std::uint64_t kMaxElements = 1ull << 34;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  if (!out) throw IoError("binary write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("binary read failed: truncated stream");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+    if (!out) throw IoError("binary write failed");
+  }
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count > kMaxElements) {
+    throw IoError("binary read failed: implausible element count (corrupt "
+                  "file?)");
+  }
+  std::vector<T> v(static_cast<std::size_t>(count));
+  if (count) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!in) throw IoError("binary read failed: truncated stream");
+  }
+  return v;
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!out) throw IoError("binary write failed");
+}
+
+inline std::string read_string(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  if (size > kMaxElements) {
+    throw IoError("binary read failed: implausible string size");
+  }
+  std::string s(static_cast<std::size_t>(size), '\0');
+  if (size) {
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    if (!in) throw IoError("binary read failed: truncated stream");
+  }
+  return s;
+}
+
+}  // namespace lbe::bin

@@ -1,0 +1,131 @@
+#include "common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace lbe {
+
+Config Config::from_string(std::string_view text, const std::string& origin) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    line = str::trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ParseError(origin, line_no, "expected 'key = value'");
+    }
+    const std::string key(str::trim(line.substr(0, eq)));
+    const std::string value(str::trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      throw ParseError(origin, line_no, "empty key");
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str(), path);
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto v = find(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  return *v;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key) const {
+  const auto v = find(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  double out = 0.0;
+  if (!str::parse_double(*v, out)) {
+    throw ConfigError("config key '" + key + "' is not a number: " + *v);
+  }
+  return out;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  double out = 0.0;
+  if (!str::parse_double(*v, out)) {
+    throw ConfigError("config key '" + key + "' is not a number: " + *v);
+  }
+  return out;
+}
+
+std::int64_t Config::get_int(const std::string& key) const {
+  const double d = get_double(key);
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d) {
+    throw ConfigError("config key '" + key + "' is not an integer");
+  }
+  return i;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  if (!contains(key)) return fallback;
+  return get_int(key);
+}
+
+bool Config::get_bool(const std::string& key) const {
+  const auto v = find(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  const std::string s = str::to_upper(*v);
+  if (s == "TRUE" || s == "1" || s == "YES" || s == "ON") return true;
+  if (s == "FALSE" || s == "0" || s == "NO" || s == "OFF") return false;
+  throw ConfigError("config key '" + key + "' is not a boolean: " + *v);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (!contains(key)) return fallback;
+  return get_bool(key);
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : values_) {
+    os << key << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lbe

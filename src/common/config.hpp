@@ -1,0 +1,56 @@
+// Key=value configuration store.
+//
+// Mirrors the paper's engine configuration files (resolution, tolerances,
+// shared-peak threshold, modification settings, cluster policy, ...). Files
+// use one `key = value` pair per line, `#` comments, blank lines allowed.
+// Typed getters validate on access and raise ConfigError with the key name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lbe {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `text` as key=value lines. `origin` is used in error messages.
+  static Config from_string(std::string_view text,
+                            const std::string& origin = "<string>");
+
+  /// Reads and parses a config file; throws IoError / ParseError.
+  static Config from_file(const std::string& path);
+
+  /// Sets/overrides a key.
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters. The no-default overloads throw ConfigError when the key
+  /// is missing; all throw ConfigError when the value does not parse.
+  std::string get_string(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in lexicographic order (deterministic serialization).
+  std::string to_string() const;
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lbe

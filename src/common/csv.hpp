@@ -1,0 +1,37 @@
+// Tiny CSV emitter for benchmark series.
+//
+// Every fig* bench prints its figure as rows `x,series,value` so the output
+// can be re-plotted directly; CsvWriter guarantees consistent quoting and
+// column counts.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbe {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately. `out` must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Writes one row; throws InvariantError if the field count mismatches.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.6g, integers verbatim.
+  static std::string field(double v);
+  static std::string field(std::uint64_t v);
+  static std::string field(std::int64_t v);
+  static std::string field(int v);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace lbe

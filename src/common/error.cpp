@@ -1,0 +1,33 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace lbe {
+
+namespace {
+std::string format_parse_error(const std::string& file, std::size_t line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(const std::string& file, std::size_t line,
+                       const std::string& msg)
+    : Error(format_parse_error(file, line, msg)), file_(file), line_(line) {}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace lbe

@@ -1,0 +1,72 @@
+// Error handling for the LBE library.
+//
+// The library throws exceptions derived from `lbe::Error` for unrecoverable
+// conditions (malformed input files, configuration errors, protocol
+// violations in the simulated cluster). Hot paths never throw; they are
+// written so invalid states are unrepresentable or checked once at entry.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lbe {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unreadable input (FASTA, MS2, config files).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, std::size_t line, const std::string& msg);
+
+  const std::string& file() const noexcept { return file_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  std::size_t line_;
+};
+
+/// Invalid configuration value or inconsistent parameter combination.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& msg) : Error(msg) {}
+};
+
+/// Misuse of the simulated-MPI API (mismatched collectives, bad rank, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& msg) : Error(msg) {}
+};
+
+/// Filesystem failure (cannot open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& msg) : Error(msg) {}
+};
+
+/// Internal invariant violation; indicates a library bug, not user error.
+/// `LBE_CHECK` raises this.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& msg) : Error(msg) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+/// Always-on invariant check (also in release builds): these guard algorithm
+/// invariants whose violation would silently corrupt results.
+#define LBE_CHECK(expr, msg)                                         \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::lbe::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)
+
+}  // namespace lbe

@@ -1,0 +1,59 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lbe::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Sink& sink_storage() {
+  static Sink s;  // empty => default sink
+  return s;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (Sink& s = sink_storage()) {
+    s(lvl, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), message.c_str());
+  }
+}
+
+}  // namespace lbe::log

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// A single process-global sink (default: stderr) with a runtime level filter.
+// Benchmarks set the level to `warn` so figure output stays clean; tests can
+// capture messages through `set_sink`.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace lbe::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that reaches the sink. Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Replaces the output sink (default writes "LEVEL message\n" to stderr).
+/// Passing nullptr restores the default sink. Thread-safe.
+using Sink = std::function<void(Level, const std::string&)>;
+void set_sink(Sink sink);
+
+/// Emits one message if `level` passes the filter. Thread-safe.
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace lbe::log

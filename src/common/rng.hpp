@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (synthetic proteome/spectra generation, the
+// Random partition policy) take an explicit 64-bit seed so every experiment
+// is reproducible bit-for-bit across hosts. xoshiro256** is used as the bulk
+// generator, seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lbe {
+
+/// SplitMix64: tiny generator used to expand one seed into stream state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose PRNG (period 2^256 - 1).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9Bull) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    // Rejection-free for our purposes: bias is < 2^-64 * bound, negligible
+    // against bound << 2^32 used throughout the library.
+    __extension__ using Wide = unsigned __int128;
+    const Wide m = static_cast<Wide>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (polar-free variant, two uniforms).
+  double normal();
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Fisher–Yates shuffle with an explicit generator (deterministic given seed).
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Xoshiro256& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    using std::swap;
+    swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+         first[static_cast<std::ptrdiff_t>(j)]);
+  }
+}
+
+inline double Xoshiro256::normal() {
+  // Box–Muller; one value per call keeps the generator stateless w.r.t.
+  // caching, which matters for reproducibility when calls interleave.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.28318530717958647692;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace lbe

@@ -1,0 +1,100 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace lbe {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The caller participates in parallel_for, so spawn threads-1 workers.
+  const std::size_t workers = threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t parts = size();
+  const std::size_t n = end - begin;
+  if (parts == 1 || n == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } shared;
+  const std::size_t blocks = std::min(parts, n);
+  shared.remaining.store(blocks - 1);  // caller runs block 0 inline
+
+  auto run_block = [&](std::size_t block) {
+    const std::size_t lo = begin + block * n / blocks;
+    const std::size_t hi = begin + (block + 1) * n / blocks;
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(shared.error_mutex);
+      if (!shared.error) shared.error = std::current_exception();
+    }
+  };
+
+  for (std::size_t block = 1; block < blocks; ++block) {
+    enqueue([&, block] {
+      run_block(block);
+      if (shared.remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(shared.done_mutex);
+        shared.done_cv.notify_one();
+      }
+    });
+  }
+  run_block(0);
+  {
+    std::unique_lock<std::mutex> lock(shared.done_mutex);
+    shared.done_cv.wait(lock, [&] { return shared.remaining.load() == 0; });
+  }
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace lbe

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Implements the paper's "hybrid OpenMP + MPI" future-work direction: each
+// simulated rank may fan its query loop out over a pool. On single-core hosts
+// (such as CI) a pool of size 1 degenerates to an inline loop with no thread
+// creation, keeping timings honest.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lbe {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // +1 = caller
+
+  /// Runs `fn(begin..end)` split into `size()` contiguous blocks; the calling
+  /// thread executes one block, workers the rest. Blocks until all finish.
+  /// Exceptions from `fn` propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void enqueue(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lbe

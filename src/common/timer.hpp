@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used for measured (as opposed to simulated) timings.
+#pragma once
+
+#include <chrono>
+
+namespace lbe {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before the reset.
+  double restart() {
+    const double s = seconds();
+    start_ = Clock::now();
+    return s;
+  }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lbe

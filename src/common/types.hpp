@@ -1,0 +1,39 @@
+// Core scalar types shared across the LBE library.
+//
+// Conventions:
+//  * All masses are monoisotopic and expressed in Daltons (Da) as `double`.
+//  * Mass-to-charge ratios (m/z) are `double` in Thomson.
+//  * Binned m/z values (index buckets) are `MzBin` (see index/binning.hpp).
+//  * Peptide identifiers come in two flavours mirroring the paper:
+//      - GlobalPeptideId: position in the master's global peptide index,
+//      - LocalPeptideId:  position in one rank's partial index ("virtual
+//        index" in the paper); the mapping table converts local -> global.
+#pragma once
+
+#include <cstdint>
+
+namespace lbe {
+
+/// Mass in Daltons.
+using Mass = double;
+
+/// Mass-to-charge ratio (Thomson).
+using Mz = double;
+
+/// Position of a peptide in the global (master) peptide index.
+using GlobalPeptideId = std::uint32_t;
+
+/// Position of a peptide in a single rank's partial index. The paper calls
+/// these "virtual indices"; they are meaningless without the owning rank id.
+using LocalPeptideId = std::uint32_t;
+
+/// Rank number inside a (simulated) MPI communicator.
+using RankId = int;
+
+/// Charge state of an ion (1+, 2+, ...).
+using Charge = std::uint8_t;
+
+/// Sentinel for "no peptide".
+inline constexpr GlobalPeptideId kInvalidPeptideId = 0xFFFFFFFFu;
+
+}  // namespace lbe

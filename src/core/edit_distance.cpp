@@ -1,0 +1,80 @@
+#include "core/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lbe::core {
+
+std::uint32_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter => less space
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (m == 0) return static_cast<std::uint32_t>(n);
+
+  std::vector<std::uint32_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = static_cast<std::uint32_t>(j);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::uint32_t diag = row[0];  // D[i-1][j-1]
+    row[0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::uint32_t up = row[j];  // D[i-1][j]
+      const std::uint32_t subst = diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      row[j] = std::min({subst, up + 1, row[j - 1] + 1});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+std::uint32_t bounded_edit_distance(std::string_view a, std::string_view b,
+                                    std::uint32_t limit) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // Length difference is a lower bound on the distance.
+  if (n - m > limit) return limit + 1;
+  if (m == 0) return static_cast<std::uint32_t>(n);
+
+  // Band of half-width `limit` around the diagonal. Cells outside the band
+  // can never contribute to a distance <= limit.
+  const std::uint32_t kInf = limit + 1;
+  std::vector<std::uint32_t> row(m + 1, kInf);
+  for (std::size_t j = 0; j <= std::min<std::size_t>(m, limit); ++j) {
+    row[j] = static_cast<std::uint32_t>(j);
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t lo =
+        i > limit ? i - limit : 1;  // first in-band column this row
+    const std::size_t hi = std::min<std::size_t>(m, i + limit);
+    if (lo > hi) return kInf;
+
+    std::uint32_t diag = row[lo - 1];  // D[i-1][lo-1]
+    std::uint32_t best_in_row = kInf;
+    // Left-of-band cell is out of band for this row => +inf.
+    if (lo == 1) {
+      // Column 0 holds D[i][0] = i (clipped at kInf).
+      row[0] = static_cast<std::uint32_t>(std::min<std::size_t>(i, kInf));
+    }
+    std::uint32_t left = (lo == 1) ? row[0] : kInf;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const std::uint32_t up = row[j];  // D[i-1][j] (kInf if out of band)
+      const std::uint32_t subst = diag + (a[i - 1] == b[j - 1] ? 0u : 1u);
+      std::uint32_t v = subst;
+      if (up != kInf) v = std::min(v, up + 1);
+      if (left != kInf) v = std::min(v, left + 1);
+      v = std::min(v, kInf);
+      diag = up;
+      row[j] = v;
+      left = v;
+      best_in_row = std::min(best_in_row, v);
+    }
+    // Clear the cell right of the band so next row's `up` reads kInf there.
+    if (hi + 1 <= m) row[hi + 1] = kInf;
+    if (best_in_row > limit) return kInf;  // early exit: band exceeded
+  }
+  return row[m];
+}
+
+}  // namespace lbe::core

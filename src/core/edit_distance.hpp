@@ -1,0 +1,23 @@
+// Levenshtein edit distance, plain and banded.
+//
+// Grouping (Algorithm 1) compares each candidate against the group seed with
+// small cutoffs (d = 2, or a fraction of the length), so the banded variant
+// with early exit does O(k·n) work instead of O(n·m) and is the one the hot
+// path uses. The plain variant is kept as the reference oracle for tests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lbe::core {
+
+/// Exact Levenshtein distance (unit costs), O(|a|·|b|) time, O(min) space.
+std::uint32_t edit_distance(std::string_view a, std::string_view b);
+
+/// Banded distance with early exit: returns the exact distance if it is
+/// <= `limit`, otherwise any value > `limit` (callers only compare against
+/// the cutoff). O((2·limit+1)·max(|a|,|b|)) time.
+std::uint32_t bounded_edit_distance(std::string_view a, std::string_view b,
+                                    std::uint32_t limit);
+
+}  // namespace lbe::core

@@ -1,0 +1,95 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/edit_distance.hpp"
+
+namespace lbe::core {
+
+void GroupingParams::validate() const {
+  if (criterion != GroupingCriterion::kAbsolute &&
+      criterion != GroupingCriterion::kNormalized) {
+    throw ConfigError("grouping: unknown criterion");
+  }
+  if (d_prime < 0.0 || d_prime > 1.0) {
+    throw ConfigError("grouping: d' must be in [0, 1]");
+  }
+  if (gsize == 0) {
+    throw ConfigError("grouping: gsize must be >= 1");
+  }
+}
+
+std::vector<std::uint32_t> GroupingResult::group_of() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(sequences.size());
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    for (std::uint32_t k = 0; k < group_sizes[g]; ++k) {
+      out.push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+  return out;
+}
+
+bool passes_cutoff(const std::string& seed, const std::string& candidate,
+                   const GroupingParams& params) {
+  const auto len_seed = static_cast<std::uint32_t>(seed.size());
+  const auto len_cand = static_cast<std::uint32_t>(candidate.size());
+  std::uint32_t limit;
+  if (params.criterion == GroupingCriterion::kAbsolute) {
+    limit = std::max(params.d, len_cand / 2);
+  } else {
+    const double max_len = static_cast<double>(std::max(len_seed, len_cand));
+    limit = static_cast<std::uint32_t>(std::floor(params.d_prime * max_len));
+  }
+  return bounded_edit_distance(seed, candidate, limit) <= limit;
+}
+
+GroupingResult group_peptides(std::vector<std::string> sequences,
+                              const GroupingParams& params) {
+  params.validate();
+  GroupingResult result;
+  const std::size_t n = sequences.size();
+
+  // SortByLength, then LexSort (Algorithm 1's two sorts are one comparator).
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&sequences](std::uint32_t a, std::uint32_t b) {
+              if (sequences[a].size() != sequences[b].size()) {
+                return sequences[a].size() < sequences[b].size();
+              }
+              if (sequences[a] != sequences[b]) {
+                return sequences[a] < sequences[b];
+              }
+              return a < b;  // stable for duplicate sequences
+            });
+
+  result.sequences.reserve(n);
+  result.permutation.reserve(n);
+  for (const std::uint32_t idx : order) {
+    result.sequences.push_back(std::move(sequences[idx]));
+    result.permutation.push_back(idx);
+  }
+  if (n == 0) return result;
+
+  // Greedy group formation against the group seed.
+  const std::string* seed = &result.sequences[0];
+  result.group_sizes.push_back(1);
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::string& candidate = result.sequences[k];
+    const bool fits = result.group_sizes.back() < params.gsize &&
+                      passes_cutoff(*seed, candidate, params);
+    if (fits) {
+      ++result.group_sizes.back();
+    } else {
+      seed = &candidate;
+      result.group_sizes.push_back(1);
+    }
+  }
+  return result;
+}
+
+}  // namespace lbe::core

@@ -1,0 +1,182 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lbe::core {
+
+Policy policy_from_string(std::string_view name) {
+  std::string lowered;
+  for (const char c : name) {
+    lowered += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lowered == "chunk") return Policy::kChunk;
+  if (lowered == "cyclic") return Policy::kCyclic;
+  if (lowered == "random") return Policy::kRandom;
+  if (lowered == "weighted") return Policy::kWeighted;
+  throw ConfigError("unknown partition policy: " + std::string(name));
+}
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kChunk:
+      return "chunk";
+    case Policy::kCyclic:
+      return "cyclic";
+    case Policy::kRandom:
+      return "random";
+    case Policy::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+void PartitionParams::validate() const {
+  if (ranks < 1) throw ConfigError("partition: need at least 1 rank");
+  if (policy == Policy::kWeighted) {
+    if (weights.size() != static_cast<std::size_t>(ranks)) {
+      throw ConfigError("weighted partition: need one weight per rank");
+    }
+    for (const double w : weights) {
+      if (!(w > 0.0)) {
+        throw ConfigError("weighted partition: weights must be positive");
+      }
+    }
+  } else if (!weights.empty()) {
+    throw ConfigError("weights are only valid with the weighted policy");
+  }
+}
+
+namespace {
+
+std::size_t total_entries(const std::vector<std::uint32_t>& group_sizes) {
+  std::size_t n = 0;
+  for (const auto s : group_sizes) n += s;
+  return n;
+}
+
+PartitionPlan chunk_partition(std::size_t n, int ranks) {
+  // pep(m) = { i | N/p * m <= i < N/p * (m+1) } with balanced integer
+  // boundaries (floor(N*m/p)), so sizes differ by at most one.
+  PartitionPlan plan;
+  plan.per_rank.resize(static_cast<std::size_t>(ranks));
+  const auto p = static_cast<std::size_t>(ranks);
+  for (std::size_t m = 0; m < p; ++m) {
+    const std::size_t lo = n * m / p;
+    const std::size_t hi = n * (m + 1) / p;
+    auto& ids = plan.per_rank[m];
+    ids.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ids.push_back(static_cast<GlobalPeptideId>(i));
+    }
+  }
+  return plan;
+}
+
+PartitionPlan cyclic_partition(std::size_t n, int ranks) {
+  PartitionPlan plan;
+  plan.per_rank.resize(static_cast<std::size_t>(ranks));
+  const auto p = static_cast<std::size_t>(ranks);
+  for (std::size_t m = 0; m < p; ++m) {
+    plan.per_rank[m].reserve(n / p + 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.per_rank[i % p].push_back(static_cast<GlobalPeptideId>(i));
+  }
+  return plan;
+}
+
+PartitionPlan random_partition(const std::vector<std::uint32_t>& group_sizes,
+                               const PartitionParams& params) {
+  PartitionPlan plan;
+  const auto p = static_cast<std::size_t>(params.ranks);
+  plan.per_rank.resize(p);
+  Xoshiro256 rng(params.seed);
+
+  std::vector<GlobalPeptideId> members;
+  std::size_t base = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    const std::size_t size = group_sizes[g];
+    members.resize(size);
+    for (std::size_t k = 0; k < size; ++k) {
+      members[k] = static_cast<GlobalPeptideId>(base + k);
+    }
+    shuffle(members.begin(), members.end(), rng);
+
+    // Chunk-split the shuffled group into p parts; assign parts to ranks
+    // starting at a per-group offset so remainders spread over all ranks.
+    const std::size_t start = params.rotate_groups ? g % p : 0;
+    for (std::size_t part = 0; part < p; ++part) {
+      const std::size_t lo = size * part / p;
+      const std::size_t hi = size * (part + 1) / p;
+      if (lo == hi) continue;
+      auto& ids = plan.per_rank[(start + part) % p];
+      ids.insert(ids.end(), members.begin() + static_cast<std::ptrdiff_t>(lo),
+                 members.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    base += size;
+  }
+
+  // Local order: ascending global id keeps per-rank index construction
+  // deterministic regardless of shuffle order.
+  for (auto& ids : plan.per_rank) std::sort(ids.begin(), ids.end());
+  return plan;
+}
+
+PartitionPlan weighted_partition(std::size_t n,
+                                 const PartitionParams& params) {
+  // Smooth weighted round-robin: entry i goes to the rank with the lowest
+  // (assigned + 1) / weight ratio (ties: lowest rank id). Shares converge
+  // to n * w_m / sum(w) with error < 1 per rank, and consecutive entries
+  // still interleave across ranks, preserving the group-spreading property
+  // the uniform Cyclic policy has.
+  PartitionPlan plan;
+  const auto p = static_cast<std::size_t>(params.ranks);
+  plan.per_rank.resize(p);
+  std::vector<double> assigned(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    double best_ratio = (assigned[0] + 1.0) / params.weights[0];
+    for (std::size_t m = 1; m < p; ++m) {
+      const double ratio = (assigned[m] + 1.0) / params.weights[m];
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = m;
+      }
+    }
+    plan.per_rank[best].push_back(static_cast<GlobalPeptideId>(i));
+    assigned[best] += 1.0;
+  }
+  return plan;
+}
+
+}  // namespace
+
+PartitionPlan partition(const std::vector<std::uint32_t>& group_sizes,
+                        const PartitionParams& params) {
+  params.validate();
+  const std::size_t n = total_entries(group_sizes);
+  switch (params.policy) {
+    case Policy::kChunk:
+      return chunk_partition(n, params.ranks);
+    case Policy::kCyclic:
+      return cyclic_partition(n, params.ranks);
+    case Policy::kRandom:
+      return random_partition(group_sizes, params);
+    case Policy::kWeighted:
+      return weighted_partition(n, params);
+  }
+  throw ConfigError("unknown partition policy");
+}
+
+PartitionPlan partition_flat(std::size_t total,
+                             const PartitionParams& params) {
+  std::vector<std::uint32_t> singleton_groups(
+      total, 1u);
+  return partition(singleton_groups, params);
+}
+
+}  // namespace lbe::core

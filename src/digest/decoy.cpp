@@ -1,0 +1,90 @@
+#include "digest/decoy.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace lbe::digest {
+
+namespace {
+
+std::string pseudo_reverse(const std::string& sequence,
+                           const Enzyme& enzyme) {
+  // Reverse each enzymatic fragment in place, keeping the cleavage-site
+  // residue (the fragment's last) fixed so digestion of the decoy yields
+  // peptides with identical mass/length statistics to the targets.
+  std::string out = sequence;
+  std::size_t begin = 0;
+  auto flush = [&out](std::size_t lo, std::size_t hi, bool keep_last) {
+    // Reverse [lo, hi); if keep_last, the residue at hi-1 stays.
+    if (hi - lo < 2) return;
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(lo),
+                 out.begin() + static_cast<std::ptrdiff_t>(hi) -
+                     (keep_last ? 1 : 0));
+  };
+  for (const std::size_t site : enzyme.sites(sequence)) {
+    flush(begin, site + 1, /*keep_last=*/true);
+    begin = site + 1;
+  }
+  // The C-terminal fragment keeps its last residue too when it is a
+  // cleavable one; fully reversing e.g. "...SEIAHR" would move the R inward
+  // and create a cleavage site the target never had.
+  if (begin < sequence.size()) {
+    const bool cleavable =
+        enzyme.cut_after.find(sequence.back()) != std::string::npos;
+    flush(begin, sequence.size(), /*keep_last=*/cleavable);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string decoy_sequence(const std::string& sequence, DecoyMethod method,
+                           const Enzyme& enzyme, std::uint64_t seed) {
+  switch (method) {
+    case DecoyMethod::kReverse: {
+      std::string out = sequence;
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+    case DecoyMethod::kPseudoReverse:
+      return pseudo_reverse(sequence, enzyme);
+    case DecoyMethod::kShuffle: {
+      std::string out = sequence;
+      Xoshiro256 rng(seed);
+      shuffle(out.begin(), out.end(), rng);
+      return out;
+    }
+  }
+  return sequence;  // unreachable
+}
+
+std::vector<io::FastaRecord> make_decoys(
+    const std::vector<io::FastaRecord>& targets, DecoyMethod method,
+    const Enzyme& enzyme, std::uint64_t seed) {
+  std::vector<io::FastaRecord> decoys;
+  decoys.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    decoys.push_back(io::FastaRecord{
+        kDecoyPrefix + targets[i].header,
+        decoy_sequence(targets[i].sequence, method, enzyme, seed + i)});
+  }
+  return decoys;
+}
+
+std::vector<io::FastaRecord> with_decoys(std::vector<io::FastaRecord> targets,
+                                         DecoyMethod method,
+                                         const Enzyme& enzyme,
+                                         std::uint64_t seed) {
+  auto decoys = make_decoys(targets, method, enzyme, seed);
+  targets.insert(targets.end(), std::make_move_iterator(decoys.begin()),
+                 std::make_move_iterator(decoys.end()));
+  return targets;
+}
+
+bool is_decoy_header(std::string_view header) {
+  return str::starts_with(header, kDecoyPrefix);
+}
+
+}  // namespace lbe::digest

@@ -1,0 +1,53 @@
+// Decoy database generation for target-decoy FDR estimation.
+//
+// Every production search pipeline validates identifications by searching a
+// decoy database of equal size and statistics alongside the targets; the
+// decoy hit rate estimates the false-match rate among targets (Elias &
+// Gygi). Three standard constructions:
+//
+//   kReverse        — reverse each protein sequence. Simple; tryptic decoy
+//                     peptides differ from target peptides.
+//   kPseudoReverse  — digest-aware: reverse each tryptic peptide in place
+//                     but keep its C-terminal K/R. Preserves peptide mass
+//                     and length distributions exactly (the preferred
+//                     construction for fragment-ion indexes).
+//   kShuffle        — per-protein random shuffle (seeded, deterministic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "digest/enzyme.hpp"
+#include "io/fasta.hpp"
+
+namespace lbe::digest {
+
+enum class DecoyMethod : std::uint8_t {
+  kReverse,
+  kPseudoReverse,
+  kShuffle,
+};
+
+/// Prefix added to decoy record headers, e.g. "DECOY_sp|P1|...".
+inline constexpr const char* kDecoyPrefix = "DECOY_";
+
+/// Builds one decoy record per target record. `enzyme` is only used by
+/// kPseudoReverse (cleavage sites delimit the per-peptide reversal).
+std::vector<io::FastaRecord> make_decoys(
+    const std::vector<io::FastaRecord>& targets, DecoyMethod method,
+    const Enzyme& enzyme = trypsin(), std::uint64_t seed = 0xDEC0);
+
+/// Targets followed by their decoys — the concatenated search database.
+std::vector<io::FastaRecord> with_decoys(
+    std::vector<io::FastaRecord> targets, DecoyMethod method,
+    const Enzyme& enzyme = trypsin(), std::uint64_t seed = 0xDEC0);
+
+/// True if a FASTA header (or any string) carries the decoy prefix.
+bool is_decoy_header(std::string_view header);
+
+/// Decoy transform of one protein sequence (exposed for tests).
+std::string decoy_sequence(const std::string& sequence, DecoyMethod method,
+                           const Enzyme& enzyme, std::uint64_t seed);
+
+}  // namespace lbe::digest

@@ -1,0 +1,48 @@
+#include "digest/dedup.hpp"
+
+#include <string_view>
+#include <unordered_set>
+
+namespace lbe::digest {
+
+namespace {
+
+// Generic stable-dedup over any range with a sequence accessor. string_view
+// keys into the retained elements stay valid because retained elements are
+// never moved after insertion (vector erase-remove happens via copy-down of
+// *later* elements only, so we dedup into a fresh vector instead).
+template <typename T, typename GetSeq>
+std::size_t stable_dedup(std::vector<T>& items, GetSeq get) {
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(items.size());
+  std::vector<T> kept;
+  kept.reserve(items.size());
+  for (auto& item : items) {
+    // Insert with a view into the candidate; only keep if new.
+    if (seen.count(std::string_view(get(item))) == 0) {
+      kept.push_back(std::move(item));
+      seen.insert(std::string_view(get(kept.back())));
+    }
+  }
+  const std::size_t dropped = items.size() - kept.size();
+  items = std::move(kept);
+  return dropped;
+}
+
+}  // namespace
+
+std::size_t deduplicate(std::vector<DigestedPeptide>& peptides) {
+  return stable_dedup(peptides,
+                      [](const DigestedPeptide& p) -> const std::string& {
+                        return p.sequence;
+                      });
+}
+
+std::size_t deduplicate(std::vector<std::string>& sequences) {
+  return stable_dedup(sequences,
+                      [](const std::string& s) -> const std::string& {
+                        return s;
+                      });
+}
+
+}  // namespace lbe::digest

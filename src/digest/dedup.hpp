@@ -1,0 +1,23 @@
+// Duplicate-peptide removal (the paper's DBToolkit step).
+//
+// Shotgun databases contain the same tryptic peptide from many homologous
+// proteins; the index must carry each sequence once. `deduplicate` keeps the
+// first occurrence (stable), which matches DBToolkit's behaviour and keeps
+// protein attribution deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "digest/digestor.hpp"
+
+namespace lbe::digest {
+
+/// Removes later duplicates of equal sequences, preserving first-seen order.
+/// Returns the number of duplicates dropped.
+std::size_t deduplicate(std::vector<DigestedPeptide>& peptides);
+
+/// Sequence-only convenience overload used by the LBE grouping pipeline.
+std::size_t deduplicate(std::vector<std::string>& sequences);
+
+}  // namespace lbe::digest

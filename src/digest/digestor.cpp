@@ -1,0 +1,69 @@
+#include "digest/digestor.hpp"
+
+#include "chem/amino_acid.hpp"
+#include "common/error.hpp"
+
+namespace lbe::digest {
+
+void DigestionParams::validate() const {
+  if (min_length == 0 || min_length > max_length) {
+    throw ConfigError("digestion: need 0 < min_length <= max_length");
+  }
+  if (min_mass < 0.0 || min_mass > max_mass) {
+    throw ConfigError("digestion: need 0 <= min_mass <= max_mass");
+  }
+}
+
+std::vector<DigestedPeptide> digest_protein(std::string_view protein,
+                                            std::uint32_t protein_id,
+                                            const Enzyme& enzyme,
+                                            const DigestionParams& params) {
+  params.validate();
+  std::vector<DigestedPeptide> out;
+  if (protein.empty()) return out;
+
+  // Fragment boundaries: [0, s1+1, s2+1, ..., len] where s* are cleavage
+  // sites. Fully-enzymatic peptides are unions of <= missed+1 consecutive
+  // fragments.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (const std::size_t site : enzyme.sites(protein)) {
+    bounds.push_back(site + 1);
+  }
+  bounds.push_back(protein.size());
+
+  const std::size_t fragments = bounds.size() - 1;
+  for (std::size_t first = 0; first < fragments; ++first) {
+    for (std::uint32_t missed = 0;
+         missed <= params.missed_cleavages && first + missed < fragments;
+         ++missed) {
+      const std::size_t begin = bounds[first];
+      const std::size_t end = bounds[first + missed + 1];
+      const std::size_t len = end - begin;
+      if (len < params.min_length) continue;
+      if (len > params.max_length) break;  // longer spans only grow
+      const std::string_view pep = protein.substr(begin, len);
+      const Mass m = chem::peptide_mass(pep);
+      if (m < params.min_mass || m > params.max_mass) continue;
+      out.push_back(DigestedPeptide{std::string(pep), protein_id,
+                                    static_cast<std::uint32_t>(begin), missed});
+    }
+  }
+  return out;
+}
+
+std::vector<DigestedPeptide> digest_database(
+    const std::vector<io::FastaRecord>& records, const Enzyme& enzyme,
+    const DigestionParams& params) {
+  std::vector<DigestedPeptide> out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto peptides = digest_protein(records[i].sequence,
+                                   static_cast<std::uint32_t>(i), enzyme,
+                                   params);
+    out.insert(out.end(), std::make_move_iterator(peptides.begin()),
+               std::make_move_iterator(peptides.end()));
+  }
+  return out;
+}
+
+}  // namespace lbe::digest

@@ -1,0 +1,48 @@
+// In-silico protein digestion (the paper's "Digestor [32]" step).
+//
+// Produces fully-enzymatic peptides with up to `missed_cleavages` internal
+// sites, filtered by length and neutral mass — the exact settings of §V-A:
+// fully tryptic, ≤ 2 missed cleavages, length 6–40, mass 100–5000 Da.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "digest/enzyme.hpp"
+#include "io/fasta.hpp"
+
+namespace lbe::digest {
+
+struct DigestionParams {
+  std::uint32_t missed_cleavages = 2;
+  std::uint32_t min_length = 6;
+  std::uint32_t max_length = 40;
+  Mass min_mass = 100.0;
+  Mass max_mass = 5000.0;
+
+  /// Throws ConfigError on inconsistent windows.
+  void validate() const;
+};
+
+/// One digestion product; `protein` indexes the input record list.
+struct DigestedPeptide {
+  std::string sequence;
+  std::uint32_t protein = 0;
+  std::uint32_t start = 0;            ///< offset within the protein
+  std::uint32_t missed_cleavages = 0;
+};
+
+/// Digests one protein sequence. Deterministic, ordered by (start, length).
+std::vector<DigestedPeptide> digest_protein(std::string_view protein,
+                                            std::uint32_t protein_id,
+                                            const Enzyme& enzyme,
+                                            const DigestionParams& params);
+
+/// Digests a whole FASTA database in record order.
+std::vector<DigestedPeptide> digest_database(
+    const std::vector<io::FastaRecord>& records, const Enzyme& enzyme,
+    const DigestionParams& params);
+
+}  // namespace lbe::digest

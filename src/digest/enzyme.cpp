@@ -1,0 +1,50 @@
+#include "digest/enzyme.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace lbe::digest {
+
+std::vector<std::size_t> Enzyme::sites(std::string_view seq) const {
+  std::vector<std::size_t> out;
+  if (seq.empty()) return out;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    if (cleaves_after(seq, i)) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+const std::array<Enzyme, 6>& builtin_enzymes() {
+  static const std::array<Enzyme, 6> kEnzymes = {{
+      {"trypsin", "KR", "P"},
+      {"trypsin/p", "KR", ""},  // ignores proline blocking
+      {"lys-c", "K", ""},
+      {"arg-c", "R", ""},
+      {"chymotrypsin", "FWY", "P"},
+      {"glu-c", "E", ""},
+  }};
+  return kEnzymes;
+}
+
+}  // namespace
+
+const Enzyme& enzyme_by_name(std::string_view name) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (const char c : name) {
+    lowered += static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  for (const auto& enzyme : builtin_enzymes()) {
+    if (enzyme.name == lowered) return enzyme;
+  }
+  throw ConfigError("unknown enzyme: " + std::string(name));
+}
+
+const Enzyme& trypsin() { return builtin_enzymes()[0]; }
+
+}  // namespace lbe::digest

@@ -1,0 +1,42 @@
+// Proteolytic enzymes and their cleavage rules.
+//
+// A rule is "cleave C-terminally of residues in `cut_after` unless the next
+// residue is in `block_next`" — the classic Keil notation subset that covers
+// the enzymes used in shotgun proteomics. The paper digests with trypsin
+// (cut after K/R, blocked by following P).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbe::digest {
+
+struct Enzyme {
+  std::string name;
+  std::string cut_after;   ///< residues whose C-terminal bond is cleaved
+  std::string block_next;  ///< cleavage suppressed if next residue is here
+
+  /// True if the bond between seq[i] and seq[i+1] is cleaved.
+  bool cleaves_after(std::string_view seq, std::size_t i) const noexcept {
+    if (cut_after.find(seq[i]) == std::string::npos) return false;
+    if (i + 1 < seq.size() &&
+        block_next.find(seq[i + 1]) != std::string::npos) {
+      return false;
+    }
+    return true;
+  }
+
+  /// All cleavage-site indices: position i means "cut between i and i+1".
+  std::vector<std::size_t> sites(std::string_view seq) const;
+};
+
+/// Looks up a built-in enzyme by case-insensitive name
+/// (trypsin, trypsin/p, lys-c, arg-c, chymotrypsin, glu-c);
+/// throws ConfigError for unknown names.
+const Enzyme& enzyme_by_name(std::string_view name);
+
+/// Fully-tryptic rule used throughout the paper.
+const Enzyme& trypsin();
+
+}  // namespace lbe::digest

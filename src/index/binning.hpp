@@ -1,0 +1,61 @@
+// m/z discretization for the ion index.
+//
+// SLM-Transform quantizes fragment m/z at resolution r (paper: r = 0.01 Da)
+// and stores postings per bin. All tolerance arithmetic then happens in
+// integer bin space, which is what makes the query loop branch-light.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace lbe::index {
+
+using MzBin = std::uint32_t;
+
+class Binning {
+ public:
+  /// `resolution` in Da per bin; `max_mz` caps the indexed range (fragments
+  /// above it are dropped, matching SLM's bounded ion array).
+  Binning(double resolution, Mz max_mz)
+      : resolution_(resolution), max_mz_(max_mz) {
+    LBE_CHECK(resolution > 0.0, "resolution must be positive");
+    LBE_CHECK(max_mz > resolution, "max_mz must exceed one bin");
+  }
+
+  double resolution() const noexcept { return resolution_; }
+  Mz max_mz() const noexcept { return max_mz_; }
+
+  /// Total number of bins; valid bins are [0, num_bins()).
+  MzBin num_bins() const noexcept {
+    return static_cast<MzBin>(max_mz_ / resolution_) + 1;
+  }
+
+  /// True if `mz` falls inside the indexed range.
+  bool in_range(Mz mz) const noexcept {
+    return mz >= 0.0 && mz <= max_mz_;
+  }
+
+  /// Bin of `mz`. Precondition: in_range(mz).
+  MzBin bin(Mz mz) const noexcept {
+    return static_cast<MzBin>(mz / resolution_);
+  }
+
+  /// Width of a mass tolerance window in bins (rounded up, >= 0).
+  MzBin tolerance_bins(double tolerance_da) const noexcept {
+    if (tolerance_da <= 0.0) return 0;
+    return static_cast<MzBin>(tolerance_da / resolution_ + 0.5);
+  }
+
+  /// Center m/z of a bin (for diagnostics).
+  Mz bin_center(MzBin b) const noexcept {
+    return (static_cast<double>(b) + 0.5) * resolution_;
+  }
+
+ private:
+  double resolution_;
+  Mz max_mz_;
+};
+
+}  // namespace lbe::index

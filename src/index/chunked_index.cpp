@@ -1,0 +1,173 @@
+#include "index/chunked_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+
+namespace lbe::index {
+
+ChunkedIndex::ChunkedIndex(PeptideStore store,
+                           const chem::ModificationSet& mods,
+                           const IndexParams& index_params,
+                           const ChunkingParams& chunking)
+    : store_(std::move(store)), mods_(&mods), index_params_(index_params) {
+  const std::size_t n = store_.size();
+  if (n == 0) return;
+
+  const std::vector<LocalPeptideId> by_mass = store_.ids_by_mass();
+  const std::size_t chunk_cap =
+      chunking.max_chunk_entries == 0 ? n : chunking.max_chunk_entries;
+  LBE_CHECK(chunk_cap > 0, "chunk capacity must be positive");
+
+  for (std::size_t begin = 0; begin < n; begin += chunk_cap) {
+    const std::size_t end = std::min(begin + chunk_cap, n);
+    const std::span<const LocalPeptideId> subset(by_mass.data() + begin,
+                                                 end - begin);
+    Chunk chunk;
+    chunk.mass_lo = store_.mass(subset.front());
+    chunk.mass_hi = store_.mass(subset.back());
+    chunk.index =
+        std::make_unique<SlmIndex>(store_, mods, index_params, subset);
+    chunks_.push_back(std::move(chunk));
+  }
+}
+
+std::uint64_t ChunkedIndex::num_postings() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.index->num_postings();
+  return total;
+}
+
+std::pair<Mass, Mass> ChunkedIndex::chunk_mass_range(std::size_t c) const {
+  LBE_CHECK(c < chunks_.size(), "chunk id out of range");
+  return {chunks_[c].mass_lo, chunks_[c].mass_hi};
+}
+
+std::size_t ChunkedIndex::chunks_for_window(Mass query_mass,
+                                            double tolerance) const {
+  if (!(tolerance < std::numeric_limits<double>::infinity())) {
+    return chunks_.size();
+  }
+  std::size_t touched = 0;
+  for (const auto& chunk : chunks_) {
+    if (chunk.mass_lo - tolerance <= query_mass &&
+        query_mass <= chunk.mass_hi + tolerance) {
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+void ChunkedIndex::query(const chem::Spectrum& spectrum,
+                         const QueryParams& params,
+                         std::vector<Candidate>& out, QueryWork& work) const {
+  const bool open =
+      !(params.precursor_tolerance < std::numeric_limits<double>::infinity());
+  const Mass query_mass = spectrum.precursor.neutral_mass;
+  for (const auto& chunk : chunks_) {
+    if (!open) {
+      if (chunk.mass_lo - params.precursor_tolerance > query_mass ||
+          query_mass > chunk.mass_hi + params.precursor_tolerance) {
+        continue;
+      }
+    }
+    chunk.index->query(spectrum, params, out, work);
+  }
+}
+
+std::uint64_t ChunkedIndex::memory_bytes() const noexcept {
+  std::uint64_t total = store_.memory_bytes();
+  for (const auto& chunk : chunks_) total += chunk.index->memory_bytes();
+  return total;
+}
+
+namespace {
+constexpr std::uint32_t kIndexMagic = 0x4C424549;  // "LBEI"
+constexpr std::uint32_t kIndexVersion = 1;
+}  // namespace
+
+ChunkedIndex::ChunkedIndex(PeptideStore store,
+                           const chem::ModificationSet& mods,
+                           const IndexParams& index_params, std::nullptr_t)
+    : store_(std::move(store)), mods_(&mods), index_params_(index_params) {}
+
+void ChunkedIndex::save(std::ostream& out) const {
+  bin::write_pod(out, kIndexMagic);
+  bin::write_pod(out, kIndexVersion);
+  bin::write_pod(out, index_params_.resolution);
+  bin::write_pod(out, index_params_.max_fragment_mz);
+  store_.save(out);
+  bin::write_pod(out, static_cast<std::uint64_t>(chunks_.size()));
+  for (const auto& chunk : chunks_) {
+    bin::write_pod(out, chunk.mass_lo);
+    bin::write_pod(out, chunk.mass_hi);
+    chunk.index->save(out);
+  }
+}
+
+std::unique_ptr<ChunkedIndex> ChunkedIndex::load(
+    std::istream& in, const chem::ModificationSet& mods,
+    const IndexParams& index_params) {
+  if (bin::read_pod<std::uint32_t>(in) != kIndexMagic) {
+    throw IoError("not an LBE index file (bad magic)");
+  }
+  if (bin::read_pod<std::uint32_t>(in) != kIndexVersion) {
+    throw IoError("unsupported LBE index version");
+  }
+  const auto resolution = bin::read_pod<double>(in);
+  const auto max_mz = bin::read_pod<Mz>(in);
+  if (resolution != index_params.resolution ||
+      max_mz != index_params.max_fragment_mz) {
+    throw IoError("index file was built with different IndexParams");
+  }
+
+  PeptideStore store = PeptideStore::load(in, &mods);
+  // Adopt via the non-building constructor; chunks reference the member
+  // store, whose address is stable behind the unique_ptr.
+  std::unique_ptr<ChunkedIndex> index(
+      new ChunkedIndex(std::move(store), mods, index_params, nullptr));
+  const auto chunk_count = bin::read_pod<std::uint64_t>(in);
+  if (chunk_count > bin::kMaxElements) {
+    throw IoError("corrupt index: implausible chunk count");
+  }
+  for (std::uint64_t c = 0; c < chunk_count; ++c) {
+    Chunk chunk;
+    chunk.mass_lo = bin::read_pod<Mass>(in);
+    chunk.mass_hi = bin::read_pod<Mass>(in);
+    chunk.index = std::make_unique<SlmIndex>(
+        SlmIndex::load(in, index->store_, mods, index_params));
+    index->chunks_.push_back(std::move(chunk));
+  }
+  return index;
+}
+
+void ChunkedIndex::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open index file for writing: " + path);
+  save(out);
+  if (!out) throw IoError("index write failed: " + path);
+}
+
+std::unique_ptr<ChunkedIndex> ChunkedIndex::load_file(
+    const std::string& path, const chem::ModificationSet& mods,
+    const IndexParams& index_params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open index file: " + path);
+  return load(in, mods, index_params);
+}
+
+std::vector<std::uint32_t> ChunkedIndex::bin_occupancy() const {
+  std::vector<std::uint32_t> total(index_params_.binning().num_bins(), 0);
+  for (const auto& chunk : chunks_) {
+    const auto occupancy = chunk.index->bin_occupancy();
+    for (std::size_t b = 0; b < occupancy.size(); ++b) {
+      total[b] += occupancy[b];
+    }
+  }
+  return total;
+}
+
+}  // namespace lbe::index

@@ -1,0 +1,66 @@
+#include "index/mapping_table.hpp"
+
+#include "common/error.hpp"
+
+namespace lbe::index {
+
+MappingTable::MappingTable(
+    const std::vector<std::vector<GlobalPeptideId>>& per_rank) {
+  std::size_t total = 0;
+  for (const auto& rank_ids : per_rank) total += rank_ids.size();
+
+  flat_.reserve(total);
+  offsets_.reserve(per_rank.size() + 1);
+  inv_rank_.assign(total, 0xFFFFFFFFu);
+  inv_local_.assign(total, kInvalidPeptideId);
+
+  for (std::size_t rank = 0; rank < per_rank.size(); ++rank) {
+    for (std::size_t local = 0; local < per_rank[rank].size(); ++local) {
+      const GlobalPeptideId global = per_rank[rank][local];
+      LBE_CHECK(global < total, "global peptide id out of range");
+      LBE_CHECK(inv_rank_[global] == 0xFFFFFFFFu,
+                "global peptide id assigned to two ranks");
+      inv_rank_[global] = static_cast<std::uint32_t>(rank);
+      inv_local_[global] = static_cast<LocalPeptideId>(local);
+      flat_.push_back(global);
+    }
+    offsets_.push_back(flat_.size());
+  }
+  // Every global id must have been claimed exactly once.
+  for (std::size_t g = 0; g < total; ++g) {
+    LBE_CHECK(inv_rank_[g] != 0xFFFFFFFFu, "unassigned global peptide id");
+  }
+}
+
+std::size_t MappingTable::rank_count(RankId rank) const {
+  LBE_CHECK(rank >= 0 && rank < num_ranks(), "rank out of range");
+  const auto r = static_cast<std::size_t>(rank);
+  return offsets_[r + 1] - offsets_[r];
+}
+
+GlobalPeptideId MappingTable::to_global(RankId rank,
+                                        LocalPeptideId local) const {
+  LBE_CHECK(rank >= 0 && rank < num_ranks(), "rank out of range");
+  const auto r = static_cast<std::size_t>(rank);
+  LBE_CHECK(local < offsets_[r + 1] - offsets_[r], "local id out of range");
+  return flat_[offsets_[r] + local];
+}
+
+RankId MappingTable::rank_of(GlobalPeptideId global) const {
+  LBE_CHECK(global < flat_.size(), "global id out of range");
+  return static_cast<RankId>(inv_rank_[global]);
+}
+
+LocalPeptideId MappingTable::local_of(GlobalPeptideId global) const {
+  LBE_CHECK(global < flat_.size(), "global id out of range");
+  return inv_local_[global];
+}
+
+std::uint64_t MappingTable::memory_bytes() const noexcept {
+  return offsets_.capacity() * sizeof(std::uint64_t) +
+         flat_.capacity() * sizeof(GlobalPeptideId) +
+         inv_rank_.capacity() * sizeof(std::uint32_t) +
+         inv_local_.capacity() * sizeof(LocalPeptideId);
+}
+
+}  // namespace lbe::index

@@ -1,0 +1,49 @@
+// Master-side mapping from (rank, local peptide id) to global peptide id.
+//
+// The paper (§III-D): "The mapping table is a simple array of size N where
+// each i-th chunk of array of size N/p contains the indices of peptide index
+// entries mapped to machine i" — lookup is one memory access. Ranks may own
+// unequal counts (N % p != 0, or group-aware policies), so we keep an offset
+// array alongside the flat id array; lookup stays O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbe::index {
+
+class MappingTable {
+ public:
+  MappingTable() = default;
+
+  /// `per_rank[m][l]` = global id of rank m's local peptide l.
+  /// Throws InvariantError if any global id appears twice or the union is
+  /// not exactly {0..N-1}.
+  explicit MappingTable(
+      const std::vector<std::vector<GlobalPeptideId>>& per_rank);
+
+  int num_ranks() const noexcept { return static_cast<int>(offsets_.size()) - 1; }
+  std::size_t total_peptides() const noexcept { return flat_.size(); }
+  std::size_t rank_count(RankId rank) const;
+
+  /// O(1): the paper's single-memory-access lookup.
+  GlobalPeptideId to_global(RankId rank, LocalPeptideId local) const;
+
+  /// Inverse lookups (O(1), via precomputed inverse arrays).
+  RankId rank_of(GlobalPeptideId global) const;
+  LocalPeptideId local_of(GlobalPeptideId global) const;
+
+  /// Heap bytes (this is the distributed implementation's master-side memory
+  /// overhead accounted in Fig. 5).
+  std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> offsets_{0};  ///< per-rank start into flat_
+  std::vector<GlobalPeptideId> flat_;      ///< the paper's size-N array
+  std::vector<std::uint32_t> inv_rank_;    ///< global -> rank
+  std::vector<LocalPeptideId> inv_local_;  ///< global -> local
+};
+
+}  // namespace lbe::index

@@ -1,0 +1,107 @@
+#include "index/peptide_store.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+
+namespace lbe::index {
+
+LocalPeptideId PeptideStore::add(const chem::Peptide& peptide,
+                                 const chem::ModificationSet& mods) {
+  LBE_CHECK(size() < kInvalidPeptideId, "peptide store full");
+  arena_.append(peptide.sequence());
+  offsets_.push_back(arena_.size());
+  for (const auto& site : peptide.sites()) sites_.push_back(site);
+  site_offsets_.push_back(sites_.size());
+  masses_.push_back(peptide.mass(mods));
+  if (mods_ == nullptr) mods_ = &mods;
+  return static_cast<LocalPeptideId>(size() - 1);
+}
+
+void PeptideStore::reserve(std::size_t n, std::size_t avg_len) {
+  arena_.reserve(n * avg_len);
+  offsets_.reserve(n + 1);
+  site_offsets_.reserve(n + 1);
+  masses_.reserve(n);
+}
+
+PeptideView PeptideStore::view(LocalPeptideId id) const {
+  LBE_CHECK(id < size(), "peptide id out of range");
+  PeptideView v;
+  const std::uint64_t begin = offsets_[id];
+  const std::uint64_t end = offsets_[id + 1];
+  v.sequence = std::string_view(arena_).substr(begin, end - begin);
+  const std::uint64_t site_begin = site_offsets_[id];
+  const std::uint64_t site_end = site_offsets_[id + 1];
+  v.sites = sites_.data() + site_begin;
+  v.site_count = static_cast<std::uint32_t>(site_end - site_begin);
+  v.mass = masses_[id];
+  return v;
+}
+
+chem::Peptide PeptideStore::materialize(LocalPeptideId id) const {
+  const PeptideView v = view(id);
+  LBE_CHECK(mods_ != nullptr, "store has no modification set");
+  std::vector<chem::ModSite> sites(v.sites, v.sites + v.site_count);
+  return chem::Peptide(std::string(v.sequence), std::move(sites), *mods_);
+}
+
+std::uint64_t PeptideStore::memory_bytes() const noexcept {
+  return arena_.capacity() +
+         offsets_.capacity() * sizeof(std::uint64_t) +
+         sites_.capacity() * sizeof(chem::ModSite) +
+         site_offsets_.capacity() * sizeof(std::uint64_t) +
+         masses_.capacity() * sizeof(Mass);
+}
+
+void PeptideStore::save(std::ostream& out) const {
+  bin::write_string(out, arena_);
+  bin::write_vector(out, offsets_);
+  bin::write_vector(out, sites_);
+  bin::write_vector(out, site_offsets_);
+  bin::write_vector(out, masses_);
+}
+
+PeptideStore PeptideStore::load(std::istream& in,
+                                const chem::ModificationSet* mods) {
+  PeptideStore store(mods);
+  store.arena_ = bin::read_string(in);
+  store.offsets_ = bin::read_vector<std::uint64_t>(in);
+  store.sites_ = bin::read_vector<chem::ModSite>(in);
+  store.site_offsets_ = bin::read_vector<std::uint64_t>(in);
+  store.masses_ = bin::read_vector<Mass>(in);
+  // Structural validation: CSR invariants must hold or lookups would read
+  // out of bounds later.
+  LBE_CHECK(!store.offsets_.empty() && store.offsets_.front() == 0 &&
+                store.offsets_.back() == store.arena_.size(),
+            "corrupt peptide store: sequence offsets");
+  LBE_CHECK(store.site_offsets_.size() == store.offsets_.size() &&
+                store.site_offsets_.front() == 0 &&
+                store.site_offsets_.back() == store.sites_.size(),
+            "corrupt peptide store: site offsets");
+  LBE_CHECK(store.masses_.size() == store.offsets_.size() - 1,
+            "corrupt peptide store: mass column");
+  for (std::size_t i = 1; i < store.offsets_.size(); ++i) {
+    LBE_CHECK(store.offsets_[i] >= store.offsets_[i - 1] &&
+                  store.site_offsets_[i] >= store.site_offsets_[i - 1],
+              "corrupt peptide store: non-monotone offsets");
+  }
+  return store;
+}
+
+std::vector<LocalPeptideId> PeptideStore::ids_by_mass() const {
+  std::vector<LocalPeptideId> ids(size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<LocalPeptideId>(i);
+  }
+  std::sort(ids.begin(), ids.end(), [this](LocalPeptideId a, LocalPeptideId b) {
+    if (masses_[a] != masses_[b]) return masses_[a] < masses_[b];
+    return a < b;  // stable tie-break keeps runs deterministic
+  });
+  return ids;
+}
+
+}  // namespace lbe::index

@@ -1,0 +1,75 @@
+// Compact columnar storage for the peptide entries behind one index.
+//
+// Sequences live in one arena string with a CSR offset array; modification
+// sites use a second CSR. Precursor masses are precomputed once. This is
+// the structure whose bytes Fig. 5 accounts: per entry it costs
+// len(seq) + 8 (offsets amortized) + 8 (mass) + 4*sites bytes, far below a
+// per-peptide std::string.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chem/modification.hpp"
+#include "chem/peptide.hpp"
+#include "common/types.hpp"
+
+namespace lbe::index {
+
+/// Lightweight non-owning view of one stored peptide entry.
+struct PeptideView {
+  std::string_view sequence;
+  const chem::ModSite* sites = nullptr;
+  std::uint32_t site_count = 0;
+  Mass mass = 0.0;
+
+  bool modified() const noexcept { return site_count > 0; }
+};
+
+class PeptideStore {
+ public:
+  explicit PeptideStore(const chem::ModificationSet* mods = nullptr)
+      : mods_(mods) {}
+
+  /// Appends an entry; returns its local id (dense, 0-based).
+  LocalPeptideId add(const chem::Peptide& peptide,
+                     const chem::ModificationSet& mods);
+
+  /// Bulk-reserve for `n` entries of ~`avg_len` residues.
+  void reserve(std::size_t n, std::size_t avg_len = 16);
+
+  std::size_t size() const noexcept { return offsets_.size() - 1; }
+  bool empty() const noexcept { return size() == 0; }
+
+  PeptideView view(LocalPeptideId id) const;
+
+  /// Reconstructs a full Peptide value (allocates; for result reporting).
+  chem::Peptide materialize(LocalPeptideId id) const;
+
+  Mass mass(LocalPeptideId id) const { return masses_[id]; }
+
+  /// Exact heap bytes held by the store (Fig. 5 accounting).
+  std::uint64_t memory_bytes() const noexcept;
+
+  /// Ids sorted by ascending precursor mass (for chunking, Fig. 1 scheme).
+  std::vector<LocalPeptideId> ids_by_mass() const;
+
+  /// Binary serialization (the paper's disk-resident chunks, §II-B): the
+  /// store's columns dump verbatim; the modification set is NOT serialized
+  /// (pass the same one to load — mod ids must mean the same thing).
+  void save(std::ostream& out) const;
+  static PeptideStore load(std::istream& in, const chem::ModificationSet* mods);
+
+ private:
+  const chem::ModificationSet* mods_;
+  std::string arena_;
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<chem::ModSite> sites_;
+  std::vector<std::uint64_t> site_offsets_{0};
+  std::vector<Mass> masses_;
+};
+
+}  // namespace lbe::index

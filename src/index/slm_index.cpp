@@ -1,0 +1,209 @@
+#include "index/slm_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+
+namespace lbe::index {
+
+SlmIndex::SlmIndex(const PeptideStore& store,
+                   const chem::ModificationSet& mods,
+                   const IndexParams& params)
+    : SlmIndex(store, mods, params, std::span<const LocalPeptideId>{}) {}
+
+SlmIndex::SlmIndex(const PeptideStore& store,
+                   const chem::ModificationSet& mods,
+                   const IndexParams& params,
+                   std::span<const LocalPeptideId> subset)
+    : store_(&store), mods_(&mods), params_(params),
+      binning_(params.binning()) {
+  // Materialize the id list: empty subset means "all".
+  std::vector<LocalPeptideId> ids;
+  if (subset.empty()) {
+    ids.resize(store.size());
+    std::iota(ids.begin(), ids.end(), LocalPeptideId{0});
+  } else {
+    ids.assign(subset.begin(), subset.end());
+    for (const LocalPeptideId id : ids) {
+      LBE_CHECK(id < store.size(), "subset id out of range");
+    }
+  }
+
+  // Pass 1: count postings per bin. (bin, id) pairs are never materialized;
+  // two passes over the fragment generator trade CPU for peak memory, which
+  // is the SLM-Transform design point (the paper's §V-B temporary-footprint
+  // discussion is about engines that do materialize).
+  const MzBin num_bins = binning_.num_bins();
+  std::vector<std::uint64_t> counts(num_bins, 0);
+  auto for_each_fragment = [&](LocalPeptideId id, auto&& fn) {
+    const chem::Peptide peptide = store_->materialize(id);
+    for (const auto& fragment :
+         theospec::fragment_peptide(peptide, *mods_, params_.fragments)) {
+      if (!binning_.in_range(fragment.mz)) continue;
+      fn(binning_.bin(fragment.mz));
+    }
+  };
+  for (const LocalPeptideId id : ids) {
+    for_each_fragment(id, [&](MzBin bin) { ++counts[bin]; });
+  }
+
+  std::uint64_t running = 0;
+  for (MzBin b = 0; b < num_bins; ++b) running += counts[b];
+  LBE_CHECK(running < 0xFFFFFFFFull,
+            "partition exceeds the 32-bit ion-index limit (paper §III-D): "
+            "split the data over more ranks or enable chunking");
+
+  bin_offsets_.assign(num_bins + 1, 0);
+  std::uint32_t offset = 0;
+  for (MzBin b = 0; b < num_bins; ++b) {
+    bin_offsets_[b] = offset;
+    offset += static_cast<std::uint32_t>(counts[b]);
+  }
+  bin_offsets_[num_bins] = offset;
+
+  // Pass 2: fill postings via per-bin write cursors.
+  postings_.assign(offset, 0);
+  std::vector<std::uint32_t> cursor(bin_offsets_.begin(),
+                                    bin_offsets_.end() - 1);
+  for (const LocalPeptideId id : ids) {
+    for_each_fragment(id, [&](MzBin bin) { postings_[cursor[bin]++] = id; });
+  }
+
+  // Secondary order inside each bin: parent precursor mass, then id — the
+  // Fig. 1 sort that keeps precursor-window scans contiguous. Iterating ids
+  // in input order already yields id order; re-sort by (mass, id).
+  for (MzBin b = 0; b < num_bins; ++b) {
+    const auto begin = postings_.begin() +
+                       static_cast<std::ptrdiff_t>(bin_offsets_[b]);
+    const auto end = postings_.begin() +
+                     static_cast<std::ptrdiff_t>(bin_offsets_[b + 1]);
+    std::sort(begin, end, [this](LocalPeptideId a, LocalPeptideId b2) {
+      const Mass ma = store_->mass(a);
+      const Mass mb = store_->mass(b2);
+      if (ma != mb) return ma < mb;
+      return a < b2;
+    });
+  }
+}
+
+void SlmIndex::query(const chem::Spectrum& spectrum,
+                     const QueryParams& params, std::vector<Candidate>& out,
+                     QueryWork& work) const {
+  const std::size_t n = store_->size();
+  if (stamp_.size() != n) {
+    stamp_.assign(n, 0);
+    count_.assign(n, 0);
+    intensity_.assign(n, 0.0f);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {  // 32-bit wrap: restamp and continue
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+
+  const std::uint16_t threshold =
+      static_cast<std::uint16_t>(std::max<std::uint32_t>(
+          1, params.shared_peak_min));
+  const MzBin tol_bins = binning_.tolerance_bins(params.fragment_tolerance);
+  const MzBin last_bin = binning_.num_bins() - 1;
+
+  std::vector<LocalPeptideId> reached;  // crossed the threshold
+  for (std::size_t peak = 0; peak < spectrum.size(); ++peak) {
+    const Mz mz = spectrum.mz(peak);
+    if (!binning_.in_range(mz)) continue;
+    ++work.peaks_processed;
+    const float peak_intensity = spectrum.intensity(peak);
+    const MzBin center = binning_.bin(mz);
+    const MzBin lo = center > tol_bins ? center - tol_bins : 0;
+    const MzBin hi = std::min<MzBin>(center + tol_bins, last_bin);
+    for (MzBin b = lo; b <= hi; ++b) {
+      ++work.bins_visited;
+      const std::uint32_t begin = bin_offsets_[b];
+      const std::uint32_t end = bin_offsets_[b + 1];
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const LocalPeptideId pep = postings_[i];
+        ++work.postings_touched;
+        if (stamp_[pep] != epoch_) {
+          stamp_[pep] = epoch_;
+          count_[pep] = 0;
+          intensity_[pep] = 0.0f;
+        }
+        intensity_[pep] += peak_intensity;
+        if (++count_[pep] == threshold) reached.push_back(pep);
+      }
+    }
+  }
+
+  // Finalize candidates; apply the precursor window unless open search.
+  const bool filter_precursor =
+      params.precursor_tolerance < std::numeric_limits<double>::infinity();
+  const Mass query_mass = spectrum.precursor.neutral_mass;
+  for (const LocalPeptideId pep : reached) {
+    if (filter_precursor) {
+      if (std::abs(store_->mass(pep) - query_mass) >
+          params.precursor_tolerance) {
+        continue;
+      }
+    }
+    out.push_back(Candidate{pep, count_[pep], intensity_[pep]});
+    ++work.candidates;
+  }
+}
+
+std::uint64_t SlmIndex::memory_bytes() const noexcept {
+  return bin_offsets_.capacity() * sizeof(std::uint32_t) +
+         postings_.capacity() * sizeof(LocalPeptideId) +
+         stamp_.capacity() * sizeof(std::uint32_t) +
+         count_.capacity() * sizeof(std::uint16_t) +
+         intensity_.capacity() * sizeof(float);
+}
+
+SlmIndex::SlmIndex(const PeptideStore& store,
+                   const chem::ModificationSet& mods,
+                   const IndexParams& params, std::nullptr_t)
+    : store_(&store), mods_(&mods), params_(params),
+      binning_(params.binning()) {}
+
+void SlmIndex::save(std::ostream& out) const {
+  bin::write_vector(out, bin_offsets_);
+  bin::write_vector(out, postings_);
+}
+
+SlmIndex SlmIndex::load(std::istream& in, const PeptideStore& store,
+                        const chem::ModificationSet& mods,
+                        const IndexParams& params) {
+  SlmIndex index(store, mods, params, nullptr);
+  index.bin_offsets_ = bin::read_vector<std::uint32_t>(in);
+  index.postings_ = bin::read_vector<LocalPeptideId>(in);
+  LBE_CHECK(index.bin_offsets_.size() ==
+                std::size_t{index.binning_.num_bins()} + 1,
+            "corrupt index: bin count mismatch (different IndexParams?)");
+  LBE_CHECK(!index.bin_offsets_.empty() &&
+                index.bin_offsets_.back() == index.postings_.size(),
+            "corrupt index: postings size mismatch");
+  for (std::size_t b = 1; b < index.bin_offsets_.size(); ++b) {
+    LBE_CHECK(index.bin_offsets_[b] >= index.bin_offsets_[b - 1],
+              "corrupt index: non-monotone bin offsets");
+  }
+  for (const LocalPeptideId id : index.postings_) {
+    LBE_CHECK(id < store.size(), "corrupt index: posting out of range");
+  }
+  return index;
+}
+
+std::vector<std::uint32_t> SlmIndex::bin_occupancy() const {
+  std::vector<std::uint32_t> occupancy(binning_.num_bins());
+  for (MzBin b = 0; b < occupancy.size(); ++b) {
+    occupancy[b] =
+        static_cast<std::uint32_t>(bin_offsets_[b + 1] - bin_offsets_[b]);
+  }
+  return occupancy;
+}
+
+}  // namespace lbe::index

@@ -1,0 +1,94 @@
+#include "io/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "chem/amino_acid.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace lbe::io {
+
+namespace {
+
+void append_sequence_line(FastaRecord& record, std::string_view line,
+                          const std::string& origin, std::size_t line_no) {
+  for (char c : line) {
+    if (c == '*') continue;  // stop codon marker, common in translated DBs
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (!chem::is_residue(c)) {
+      throw ParseError(origin, line_no,
+                       std::string("invalid residue '") + c + "' in record '" +
+                           record.header + "'");
+    }
+    record.sequence += c;
+  }
+}
+
+}  // namespace
+
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const std::string& origin) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_record = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = str::trim(line);
+    if (view.empty()) continue;
+    if (view.front() == '>') {
+      records.push_back(FastaRecord{std::string(str::trim(view.substr(1))), ""});
+      in_record = true;
+    } else if (view.front() == ';') {
+      continue;  // legacy comment lines
+    } else {
+      if (!in_record) {
+        throw ParseError(origin, line_no, "sequence data before first header");
+      }
+      append_sequence_line(records.back(), view, origin, line_no);
+    }
+  }
+  for (const auto& record : records) {
+    if (record.sequence.empty()) {
+      throw ParseError(origin, line_no,
+                       "record '" + record.header + "' has no sequence");
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  return read_fasta(in, path);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  for (const auto& record : records) {
+    out << '>' << record.header << '\n';
+    if (line_width == 0) {
+      out << record.sequence << '\n';
+      continue;
+    }
+    for (std::size_t pos = 0; pos < record.sequence.size();
+         pos += line_width) {
+      out << std::string_view(record.sequence).substr(pos, line_width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, records, line_width);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace lbe::io

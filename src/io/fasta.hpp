@@ -1,0 +1,39 @@
+// FASTA reading/writing.
+//
+// Used in two roles mirroring the paper's pipeline:
+//   1. protein databases (input to in-silico digestion),
+//   2. "clustered databases" — peptide sequences concatenated group-by-group,
+//      the on-disk interchange format LBE's grouping step emits (§III-C.2).
+//
+// The reader is tolerant the way real proteomics tools must be: wrapped
+// sequence lines, CRLF, '*' stop codons (stripped), lower-case residues
+// (upper-cased). Unknown residue codes are rejected with file:line context.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbe::io {
+
+struct FastaRecord {
+  std::string header;    ///< text after '>' without the marker
+  std::string sequence;  ///< upper-cased, '*' stripped, validated
+};
+
+/// Parses an entire FASTA stream; throws ParseError with `origin` context.
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const std::string& origin = "<stream>");
+
+/// Opens and parses a file; throws IoError if unreadable.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Writes records wrapped at `line_width` characters (0 = single line).
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 60);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width = 60);
+
+}  // namespace lbe::io

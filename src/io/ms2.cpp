@@ -1,0 +1,155 @@
+#include "io/ms2.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace lbe::io {
+
+namespace {
+
+double require_double(std::string_view field, const std::string& origin,
+                      std::size_t line_no, const char* what) {
+  double out = 0.0;
+  if (!str::parse_double(field, out)) {
+    throw ParseError(origin, line_no,
+                     std::string("cannot parse ") + what + ": '" +
+                         std::string(field) + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Ms2File read_ms2(std::istream& in, const std::string& origin) {
+  Ms2File file;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_scan = false;
+
+  auto finish_current = [&] {
+    if (in_scan) file.spectra.back().finalize();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view view = str::trim(line);
+    if (view.empty()) continue;
+
+    switch (view.front()) {
+      case 'H': {
+        const auto fields = str::split_ws(view);
+        if (fields.size() >= 3) {
+          file.headers[std::string(fields[1])] = std::string(fields[2]);
+        } else if (fields.size() == 2) {
+          file.headers[std::string(fields[1])] = "";
+        }
+        break;
+      }
+      case 'S': {
+        finish_current();
+        const auto fields = str::split_ws(view);
+        if (fields.size() < 4) {
+          throw ParseError(origin, line_no,
+                           "S line needs: S first-scan last-scan precursor-mz");
+        }
+        chem::Spectrum spec;
+        std::uint64_t scan = 0;
+        if (!str::parse_u64(fields[1], scan)) {
+          throw ParseError(origin, line_no, "bad scan number");
+        }
+        spec.scan_id = static_cast<std::uint32_t>(scan);
+        spec.precursor.mz =
+            require_double(fields[3], origin, line_no, "precursor m/z");
+        file.spectra.push_back(std::move(spec));
+        in_scan = true;
+        break;
+      }
+      case 'Z': {
+        if (!in_scan) {
+          throw ParseError(origin, line_no, "Z line outside of a scan");
+        }
+        const auto fields = str::split_ws(view);
+        if (fields.size() < 3) {
+          throw ParseError(origin, line_no, "Z line needs: Z charge mass");
+        }
+        std::uint64_t z = 0;
+        if (!str::parse_u64(fields[1], z) || z > 255) {
+          throw ParseError(origin, line_no, "bad charge");
+        }
+        auto& precursor = file.spectra.back().precursor;
+        precursor.charge = static_cast<Charge>(z);
+        // Z stores the singly-protonated mass (M+H)+; convert to neutral.
+        const double mh =
+            require_double(fields[2], origin, line_no, "(M+H)+ mass");
+        precursor.neutral_mass = mh - chem::kProton;
+        break;
+      }
+      case 'I':
+      case 'D':
+        break;  // per-scan metadata we do not interpret
+      default: {
+        if (!in_scan) {
+          throw ParseError(origin, line_no, "peak line outside of a scan");
+        }
+        const auto fields = str::split_ws(view);
+        if (fields.size() < 2) {
+          throw ParseError(origin, line_no, "peak line needs: m/z intensity");
+        }
+        const double mz = require_double(fields[0], origin, line_no, "m/z");
+        const double inten =
+            require_double(fields[1], origin, line_no, "intensity");
+        if (mz < 0.0 || inten < 0.0) {
+          throw ParseError(origin, line_no, "negative m/z or intensity");
+        }
+        file.spectra.back().add_peak(mz, static_cast<float>(inten));
+        break;
+      }
+    }
+  }
+  finish_current();
+  return file;
+}
+
+Ms2File read_ms2_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open MS2 file: " + path);
+  return read_ms2(in, path);
+}
+
+void write_ms2(std::ostream& out, const Ms2File& file) {
+  for (const auto& [key, value] : file.headers) {
+    out << "H\t" << key << '\t' << value << '\n';
+  }
+  char buf[64];
+  for (const auto& spec : file.spectra) {
+    std::snprintf(buf, sizeof(buf), "%.4f", spec.precursor.mz);
+    out << "S\t" << spec.scan_id << '\t' << spec.scan_id << '\t' << buf
+        << '\n';
+    if (spec.precursor.charge > 0) {
+      std::snprintf(buf, sizeof(buf), "%.4f",
+                    spec.precursor.neutral_mass + chem::kProton);
+      out << "Z\t" << static_cast<int>(spec.precursor.charge) << '\t' << buf
+          << '\n';
+    }
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.4f %.1f", spec.mz(i),
+                    static_cast<double>(spec.intensity(i)));
+      out << buf << '\n';
+    }
+  }
+}
+
+void write_ms2_file(const std::string& path, const Ms2File& file) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open MS2 file for writing: " + path);
+  write_ms2(out, file);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace lbe::io

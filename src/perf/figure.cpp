@@ -1,0 +1,31 @@
+#include "perf/figure.hpp"
+
+#include <iostream>
+
+namespace lbe::perf {
+
+Figure::Figure(std::string id, std::string title, std::string claim,
+               std::vector<std::string> columns)
+    : id_(std::move(id)) {
+  std::cout << "# " << id_ << " — " << title << '\n';
+  std::cout << "# claim: " << claim << '\n';
+  csv_.emplace(std::cout, std::move(columns));
+}
+
+void Figure::check(const std::string& what, bool ok) {
+  ++checks_;
+  if (!ok) ++failures_;
+  std::cout << (ok ? "[PASS] " : "[FAIL] ") << id_ << ": " << what << '\n';
+}
+
+void Figure::note(const std::string& text) {
+  std::cout << "# " << text << '\n';
+}
+
+int Figure::finish() {
+  std::cout << "# " << id_ << ": " << (checks_ - failures_) << '/' << checks_
+            << " shape checks passed\n";
+  return failures_ == 0 ? 0 : 1;
+}
+
+}  // namespace lbe::perf

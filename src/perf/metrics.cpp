@@ -1,0 +1,55 @@
+#include "perf/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lbe::perf {
+
+LoadStats load_stats(const std::vector<double>& rank_times) {
+  LoadStats stats;
+  if (rank_times.empty()) return stats;
+  double sum = 0.0;
+  for (const double t : rank_times) {
+    LBE_CHECK(t >= 0.0, "negative rank time");
+    sum += t;
+    stats.t_max = std::max(stats.t_max, t);
+  }
+  stats.t_avg = sum / static_cast<double>(rank_times.size());
+  stats.delta_t_max = std::max(0.0, stats.t_max - stats.t_avg);
+  stats.imbalance = stats.t_avg > 0.0 ? stats.delta_t_max / stats.t_avg : 0.0;
+  stats.wasted_cpu =
+      static_cast<double>(rank_times.size()) * stats.delta_t_max;
+  return stats;
+}
+
+double load_imbalance(const std::vector<double>& rank_times) {
+  return load_stats(rank_times).imbalance;
+}
+
+double speedup_vs_base(double base_time, int base_ranks, double time) {
+  LBE_CHECK(base_time > 0.0 && time > 0.0, "speedup needs positive times");
+  LBE_CHECK(base_ranks >= 1, "speedup base needs >= 1 rank");
+  return static_cast<double>(base_ranks) * base_time / time;
+}
+
+double efficiency(double speedup, int ranks) {
+  LBE_CHECK(ranks >= 1, "efficiency needs >= 1 rank");
+  return speedup / static_cast<double>(ranks);
+}
+
+double cpu_time_speedup(const std::vector<double>& baseline_times,
+                        const std::vector<double>& improved_times) {
+  const LoadStats base = load_stats(baseline_times);
+  const LoadStats improved = load_stats(improved_times);
+  LBE_CHECK(improved.t_max > 0.0, "improved run has zero compute time");
+  // Total CPU-seconds = ranks * makespan: every rank occupies its CPU until
+  // the straggler finishes (§VI's amplification argument).
+  const double base_cpu =
+      static_cast<double>(baseline_times.size()) * base.t_max;
+  const double improved_cpu =
+      static_cast<double>(improved_times.size()) * improved.t_max;
+  return base_cpu / improved_cpu;
+}
+
+}  // namespace lbe::perf

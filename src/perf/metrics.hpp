@@ -1,0 +1,49 @@
+// Performance metrics from the paper.
+//
+//   Load Imbalance (Eq. 1):     LI = ΔTmax / Tavg
+//     where ΔTmax = max_i(T_i) - Tavg is the maximum positive deviation of
+//     any rank's compute time from the mean.
+//
+//   Wasted CPU time (§VI):      Twst = N · ΔTmax
+//     the total CPU-seconds the other ranks spend waiting for the straggler
+//     (the paper's amplification argument: 0.8 LI on 16 CPUs wastes 1280 s
+//     of CPU time over a 100 s balanced phase).
+//
+//   Speedup / efficiency helpers follow the paper's Fig. 8 convention: the
+//   base case is the smallest measured CPU count (1-rank runs are memory-
+//   infeasible), scaled by ideal efficiency at that base.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lbe::perf {
+
+struct LoadStats {
+  double t_avg = 0.0;
+  double t_max = 0.0;
+  double delta_t_max = 0.0;  ///< max(T) - avg(T), clamped at 0
+  double imbalance = 0.0;    ///< Eq. 1; 0 for empty/zero input
+  double wasted_cpu = 0.0;   ///< Twst = N * ΔTmax
+};
+
+/// Computes all Eq. 1 metrics from per-rank compute times.
+LoadStats load_stats(const std::vector<double>& rank_times);
+
+/// LI alone (Eq. 1).
+double load_imbalance(const std::vector<double>& rank_times);
+
+/// Speedup of `time` relative to a measured base point, extrapolated from
+/// ideal efficiency at the base: S(p) = base_ranks * base_time / time.
+double speedup_vs_base(double base_time, int base_ranks, double time);
+
+/// Parallel efficiency: S(p) / p.
+double efficiency(double speedup, int ranks);
+
+/// CPU-time speedup of a balanced run over an imbalanced one at equal rank
+/// count (Fig. 11): ratio of total CPU-seconds consumed, where each run
+/// costs ranks * max_rank_time (stalled ranks burn their slot waiting).
+double cpu_time_speedup(const std::vector<double>& baseline_times,
+                        const std::vector<double>& improved_times);
+
+}  // namespace lbe::perf

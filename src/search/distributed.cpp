@@ -1,0 +1,204 @@
+#include "search/distributed.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "simmpi/bytes.hpp"
+
+namespace lbe::search {
+
+namespace {
+
+constexpr int kResultTag = 1;
+
+bool global_psm_better(const GlobalPsm& a, const GlobalPsm& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.shared_peaks != b.shared_peaks) return a.shared_peaks > b.shared_peaks;
+  return a.peptide < b.peptide;
+}
+
+// One result batch on the wire: [count] then per query
+// [query_id, psm_count, (local_id, shared, score)*].
+mpi::Bytes encode_batch(const std::vector<QueryResult>& results,
+                        std::size_t lo, std::size_t hi) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(static_cast<std::uint64_t>(hi - lo));
+  for (std::size_t i = lo; i < hi; ++i) {
+    writer.pod(results[i].query_id);
+    writer.pod(static_cast<std::uint32_t>(results[i].top.size()));
+    for (const Psm& psm : results[i].top) {
+      writer.pod(psm.peptide);
+      writer.pod(psm.shared_peaks);
+      writer.pod(psm.score);
+    }
+  }
+  return bytes;
+}
+
+void decode_batch_into(const mpi::Bytes& bytes, RankId source,
+                       const index::MappingTable& mapping,
+                       std::vector<GlobalQueryResult>& merged) {
+  mpi::ByteReader reader(bytes);
+  const auto count = reader.pod<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto query_id = reader.pod<std::uint32_t>();
+    const auto psm_count = reader.pod<std::uint32_t>();
+    LBE_CHECK(query_id < merged.size(), "result for unknown query id");
+    auto& slot = merged[query_id];
+    slot.query_id = query_id;
+    for (std::uint32_t k = 0; k < psm_count; ++k) {
+      const auto local = reader.pod<LocalPeptideId>();
+      const auto shared = reader.pod<std::uint32_t>();
+      const auto hyper = reader.pod<float>();
+      // The paper's O(1) mapping-table lookup: local (virtual) -> global.
+      slot.top.push_back(GlobalPsm{mapping.to_global(source, local), shared,
+                                   hyper, source});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> DistributedReport::query_phase_seconds() const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (const auto& t : times) out.push_back(t.query_seconds());
+  return out;
+}
+
+DistributedReport run_distributed_search(
+    mpi::Cluster& cluster, const core::LbePlan& plan,
+    const std::vector<chem::Spectrum>& queries,
+    const DistributedParams& params) {
+  const int p = plan.ranks();
+  LBE_CHECK(cluster.options().ranks == p,
+            "cluster size must match the partition plan");
+  LBE_CHECK(params.result_batch >= 1, "result_batch must be >= 1");
+
+  DistributedReport report;
+  report.times.assign(static_cast<std::size_t>(p), PhaseTimes{});
+  report.work.assign(static_cast<std::size_t>(p), index::QueryWork{});
+  report.index_bytes.assign(static_cast<std::size_t>(p), 0);
+  report.index_entries.assign(static_cast<std::size_t>(p), 0);
+  report.mapping_bytes = plan.mapping().memory_bytes();
+
+  const std::size_t num_queries = queries.size();
+  const std::uint32_t batch = params.result_batch;
+  const std::size_t batches_per_rank =
+      num_queries == 0 ? 0 : (num_queries + batch - 1) / batch;
+
+  cluster.run([&](mpi::Comm& comm) {
+    const int rank = comm.rank();
+    const auto slot = static_cast<std::size_t>(rank);
+    auto& times = report.times[slot];
+
+    // [prep] Serial master work (grouping/partitioning happened outside;
+    // its measured cost is charged here so total-time figures include it).
+    if (rank == 0 && params.prep_seconds > 0.0) {
+      comm.charge(params.prep_seconds);
+    }
+    comm.barrier();
+    times.start = comm.vclock();
+
+    // [build] Partial index over this rank's LBE assignment.
+    index::PeptideStore store = plan.build_rank_store(rank);
+    report.index_entries[slot] = store.size();
+    const index::ChunkedIndex partial(std::move(store), plan.mods(),
+                                      params.index, params.chunking);
+    report.index_bytes[slot] = partial.memory_bytes();
+    times.build_done = comm.vclock();
+    comm.barrier();
+    times.query_start = comm.vclock();
+
+    // [query] Every rank searches the whole query set against its partial
+    // index ("all compute units read the query spectra", §III-E).
+    const QueryEngine engine(partial, plan.mods(), params.search);
+    std::vector<QueryResult> local(num_queries);
+    auto& work = report.work[slot];
+    if (params.threads_per_rank > 1) {
+      // Hybrid mode: the whole query set fans out over an in-rank pool;
+      // result batches ship afterwards (no mid-loop overlap with sends).
+      ThreadPool pool(params.threads_per_rank);
+      local = engine.search_all(queries, work, &pool);
+      if (rank != 0) {
+        for (std::size_t lo = 0; lo < num_queries; lo += batch) {
+          comm.send(0, kResultTag,
+                    encode_batch(local, lo,
+                                 std::min<std::size_t>(lo + batch,
+                                                       num_queries)));
+        }
+      }
+    } else {
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        local[q] = engine.search(queries[q], static_cast<std::uint32_t>(q),
+                                 work);
+        // Ship a full batch as soon as it is complete (workers only).
+        if (rank != 0 && ((q + 1) % batch == 0 || q + 1 == num_queries)) {
+          const std::size_t lo = (q / batch) * batch;
+          comm.send(0, kResultTag, encode_batch(local, lo, q + 1));
+        }
+      }
+    }
+    times.query_done = comm.vclock();
+
+    // [merge] Master folds its own results plus every worker batch through
+    // the mapping table.
+    if (rank == 0) {
+      std::vector<GlobalQueryResult> merged(num_queries);
+      decode_batch_into(encode_batch(local, 0, num_queries), 0,
+                        plan.mapping(), merged);
+      for (int src = 1; src < p; ++src) {
+        for (std::size_t b = 0; b < batches_per_rank; ++b) {
+          decode_batch_into(comm.recv(src, kResultTag), src, plan.mapping(),
+                            merged);
+        }
+      }
+      const std::size_t top_k = params.search.top_k;
+      for (auto& result : merged) {
+        std::sort(result.top.begin(), result.top.end(), global_psm_better);
+        if (result.top.size() > top_k) result.top.resize(top_k);
+      }
+      report.results = std::move(merged);
+    }
+    times.finish = comm.vclock();
+  });
+
+  report.makespan = 0.0;
+  for (const auto& t : report.times) {
+    report.makespan = std::max(report.makespan, t.finish);
+  }
+  return report;
+}
+
+SharedBaselineReport run_shared_baseline(
+    const core::LbePlan& plan, const std::vector<chem::Spectrum>& queries,
+    const DistributedParams& params) {
+  SharedBaselineReport report;
+
+  Stopwatch build_timer;
+  const index::ChunkedIndex global(plan.build_global_store(), plan.mods(),
+                                   params.index, params.chunking);
+  report.build_seconds = build_timer.seconds();
+  report.index_bytes = global.memory_bytes();
+
+  const QueryEngine engine(global, plan.mods(), params.search);
+  Stopwatch query_timer;
+  report.results.resize(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const QueryResult local =
+        engine.search(queries[q], static_cast<std::uint32_t>(q), report.work);
+    auto& slot = report.results[q];
+    slot.query_id = local.query_id;
+    for (const Psm& psm : local.top) {
+      // Global store: local ids are already global ids.
+      slot.top.push_back(
+          GlobalPsm{psm.peptide, psm.shared_peaks, psm.score, 0});
+    }
+  }
+  report.query_seconds = query_timer.seconds();
+  return report;
+}
+
+}  // namespace lbe::search

@@ -1,0 +1,102 @@
+// Distributed querying — §III-E / Fig. 4 of the paper.
+//
+// Every rank builds a partial index over its LBE-assigned peptides, all
+// ranks search the full query set against their partial index, and the
+// per-query top-k PSMs travel to the MPI master as *virtual (local) ids*.
+// The master maps them back to global ids with the O(1) mapping table and
+// merges the per-rank lists into the final report.
+//
+// Phase structure and what each figure reads from it:
+//
+//   [prep]  serial master work: grouping + partitioning (charged to rank 0;
+//           everyone else waits at a barrier)           — Fig. 9/10 Amdahl
+//   [build] per-rank index construction                 — Fig. 5 memory
+//   [query] per-rank filtration + rescoring             — Fig. 6 LI, Fig. 7/8
+//   [merge] result gather + mapping at master           — Figs. 9/10
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lbe_layer.hpp"
+#include "index/chunked_index.hpp"
+#include "search/query_engine.hpp"
+#include "simmpi/cluster.hpp"
+
+namespace lbe::search {
+
+struct DistributedParams {
+  SearchParams search;
+  index::IndexParams index;
+  index::ChunkingParams chunking;
+  /// Queries per result message to the master (comm-granularity ablation).
+  std::uint32_t result_batch = 256;
+  /// Seconds of serial master prep to charge rank 0 (measured by caller,
+  /// e.g. the LbePlan construction time). Models the Amdahl serial term.
+  double prep_seconds = 0.0;
+  /// Hybrid MPI+threads mode (§VIII future work): threads per rank used to
+  /// overlap query preprocessing within each rank's query loop. 1 = off.
+  /// Results are identical either way; only timing changes.
+  std::uint32_t threads_per_rank = 1;
+};
+
+/// A PSM with master-side (global) peptide identity.
+struct GlobalPsm {
+  GlobalPeptideId peptide = kInvalidPeptideId;
+  std::uint32_t shared_peaks = 0;
+  float score = 0.0f;
+  RankId source_rank = -1;
+};
+
+struct GlobalQueryResult {
+  std::uint32_t query_id = 0;
+  std::vector<GlobalPsm> top;  ///< merged across ranks, best-first
+};
+
+/// Per-rank virtual-time phase boundaries (seconds on that rank's clock).
+struct PhaseTimes {
+  double start = 0.0;         ///< after the prep barrier
+  double build_done = 0.0;    ///< partial index constructed
+  double query_start = 0.0;   ///< after the post-build barrier
+  double query_done = 0.0;    ///< all queries filtered + scored
+  double finish = 0.0;        ///< results sent / merge complete
+
+  double build_seconds() const { return build_done - start; }
+  double query_seconds() const { return query_done - query_start; }
+};
+
+struct DistributedReport {
+  std::vector<PhaseTimes> times;           ///< per rank
+  std::vector<index::QueryWork> work;      ///< per rank, deterministic
+  std::vector<std::uint64_t> index_bytes;  ///< per rank partial index memory
+  std::vector<std::uint64_t> index_entries;  ///< per rank peptide entries
+  std::uint64_t mapping_bytes = 0;         ///< master-side mapping table
+  std::vector<GlobalQueryResult> results;  ///< final, at master
+  double makespan = 0.0;                   ///< max rank finish time
+
+  /// Query-phase compute times, the series Fig. 6's LI is computed from.
+  std::vector<double> query_phase_seconds() const;
+};
+
+/// Runs the full protocol on `cluster` (which must have plan.ranks() ranks).
+/// `queries` plays the role of the MS2 file on shared storage: every rank
+/// reads it directly. Results are deterministic given deterministic clocks.
+DistributedReport run_distributed_search(
+    mpi::Cluster& cluster, const core::LbePlan& plan,
+    const std::vector<chem::Spectrum>& queries,
+    const DistributedParams& params);
+
+/// Shared-memory baseline: the same engine over the global index, single
+/// address space. Returns merged-format results for equivalence checks.
+struct SharedBaselineReport {
+  std::vector<GlobalQueryResult> results;
+  index::QueryWork work;
+  std::uint64_t index_bytes = 0;
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;
+};
+SharedBaselineReport run_shared_baseline(
+    const core::LbePlan& plan, const std::vector<chem::Spectrum>& queries,
+    const DistributedParams& params);
+
+}  // namespace lbe::search

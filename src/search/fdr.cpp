@@ -1,0 +1,54 @@
+#include "search/fdr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lbe::search {
+
+std::vector<double> compute_qvalues(const std::vector<FdrInput>& psms) {
+  const std::size_t n = psms.size();
+  std::vector<double> qvalues(n, 0.0);
+  if (n == 0) return qvalues;
+
+  // Order best-first; at equal score decoys first (conservative: they are
+  // counted against every target at the same score).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&psms](std::size_t a, std::size_t b) {
+    if (psms[a].score != psms[b].score) return psms[a].score > psms[b].score;
+    if (psms[a].is_decoy != psms[b].is_decoy) return psms[a].is_decoy;
+    return a < b;
+  });
+
+  // Walking FDR, then min-from-the-bottom to make it monotone (q-values).
+  std::vector<double> fdr(n, 0.0);
+  std::size_t targets = 0;
+  std::size_t decoys = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (psms[order[i]].is_decoy) {
+      ++decoys;
+    } else {
+      ++targets;
+    }
+    fdr[i] = static_cast<double>(decoys) /
+             static_cast<double>(std::max<std::size_t>(1, targets));
+  }
+  double running_min = fdr[n - 1];
+  for (std::size_t i = n; i-- > 0;) {
+    running_min = std::min(running_min, fdr[i]);
+    qvalues[order[i]] = running_min;
+  }
+  return qvalues;
+}
+
+std::size_t accepted_at(const std::vector<FdrInput>& psms,
+                        const std::vector<double>& qvalues,
+                        double threshold) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < psms.size() && i < qvalues.size(); ++i) {
+    if (!psms[i].is_decoy && qvalues[i] <= threshold) ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace lbe::search

@@ -1,0 +1,31 @@
+// Target-decoy false-discovery-rate estimation.
+//
+// Given PSMs scored against a concatenated target+decoy database, the
+// decoy-hit rate above a score threshold estimates the false-positive rate
+// among target hits at that threshold (Elias & Gygi 2007):
+//
+//   FDR(s) = (#decoys >= s) / max(1, #targets >= s)
+//
+// q-values are the monotone (cumulative-minimum from the bottom) FDRs, so
+// q(psm) is the smallest FDR at which that PSM would still be accepted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbe::search {
+
+struct FdrInput {
+  float score = 0.0f;
+  bool is_decoy = false;
+};
+
+/// q-value per input PSM (same order as the input). Deterministic for
+/// score ties (decoys sort before targets at equal score: conservative).
+std::vector<double> compute_qvalues(const std::vector<FdrInput>& psms);
+
+/// Number of *target* PSMs accepted at q <= threshold.
+std::size_t accepted_at(const std::vector<FdrInput>& psms,
+                        const std::vector<double>& qvalues, double threshold);
+
+}  // namespace lbe::search

@@ -1,0 +1,65 @@
+#include "search/load_model.hpp"
+
+#include <cmath>
+
+namespace lbe::search {
+
+double predict_query_cost(const index::ChunkedIndex& index,
+                          const std::vector<chem::Spectrum>& queries,
+                          const index::QueryParams& filter,
+                          const PreprocessParams& preprocess_params) {
+  const index::Binning binning = index.index_params().binning();
+  const auto occupancy = index.bin_occupancy();
+
+  // Prefix sums let each peak's tolerance window be summed in O(1).
+  std::vector<std::uint64_t> prefix(occupancy.size() + 1, 0);
+  for (std::size_t b = 0; b < occupancy.size(); ++b) {
+    prefix[b + 1] = prefix[b] + occupancy[b];
+  }
+
+  const index::MzBin tol_bins =
+      binning.tolerance_bins(filter.fragment_tolerance);
+  const index::MzBin last_bin = binning.num_bins() - 1;
+
+  double predicted = 0.0;
+  for (const auto& raw : queries) {
+    const chem::Spectrum query = preprocess(raw, preprocess_params);
+    for (const Mz mz : query.mzs()) {
+      if (!binning.in_range(mz)) continue;
+      const index::MzBin center = binning.bin(mz);
+      const index::MzBin lo = center > tol_bins ? center - tol_bins : 0;
+      const index::MzBin hi = std::min<index::MzBin>(center + tol_bins,
+                                                     last_bin);
+      predicted += static_cast<double>(prefix[hi + 1] - prefix[lo]);
+    }
+  }
+  return predicted;
+}
+
+double prediction_correlation(const std::vector<double>& predicted,
+                              const std::vector<double>& measured) {
+  if (predicted.size() != measured.size() || predicted.size() < 2) return 0.0;
+  const auto n = static_cast<double>(predicted.size());
+  double mean_p = 0.0;
+  double mean_m = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    mean_p += predicted[i];
+    mean_m += measured[i];
+  }
+  mean_p /= n;
+  mean_m /= n;
+  double cov = 0.0;
+  double var_p = 0.0;
+  double var_m = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double dp = predicted[i] - mean_p;
+    const double dm = measured[i] - mean_m;
+    cov += dp * dm;
+    var_p += dp * dp;
+    var_m += dm * dm;
+  }
+  if (var_p <= 0.0 || var_m <= 0.0) return 0.0;
+  return cov / std::sqrt(var_p * var_m);
+}
+
+}  // namespace lbe::search

@@ -1,0 +1,36 @@
+// Query-load prediction — the paper's future-work "load-predicting model".
+//
+// The query phase's dominant cost is postings traffic: for each query peak
+// the engine touches every posting in the bins inside the fragment
+// tolerance window. That quantity is computable from the index's
+// bin-occupancy histogram and the query peak positions alone — no scorecard
+// pass needed — so a master can estimate per-rank query cost before any
+// query runs, and (with the Weighted policy) size partitions to
+// heterogeneous rank speeds.
+//
+// The prediction is exact for postings_touched and a lower-order
+// approximation of total cost (it ignores the per-candidate term), so its
+// correlation with measured work is high but deliberately not 1.0.
+#pragma once
+
+#include <vector>
+
+#include "chem/spectrum.hpp"
+#include "index/chunked_index.hpp"
+#include "search/preprocess.hpp"
+
+namespace lbe::search {
+
+/// Predicted postings traffic for searching `queries` against `index`
+/// (preprocessing applied, tolerance window from `filter`).
+double predict_query_cost(const index::ChunkedIndex& index,
+                          const std::vector<chem::Spectrum>& queries,
+                          const index::QueryParams& filter,
+                          const PreprocessParams& preprocess);
+
+/// Pearson correlation between predicted and measured per-rank loads.
+/// Returns 0 when either vector is degenerate (zero variance).
+double prediction_correlation(const std::vector<double>& predicted,
+                              const std::vector<double>& measured);
+
+}  // namespace lbe::search

@@ -1,0 +1,58 @@
+#include "search/preprocess.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace lbe::search {
+
+chem::Spectrum preprocess(const chem::Spectrum& input,
+                          const PreprocessParams& params) {
+  // Collect indices of in-range peaks.
+  std::vector<std::size_t> idx;
+  idx.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const Mz mz = input.mz(i);
+    if (mz >= params.min_mz && mz <= params.max_mz) idx.push_back(i);
+  }
+
+  // Select top-N by intensity (ties: lower m/z wins, fully deterministic).
+  const std::size_t keep =
+      std::min<std::size_t>(params.top_peaks, idx.size());
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(keep),
+                    idx.end(), [&input](std::size_t a, std::size_t b) {
+                      if (input.intensity(a) != input.intensity(b)) {
+                        return input.intensity(a) > input.intensity(b);
+                      }
+                      return input.mz(a) < input.mz(b);
+                    });
+  idx.resize(keep);
+
+  float peak_max = 0.0f;
+  for (const std::size_t i : idx) {
+    peak_max = std::max(peak_max, input.intensity(i));
+  }
+  const float scale =
+      (params.normalize && peak_max > 0.0f) ? 100.0f / peak_max : 1.0f;
+
+  // Emit in m/z order directly: finalized inputs are already sorted, so
+  // sorting the kept indices restores order without a finalize() pass.
+  std::sort(idx.begin(), idx.end());
+  chem::Spectrum out;
+  bool sorted = true;
+  Mz prev = -1.0;
+  for (const std::size_t i : idx) {
+    const Mz mz = input.mz(i);
+    sorted = sorted && mz > prev;
+    prev = mz;
+    out.add_peak(mz, input.intensity(i) * scale);
+  }
+  if (!sorted) out.finalize();  // caller passed an unfinalized spectrum
+  out.precursor = input.precursor;
+  out.scan_id = input.scan_id;
+  out.title = input.title;
+  return out;
+}
+
+}  // namespace lbe::search

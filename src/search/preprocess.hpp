@@ -1,0 +1,27 @@
+// Query-spectrum preprocessing.
+//
+// Mirrors the paper's SLM-Transform settings (§V-A): keep the N most intense
+// peaks (N = 100), drop everything outside the indexed m/z range, and
+// optionally normalize intensities to a fixed maximum so hyperscores are
+// comparable across instruments/runs.
+#pragma once
+
+#include <cstdint>
+
+#include "chem/spectrum.hpp"
+
+namespace lbe::search {
+
+struct PreprocessParams {
+  std::uint32_t top_peaks = 100;  ///< keep the N most intense peaks
+  Mz min_mz = 0.0;                ///< drop peaks below
+  Mz max_mz = 5000.0;             ///< drop peaks above
+  bool normalize = true;          ///< scale intensities to max = 100
+};
+
+/// Returns the reduced spectrum (peaks sorted by m/z, precursor copied).
+/// Deterministic: intensity ties are broken by ascending m/z.
+chem::Spectrum preprocess(const chem::Spectrum& input,
+                          const PreprocessParams& params);
+
+}  // namespace lbe::search

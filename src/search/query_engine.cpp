@@ -1,0 +1,129 @@
+#include "search/query_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace lbe::search {
+
+double filter_score(std::uint32_t shared_peaks, double matched_intensity) {
+  return log_factorial(shared_peaks) + std::log1p(matched_intensity);
+}
+
+bool psm_better(const Psm& a, const Psm& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.shared_peaks != b.shared_peaks) return a.shared_peaks > b.shared_peaks;
+  return a.peptide < b.peptide;
+}
+
+QueryEngine::QueryEngine(const index::ChunkedIndex& index,
+                         const chem::ModificationSet& mods,
+                         const SearchParams& params)
+    : index_(&index), mods_(&mods), params_(params) {
+  LBE_CHECK(params_.top_k >= 1, "top_k must be >= 1");
+}
+
+QueryResult QueryEngine::search(const chem::Spectrum& raw,
+                                std::uint32_t query_id,
+                                index::QueryWork& work) const {
+  const chem::Spectrum query = preprocess(raw, params_.preprocess);
+  return search_preprocessed(query, query_id, work);
+}
+
+QueryResult QueryEngine::search_preprocessed(const chem::Spectrum& query,
+                                             std::uint32_t query_id,
+                                             index::QueryWork& work) const {
+  QueryResult result;
+  result.query_id = query_id;
+
+  std::vector<index::Candidate>& candidates = scratch_candidates_;
+  candidates.clear();
+  index_->query(query, params_.filter, candidates, work);
+  result.candidates = candidates.size();
+  if (candidates.empty()) return result;
+
+  // O(1)-per-candidate filter score; selection is the only O(n log k) step.
+  const std::size_t keep =
+      std::min<std::size_t>(params_.top_k, candidates.size());
+  std::partial_sort(
+      candidates.begin(),
+      candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+      candidates.end(),
+      [](const index::Candidate& a, const index::Candidate& b) {
+        const double sa = filter_score(a.shared_peaks,
+                                       static_cast<double>(a.matched_intensity));
+        const double sb = filter_score(b.shared_peaks,
+                                       static_cast<double>(b.matched_intensity));
+        if (sa != sb) return sa > sb;
+        if (a.shared_peaks != b.shared_peaks) {
+          return a.shared_peaks > b.shared_peaks;
+        }
+        return a.peptide < b.peptide;
+      });
+
+  result.top.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto& candidate = candidates[i];
+    result.top.push_back(Psm{
+        candidate.peptide, candidate.shared_peaks,
+        static_cast<float>(filter_score(
+            candidate.shared_peaks,
+            static_cast<double>(candidate.matched_intensity)))});
+  }
+
+  // Optional full b/y-aware rescoring of the leading candidates. Only
+  // meaningful on a complete (shared-memory) index: rank-local rescoring
+  // would break cross-partition score comparability.
+  if (params_.rescore_depth > 0) {
+    const std::size_t depth =
+        std::min<std::size_t>(params_.rescore_depth, result.top.size());
+    for (std::size_t i = 0; i < depth; ++i) {
+      const chem::Peptide peptide =
+          index_->store().materialize(result.top[i].peptide);
+      const ScoreBreakdown breakdown =
+          score_candidate(query, peptide, *mods_, params_.score);
+      result.top[i].score = static_cast<float>(breakdown.hyperscore);
+    }
+    std::sort(result.top.begin(), result.top.end(), psm_better);
+  }
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::search_all(
+    const std::vector<chem::Spectrum>& raw_queries, index::QueryWork& work,
+    ThreadPool* pool) const {
+  std::vector<QueryResult> results(raw_queries.size());
+  if (pool == nullptr || pool->size() == 1) {
+    for (std::size_t i = 0; i < raw_queries.size(); ++i) {
+      results[i] =
+          search(raw_queries[i], static_cast<std::uint32_t>(i), work);
+    }
+    return results;
+  }
+
+  // Hybrid mode: split the query list over the pool. The SlmIndex scorecard
+  // is shared mutable state, so filtration+scoring stay serialized behind a
+  // mutex and only preprocessing overlaps across threads. Work counters are
+  // per-block and merged at the end so totals stay exact.
+  std::mutex index_mutex;
+  std::vector<index::QueryWork> block_work(pool->size());
+  std::atomic<std::size_t> block_counter{0};
+  pool->parallel_for(0, raw_queries.size(), [&](std::size_t lo,
+                                                std::size_t hi) {
+    const std::size_t block = block_counter.fetch_add(1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const chem::Spectrum query =
+          preprocess(raw_queries[i], params_.preprocess);
+      std::lock_guard<std::mutex> lock(index_mutex);
+      results[i] = search_preprocessed(query, static_cast<std::uint32_t>(i),
+                                       block_work[block]);
+    }
+  });
+  for (const auto& bw : block_work) work += bw;
+  return results;
+}
+
+}  // namespace lbe::search

@@ -1,0 +1,87 @@
+// Per-rank query engine: filtration + rescoring + top-k selection.
+//
+// This is the code every (simulated) machine runs against its partial index;
+// the shared-memory baseline runs the identical engine against the global
+// index, which is what makes cross-policy equivalence testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/spectrum.hpp"
+#include "common/thread_pool.hpp"
+#include "index/chunked_index.hpp"
+#include "search/preprocess.hpp"
+#include "search/scoring.hpp"
+
+namespace lbe::search {
+
+struct SearchParams {
+  PreprocessParams preprocess;
+  index::QueryParams filter;  ///< ΔF, Shpeak, ΔM
+  ScoreParams score;
+  std::uint32_t top_k = 5;  ///< PSMs reported per query
+  /// Candidates re-scored with the full b/y-aware hyperscore (fragment
+  /// regeneration) after filter-score ranking. 0 (default) keeps the O(1)
+  /// filtration score — the partition-invariant configuration distributed
+  /// runs must use: per-rank full rescoring of rank-local top candidates
+  /// would make scores depend on where a peptide lives.
+  std::uint32_t rescore_depth = 0;
+};
+
+/// One peptide-to-spectrum match (local ids; the master remaps to global).
+/// `score` is the filter score — ln(shared!) + ln(1 + matched intensity) —
+/// unless the engine ran with rescore_depth > 0, in which case the top
+/// candidates carry the full b/y hyperscore instead.
+struct Psm {
+  LocalPeptideId peptide = kInvalidPeptideId;
+  std::uint32_t shared_peaks = 0;
+  float score = 0.0f;
+};
+
+/// The O(1) filtration score: monotone in shared peaks and in matched
+/// intensity, comparable across ranks and partitions.
+double filter_score(std::uint32_t shared_peaks, double matched_intensity);
+
+struct QueryResult {
+  std::uint32_t query_id = 0;
+  std::vector<Psm> top;           ///< best-first, <= top_k entries
+  std::uint64_t candidates = 0;   ///< cPSMs passing filtration
+};
+
+/// Deterministic PSM ordering: hyperscore desc, shared desc, id asc.
+bool psm_better(const Psm& a, const Psm& b);
+
+class QueryEngine {
+ public:
+  /// `index` and `mods` must outlive the engine.
+  QueryEngine(const index::ChunkedIndex& index,
+              const chem::ModificationSet& mods, const SearchParams& params);
+
+  /// Searches one *raw* spectrum (preprocessing applied internally).
+  QueryResult search(const chem::Spectrum& raw, std::uint32_t query_id,
+                     index::QueryWork& work) const;
+
+  /// Searches a batch; when `pool` is non-null the loop fans out over it
+  /// (the hybrid MPI+threads mode of the paper's future work).
+  std::vector<QueryResult> search_all(
+      const std::vector<chem::Spectrum>& raw_queries,
+      index::QueryWork& work, ThreadPool* pool = nullptr) const;
+
+  const SearchParams& params() const noexcept { return params_; }
+
+ private:
+  QueryResult search_preprocessed(const chem::Spectrum& query,
+                                  std::uint32_t query_id,
+                                  index::QueryWork& work) const;
+
+  const index::ChunkedIndex* index_;
+  const chem::ModificationSet* mods_;
+  SearchParams params_;
+  // Reused across queries to keep the per-query allocation count flat; the
+  // engine is single-threaded by contract (hybrid mode serializes access),
+  // like the SlmIndex scorecard it drives.
+  mutable std::vector<index::Candidate> scratch_candidates_;
+};
+
+}  // namespace lbe::search

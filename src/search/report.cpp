@@ -1,0 +1,47 @@
+#include "search/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace lbe::search {
+
+void write_psm_report(std::ostream& out, const core::LbePlan& plan,
+                      const std::vector<GlobalQueryResult>& results,
+                      const std::vector<bool>& decoy_bases) {
+  out << "query_id\tpsm_rank\tpeptide\tbase_sequence\tneutral_mass\t"
+         "shared_peaks\tscore\tsource_rank\tis_decoy\n";
+  char buffer[64];
+  for (const auto& result : results) {
+    for (std::size_t rank = 0; rank < result.top.size(); ++rank) {
+      const auto& psm = result.top[rank];
+      const auto loc = plan.locate_variant(psm.peptide);
+      const chem::Peptide peptide = plan.variant_peptide(psm.peptide);
+      const bool decoy =
+          loc.base_id < decoy_bases.size() && decoy_bases[loc.base_id];
+      out << result.query_id << '\t' << rank + 1 << '\t'
+          << peptide.annotated(plan.mods()) << '\t'
+          << plan.base_sequence(loc.base_id) << '\t';
+      std::snprintf(buffer, sizeof(buffer), "%.5f",
+                    peptide.mass(plan.mods()));
+      out << buffer << '\t' << psm.shared_peaks << '\t';
+      std::snprintf(buffer, sizeof(buffer), "%.4f",
+                    static_cast<double>(psm.score));
+      out << buffer << '\t' << psm.source_rank << '\t' << (decoy ? 1 : 0)
+          << '\n';
+    }
+  }
+}
+
+void write_psm_report_file(const std::string& path, const core::LbePlan& plan,
+                           const std::vector<GlobalQueryResult>& results,
+                           const std::vector<bool>& decoy_bases) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open report file for writing: " + path);
+  write_psm_report(out, plan, results, decoy_bases);
+  if (!out) throw IoError("report write failed: " + path);
+}
+
+}  // namespace lbe::search

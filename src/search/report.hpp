@@ -1,0 +1,26 @@
+// PSM report writer — the tab-separated results file the pipeline hands to
+// downstream tools (one row per reported PSM, best first per query).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/lbe_layer.hpp"
+#include "search/distributed.hpp"
+
+namespace lbe::search {
+
+/// Columns: query_id, psm_rank, peptide (annotated), base_sequence,
+/// neutral_mass, shared_peaks, score, source_rank, is_decoy.
+/// `decoy_bases` flags clustered base ids that came from decoy proteins
+/// (empty = no decoy annotation).
+void write_psm_report(std::ostream& out, const core::LbePlan& plan,
+                      const std::vector<GlobalQueryResult>& results,
+                      const std::vector<bool>& decoy_bases = {});
+
+void write_psm_report_file(const std::string& path, const core::LbePlan& plan,
+                           const std::vector<GlobalQueryResult>& results,
+                           const std::vector<bool>& decoy_bases = {});
+
+}  // namespace lbe::search

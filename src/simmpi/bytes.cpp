@@ -1,0 +1,6 @@
+#include "simmpi/bytes.hpp"
+
+// Serialization is header-only; this TU pins the library archive and hosts
+// the one assumption the byte-level format relies on.
+static_assert(sizeof(double) == 8, "wire format assumes 8-byte double");
+static_assert(sizeof(float) == 4, "wire format assumes 4-byte float");

@@ -1,0 +1,112 @@
+// Byte-buffer serialization for simulated message passing.
+//
+// Messages cross simulated address spaces as flat byte vectors, exactly like
+// MPI buffers — no pointers survive the hop, which keeps rank code honest
+// about what is local and what travelled. Writers/readers are explicitly
+// little-endian-on-byte-level (memcpy of fixed-width types; every supported
+// host is little-endian, and a static_assert documents the assumption).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lbe::mpi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends values to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "only trivially copyable types cross rank boundaries");
+    const auto offset = out_.size();
+    out_.resize(offset + sizeof(T));
+    std::memcpy(out_.data() + offset, &value, sizeof(T));
+  }
+
+  void string(const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    const auto offset = out_.size();
+    out_.resize(offset + s.size());
+    std::memcpy(out_.data() + offset, s.data(), s.size());
+  }
+
+  template <typename T>
+  void vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod(static_cast<std::uint64_t>(v.size()));
+    const auto offset = out_.size();
+    out_.resize(offset + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(out_.data() + offset, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads values back; throws CommError on underrun (malformed message).
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_(in) {}
+  // The reader keeps a reference; binding a temporary would dangle.
+  explicit ByteReader(Bytes&&) = delete;
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string string() {
+    const auto size = pod<std::uint64_t>();
+    require(size);
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_),
+                  static_cast<std::size_t>(size));
+    pos_ += size;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = pod<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(count));
+    if (count) {
+      std::memcpy(v.data(), in_.data() + pos_,
+                  static_cast<std::size_t>(count) * sizeof(T));
+    }
+    pos_ += count * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const noexcept { return pos_ == in_.size(); }
+  std::size_t remaining() const noexcept { return in_.size() - pos_; }
+
+ private:
+  void require(std::uint64_t bytes) const {
+    if (pos_ + bytes > in_.size()) {
+      throw CommError("message underrun: truncated or mis-typed payload");
+    }
+  }
+
+  const Bytes& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lbe::mpi

@@ -1,0 +1,436 @@
+#include "simmpi/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lbe::mpi {
+
+namespace {
+constexpr std::size_t kNoMatch = std::numeric_limits<std::size_t>::max();
+// Internal collective tags live below kAnyTag so user tags (>= 0) and the
+// wildcard (-1) never collide with them.
+constexpr int kBcastTag = -2;
+constexpr int kGatherTag = -3;
+constexpr int kReduceTag = -4;
+}  // namespace
+
+// ---------------------------------------------------------------- Comm ----
+
+int Comm::size() const noexcept { return cluster_->options().ranks; }
+
+void Comm::send(int dest, int tag, Bytes payload) {
+  cluster_->do_send(rank_, dest, tag, std::move(payload), false);
+}
+
+Bytes Comm::recv(int src, int tag, RecvInfo* info) {
+  return cluster_->do_recv(rank_, src, tag, info);
+}
+
+bool Comm::probe(int src, int tag) {
+  return cluster_->do_probe(rank_, src, tag);
+}
+
+void Comm::barrier() { cluster_->do_barrier(rank_); }
+
+void Comm::bcast(Bytes& data, int root) {
+  if (rank_ == root) {
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest == root) continue;
+      cluster_->do_send(rank_, dest, kBcastTag, data, true);
+    }
+  } else {
+    data = cluster_->do_recv(rank_, root, kBcastTag, nullptr);
+  }
+}
+
+std::vector<Bytes> Comm::gather(Bytes mine, int root) {
+  if (rank_ != root) {
+    cluster_->do_send(rank_, root, kGatherTag, std::move(mine), true);
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(mine);
+  // Rank order keeps the collective deterministic.
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    out[static_cast<std::size_t>(src)] =
+        cluster_->do_recv(rank_, src, kGatherTag, nullptr);
+  }
+  return out;
+}
+
+double Comm::reduce_impl(double value, bool is_sum) {
+  // Gather to rank 0, reduce, broadcast back. Linear but cost-model exact.
+  const int p = size();
+  double result = value;
+  if (rank_ == 0) {
+    for (int src = 1; src < p; ++src) {
+      const Bytes bytes = cluster_->do_recv(rank_, src, kReduceTag, nullptr);
+      ByteReader reader(bytes);
+      const double other = reader.pod<double>();
+      result = is_sum ? result + other : std::max(result, other);
+    }
+    Bytes out;
+    ByteWriter out_writer(out);
+    out_writer.pod(result);
+    bcast(out, 0);
+  } else {
+    Bytes mine;
+    ByteWriter writer(mine);
+    writer.pod(value);
+    cluster_->do_send(rank_, 0, kReduceTag, std::move(mine), true);
+    Bytes in;
+    bcast(in, 0);
+    ByteReader reader(in);
+    result = reader.pod<double>();
+  }
+  return result;
+}
+
+double Comm::allreduce_max(double value) {
+  return reduce_impl(value, /*is_sum=*/false);
+}
+
+double Comm::allreduce_sum(double value) {
+  return reduce_impl(value, /*is_sum=*/true);
+}
+
+double Comm::vclock() const { return cluster_->do_vclock(rank_); }
+
+void Comm::charge(double seconds) { cluster_->do_charge(rank_, seconds); }
+
+// ------------------------------------------------------------- Cluster ----
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  if (options_.ranks < 1) {
+    throw CommError("cluster needs at least one rank");
+  }
+  if (!options_.slowdown.empty() &&
+      options_.slowdown.size() != static_cast<std::size_t>(options_.ranks)) {
+    throw CommError("slowdown vector must have one entry per rank");
+  }
+  for (const double f : options_.slowdown) {
+    if (f <= 0.0) throw CommError("slowdown factors must be positive");
+  }
+  serialize_ = options_.engine == Engine::kVirtual;
+  ranks_.resize(static_cast<std::size_t>(options_.ranks));
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    ranks_[i].slowdown = options_.slowdown.empty() ? 1.0 : options_.slowdown[i];
+  }
+  reports_.resize(ranks_.size());
+}
+
+void Cluster::reset_clocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& rank : ranks_) {
+    rank.vclock = 0.0;
+    rank.report = RankReport{};
+  }
+}
+
+double Cluster::makespan() const {
+  double best = 0.0;
+  for (const auto& report : reports_) best = std::max(best, report.vclock);
+  return best;
+}
+
+void Cluster::meter_locked(int rank) {
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  if (options_.measured_time && serialize_) {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - r.slice_start).count();
+    r.vclock += elapsed * r.slowdown;
+    r.slice_start = now;
+  }
+}
+
+void Cluster::resume_slice_locked(int rank) {
+  ranks_[static_cast<std::size_t>(rank)].slice_start =
+      std::chrono::steady_clock::now();
+}
+
+bool Cluster::matches_locked(const Envelope& env, int src, int tag) const {
+  return (src == kAnySource || env.src == src) &&
+         (tag == kAnyTag || env.tag == tag);
+}
+
+std::size_t Cluster::find_match_locked(int rank, int src, int tag) const {
+  const auto& mailbox = ranks_[static_cast<std::size_t>(rank)].mailbox;
+  std::size_t best = kNoMatch;
+  for (std::size_t i = 0; i < mailbox.size(); ++i) {
+    if (!matches_locked(mailbox[i], src, tag)) continue;
+    if (best == kNoMatch ||
+        mailbox[i].available_at < mailbox[best].available_at ||
+        (mailbox[i].available_at == mailbox[best].available_at &&
+         mailbox[i].seq < mailbox[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Cluster::abort_locked(std::exception_ptr error) {
+  if (!first_error_) first_error_ = error;
+  aborting_ = true;
+  cv_.notify_all();
+}
+
+void Cluster::check_deadlock_locked() {
+  bool any_live = false;
+  for (const auto& rank : ranks_) {
+    if (rank.state == State::kRunning || rank.state == State::kReady) return;
+    if (rank.state != State::kDone) any_live = true;
+  }
+  if (any_live && !aborting_) {
+    abort_locked(std::make_exception_ptr(CommError(
+        "deadlock: every live rank is blocked (lost message or mismatched "
+        "collective)")));
+  }
+}
+
+void Cluster::schedule_next_locked() {
+  if (!serialize_) {
+    check_deadlock_locked();
+    return;
+  }
+  int best = -1;
+  double best_clock = 0.0;
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (ranks_[i].state != State::kReady) continue;
+    if (best < 0 || ranks_[i].vclock < best_clock) {
+      best = static_cast<int>(i);
+      best_clock = ranks_[i].vclock;
+    }
+  }
+  if (best >= 0) {
+    ranks_[static_cast<std::size_t>(best)].state = State::kRunning;
+    return;  // caller notifies
+  }
+  check_deadlock_locked();
+}
+
+void Cluster::rank_thread(int rank,
+                          const std::function<void(Comm&)>& rank_main) {
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return aborting_ || r.state == State::kRunning; });
+    if (aborting_) {
+      r.state = State::kDone;
+      schedule_next_locked();
+      cv_.notify_all();
+      return;
+    }
+    resume_slice_locked(rank);
+  }
+
+  std::exception_ptr error;
+  try {
+    Comm comm(this, rank);
+    rank_main(comm);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  meter_locked(rank);
+  if (error) {
+    // A CommError thrown *because* of an abort is a symptom, not a cause;
+    // abort_locked keeps only the first error either way.
+    abort_locked(error);
+  }
+  r.state = State::kDone;
+  schedule_next_locked();
+  cv_.notify_all();
+}
+
+void Cluster::run(const std::function<void(Comm&)>& rank_main) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborting_ = false;
+    first_error_ = nullptr;
+    next_seq_ = 0;
+    barrier_count_ = 0;
+    barrier_max_vclock_ = 0.0;
+    for (auto& rank : ranks_) {
+      rank.state = serialize_ ? State::kReady : State::kRunning;
+      rank.mailbox.clear();
+      rank.want_src = kAnySource;
+      rank.want_tag = kAnyTag;
+      rank.slice_start = std::chrono::steady_clock::now();
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_.size());
+  for (int i = 0; i < options_.ranks; ++i) {
+    threads.emplace_back([this, i, &rank_main] { rank_thread(i, rank_main); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (serialize_) schedule_next_locked();
+    cv_.notify_all();
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    ranks_[i].report.vclock = ranks_[i].vclock;
+    reports_[i] = ranks_[i].report;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ------------------------------------------------------- Comm backends ----
+
+void Cluster::do_send(int rank, int dest, int tag, Bytes payload,
+                      bool internal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& sender = ranks_[static_cast<std::size_t>(rank)];
+  meter_locked(rank);
+  if (dest < 0 || dest >= options_.ranks) {
+    throw CommError("send to invalid rank " + std::to_string(dest));
+  }
+  if (!internal && tag < 0) {
+    throw CommError("user tags must be >= 0");
+  }
+
+  Envelope env;
+  env.src = rank;
+  env.dest = dest;
+  env.tag = tag;
+  env.payload = std::move(payload);
+  env.seq = next_seq_++;
+
+  const std::size_t bytes = env.payload.size();
+  double cost = options_.cost.transfer(bytes);
+  if (options_.faults.delay) cost += options_.faults.delay(env);
+  sender.vclock += cost;
+  env.available_at = sender.vclock;
+  sender.report.messages_sent++;
+  sender.report.bytes_sent += bytes;
+
+  const bool dropped = options_.faults.drop && options_.faults.drop(env);
+  if (!dropped) {
+    auto& receiver = ranks_[static_cast<std::size_t>(dest)];
+    const bool wakes = receiver.state == State::kBlocked &&
+                       matches_locked(env, receiver.want_src,
+                                      receiver.want_tag);
+    receiver.mailbox.push_back(std::move(env));
+    // Mark the receiver runnable in both engines: the virtual scheduler
+    // needs kReady to pick it, and the threads-engine deadlock check must
+    // not see a stale kBlocked on a rank whose message just arrived.
+    if (wakes) receiver.state = State::kReady;
+    cv_.notify_all();
+  }
+  resume_slice_locked(rank);
+}
+
+Bytes Cluster::do_recv(int rank, int src, int tag, RecvInfo* info) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  meter_locked(rank);
+  if (src != kAnySource && (src < 0 || src >= options_.ranks)) {
+    throw CommError("recv from invalid rank " + std::to_string(src));
+  }
+
+  std::size_t idx;
+  while ((idx = find_match_locked(rank, src, tag)) == kNoMatch) {
+    r.want_src = src;
+    r.want_tag = tag;
+    r.state = State::kBlocked;
+    schedule_next_locked();
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      if (aborting_) return true;
+      if (serialize_) return r.state == State::kRunning;
+      return find_match_locked(rank, src, tag) != kNoMatch;
+    });
+    if (aborting_) {
+      throw CommError("cluster aborted while rank " + std::to_string(rank) +
+                      " was in recv()");
+    }
+    if (!serialize_) r.state = State::kRunning;
+  }
+
+  auto it = r.mailbox.begin() + static_cast<std::ptrdiff_t>(idx);
+  Envelope env = std::move(*it);
+  r.mailbox.erase(it);
+  r.vclock = std::max(r.vclock, env.available_at);
+  r.report.messages_received++;
+  if (info) {
+    info->src = env.src;
+    info->tag = env.tag;
+  }
+  resume_slice_locked(rank);
+  return std::move(env.payload);
+}
+
+bool Cluster::do_probe(int rank, int src, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  meter_locked(rank);
+  const bool found = find_match_locked(rank, src, tag) != kNoMatch;
+  resume_slice_locked(rank);
+  return found;
+}
+
+void Cluster::do_barrier(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  meter_locked(rank);
+
+  const std::uint64_t generation = barrier_generation_;
+  ++barrier_count_;
+  barrier_max_vclock_ = std::max(barrier_max_vclock_, r.vclock);
+
+  if (barrier_count_ == options_.ranks) {
+    // Last arrival: everyone leaves at the same virtual instant.
+    const double release =
+        barrier_max_vclock_ + options_.cost.barrier(options_.ranks);
+    for (auto& other : ranks_) {
+      if (other.state == State::kInBarrier) {
+        other.vclock = release;
+        other.state = serialize_ ? State::kReady : State::kRunning;
+      }
+    }
+    r.vclock = release;
+    barrier_count_ = 0;
+    barrier_max_vclock_ = 0.0;
+    ++barrier_generation_;
+    cv_.notify_all();
+  } else {
+    r.state = State::kInBarrier;
+    schedule_next_locked();
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return aborting_ || barrier_generation_ != generation; });
+    if (aborting_) {
+      throw CommError("cluster aborted while rank " + std::to_string(rank) +
+                      " was in barrier()");
+    }
+    if (serialize_) {
+      cv_.wait(lock, [&] { return aborting_ || r.state == State::kRunning; });
+      if (aborting_) {
+        throw CommError("cluster aborted while rank " + std::to_string(rank) +
+                        " was leaving barrier()");
+      }
+    }
+  }
+  resume_slice_locked(rank);
+}
+
+double Cluster::do_vclock(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  meter_locked(rank);
+  resume_slice_locked(rank);
+  return ranks_[static_cast<std::size_t>(rank)].vclock;
+}
+
+void Cluster::do_charge(int rank, double seconds) {
+  if (seconds < 0.0) throw CommError("cannot charge negative time");
+  std::lock_guard<std::mutex> lock(mutex_);
+  meter_locked(rank);
+  ranks_[static_cast<std::size_t>(rank)].vclock += seconds;
+  resume_slice_locked(rank);
+}
+
+}  // namespace lbe::mpi

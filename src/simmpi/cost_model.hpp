@@ -1,0 +1,32 @@
+// Communication cost model for the virtual-time engine.
+//
+// Classic α–β (latency–bandwidth) model: transferring n bytes costs
+// α + n·β seconds of virtual time on both endpoints. Defaults approximate
+// the gigabit-Ethernet cluster of the paper's §V-A testbed. Barriers cost
+// α·ceil(log2 p), matching tree implementations in MPICH/OpenMPI.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lbe::mpi {
+
+struct CostModel {
+  double latency = 50e-6;        ///< α: per-message latency (s)
+  double seconds_per_byte = 1e-8;  ///< β: 1/bandwidth (s/B) ≈ 100 MB/s
+
+  double transfer(std::size_t bytes) const {
+    return latency + static_cast<double>(bytes) * seconds_per_byte;
+  }
+
+  double barrier(int ranks) const {
+    if (ranks <= 1) return 0.0;
+    const auto width = std::bit_width(static_cast<unsigned>(ranks - 1));
+    return latency * static_cast<double>(width);
+  }
+
+  /// Free communication (ablation baseline).
+  static CostModel zero() { return CostModel{0.0, 0.0}; }
+};
+
+}  // namespace lbe::mpi

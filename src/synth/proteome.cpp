@@ -1,0 +1,121 @@
+#include "synth/proteome.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "chem/amino_acid.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lbe::synth {
+
+namespace {
+
+// Cumulative SwissProt composition for inverse-CDF sampling.
+const std::array<double, 20>& cumulative_frequencies() {
+  static const std::array<double, 20> kCdf = [] {
+    std::array<double, 20> cdf{};
+    double sum = 0.0;
+    const auto& freq = chem::swissprot_frequencies();
+    for (std::size_t i = 0; i < freq.size(); ++i) {
+      sum += freq[i];
+      cdf[i] = sum;
+    }
+    cdf.back() = 1.0;  // guard against rounding
+    return cdf;
+  }();
+  return kCdf;
+}
+
+char sample_residue(Xoshiro256& rng) {
+  const double u = rng.uniform();
+  const auto& cdf = cumulative_frequencies();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf.begin());
+  return chem::kResidues[std::min<std::size_t>(idx, 19)];
+}
+
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ull * (stream + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+std::string random_protein(std::size_t length, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string protein;
+  protein.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) protein += sample_residue(rng);
+  return protein;
+}
+
+std::string mutate_protein(const std::string& base, double substitution_rate,
+                           double indel_rate, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  out.reserve(base.size() + 8);
+  for (const char c : base) {
+    if (rng.bernoulli(indel_rate)) {
+      if (rng.bernoulli(0.5)) {
+        out += sample_residue(rng);  // insertion (keeps original too)
+        out += c;
+      }
+      // else: deletion — skip the residue
+      continue;
+    }
+    out += rng.bernoulli(substitution_rate) ? sample_residue(rng) : c;
+  }
+  if (out.empty()) out += sample_residue(rng);  // degenerate all-deleted case
+  return out;
+}
+
+std::vector<io::FastaRecord> generate_family(const ProteomeParams& params,
+                                             std::uint32_t family_index) {
+  if (params.substitution_rate < 0.0 || params.substitution_rate > 1.0 ||
+      params.indel_rate < 0.0 || params.indel_rate > 1.0) {
+    throw ConfigError("proteome: rates must be in [0, 1]");
+  }
+  std::vector<io::FastaRecord> records;
+  records.reserve(params.proteins_per_family);
+
+  const std::uint64_t family_seed = sub_seed(params.seed, family_index);
+  Xoshiro256 rng(family_seed);
+
+  const double raw_length =
+      static_cast<double>(params.protein_length_mean) +
+      rng.normal() * static_cast<double>(params.protein_length_stddev);
+  const std::size_t length = static_cast<std::size_t>(std::max(
+      static_cast<double>(params.protein_length_min), raw_length));
+
+  const std::string base = random_protein(length, sub_seed(family_seed, 1));
+  for (std::uint32_t member = 0; member < params.proteins_per_family;
+       ++member) {
+    std::string sequence =
+        member == 0 ? base
+                    : mutate_protein(base, params.substitution_rate,
+                                     params.indel_rate,
+                                     sub_seed(family_seed, 100 + member));
+    records.push_back(io::FastaRecord{
+        "fam" + std::to_string(family_index) + "|mem" +
+            std::to_string(member),
+        std::move(sequence)});
+  }
+  return records;
+}
+
+std::vector<io::FastaRecord> generate_proteome(const ProteomeParams& params) {
+  std::vector<io::FastaRecord> records;
+  records.reserve(static_cast<std::size_t>(params.num_families) *
+                  params.proteins_per_family);
+  for (std::uint32_t family = 0; family < params.num_families; ++family) {
+    auto family_records = generate_family(params, family);
+    records.insert(records.end(),
+                   std::make_move_iterator(family_records.begin()),
+                   std::make_move_iterator(family_records.end()));
+  }
+  return records;
+}
+
+}  // namespace lbe::synth

@@ -1,0 +1,51 @@
+// Synthetic proteome generation (substitution for UniProt UP000005640).
+//
+// Real proteomes contain families of homologous proteins whose tryptic
+// peptides differ by a few residues — exactly the similarity structure LBE's
+// grouping step exploits and the Chunk baseline suffers from. The generator
+// reproduces it directly: each family derives `proteins_per_family` members
+// from one base sequence through point substitutions and indels; residues
+// are drawn from SwissProt composition so cleavage-site density (K/R) and
+// peptide length distributions are realistic.
+//
+// Determinism: every family is generated from a sub-seed derived from
+// (seed, family index), so enlarging `num_families` extends a database
+// without changing the proteins already generated — workload sweeps reuse
+// prefixes instead of regenerating worlds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/fasta.hpp"
+
+namespace lbe::synth {
+
+struct ProteomeParams {
+  std::uint32_t num_families = 64;
+  std::uint32_t proteins_per_family = 8;
+  std::uint32_t protein_length_mean = 360;
+  std::uint32_t protein_length_stddev = 90;
+  std::uint32_t protein_length_min = 60;
+  double substitution_rate = 0.04;  ///< per-residue, vs the family base
+  double indel_rate = 0.008;        ///< per-residue insert-or-delete
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Generates the database; headers are "fam<F>|mem<M>".
+std::vector<io::FastaRecord> generate_proteome(const ProteomeParams& params);
+
+/// Generates exactly one family (`proteins_per_family` records). Family
+/// `f` of a proteome equals generate_family(params, f) — the prefix
+/// stability the workload builder relies on.
+std::vector<io::FastaRecord> generate_family(const ProteomeParams& params,
+                                             std::uint32_t family_index);
+
+/// One protein sequence of the given length from SwissProt composition.
+std::string random_protein(std::size_t length, std::uint64_t seed);
+
+/// Applies the family mutation model to `base` (exposed for tests).
+std::string mutate_protein(const std::string& base, double substitution_rate,
+                           double indel_rate, std::uint64_t seed);
+
+}  // namespace lbe::synth

@@ -1,0 +1,90 @@
+#include "synth/spectra.hpp"
+
+#include <algorithm>
+
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "digest/variants.hpp"
+
+namespace lbe::synth {
+
+io::Ms2File GeneratedSpectra::to_ms2() const {
+  io::Ms2File file;
+  file.headers["Extractor"] = "lbe-synth";
+  file.headers["ExtractorVersion"] = "1.0";
+  file.spectra = spectra;
+  return file;
+}
+
+GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
+                                  const chem::ModificationSet& mods,
+                                  const SpectraParams& params) {
+  if (peptides.empty()) {
+    throw ConfigError("spectra generator needs a non-empty peptide list");
+  }
+  if (params.precursor_charge_min < 1 ||
+      params.precursor_charge_min > params.precursor_charge_max) {
+    throw ConfigError("spectra generator: bad precursor charge range");
+  }
+
+  GeneratedSpectra out;
+  out.spectra.reserve(params.num_spectra);
+  out.truth.reserve(params.num_spectra);
+  Xoshiro256 rng(params.seed);
+
+  for (std::uint32_t s = 0; s < params.num_spectra; ++s) {
+    const auto pick = static_cast<std::uint32_t>(rng.below(peptides.size()));
+    const std::string& base = peptides[pick];
+
+    // Possibly present the peptide in a modified form; variant 0 is the
+    // unmodified one, so skip it when drawing a modified presentation.
+    chem::Peptide peptide(base);
+    if (rng.bernoulli(params.modified_fraction)) {
+      digest::VariantParams vp;
+      vp.max_mod_residues = params.max_mods_per_query;
+      auto variants = digest::enumerate_variants(base, mods, vp);
+      if (variants.size() > 1) {
+        const auto idx = 1 + rng.below(variants.size() - 1);
+        peptide = std::move(variants[idx]);
+      }
+    }
+
+    chem::Spectrum spec;
+    const auto fragments =
+        theospec::fragment_peptide(peptide, mods, params.fragments);
+    for (const auto& fragment : fragments) {
+      if (!rng.bernoulli(params.peak_observe_prob)) continue;
+      const Mz mz = fragment.mz + rng.normal() * params.mz_jitter_stddev;
+      // y-ions fly better than b-ions in CID; keep that bias so intensity
+      // ranking is realistic for hyperscore tests.
+      const double series_base =
+          fragment.series == theospec::IonSeries::kY ? 100.0 : 60.0;
+      const float intensity =
+          static_cast<float>(series_base * (0.25 + 0.75 * rng.uniform()));
+      if (mz > 0.0) spec.add_peak(mz, intensity);
+    }
+    for (std::uint32_t n = 0; n < params.noise_peaks; ++n) {
+      spec.add_peak(rng.uniform(50.0, params.noise_max_mz),
+                    static_cast<float>(rng.uniform(1.0, 20.0)));
+    }
+
+    const Charge z = static_cast<Charge>(
+        params.precursor_charge_min +
+        rng.below(static_cast<std::uint64_t>(params.precursor_charge_max -
+                                             params.precursor_charge_min) +
+                  1));
+    spec.precursor.neutral_mass = peptide.mass(mods);
+    spec.precursor.charge = z;
+    spec.precursor.mz = chem::mz_from_mass(spec.precursor.neutral_mass, z);
+    spec.scan_id = s + 1;
+    spec.title = "synth|" + base;
+    spec.finalize();
+
+    out.spectra.push_back(std::move(spec));
+    out.truth.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace lbe::synth

@@ -1,0 +1,49 @@
+// Synthetic MS/MS query spectra (substitution for PRIDE PXD009072).
+//
+// Each query is derived from a real database peptide: fragment it, keep each
+// fragment with an observation probability, jitter m/z with Gaussian noise,
+// draw intensities from a simple b/y model, then add uniform noise peaks.
+// The source peptide index is recorded so recall ("does the engine find the
+// peptide that generated the spectrum?") is testable end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/modification.hpp"
+#include "chem/spectrum.hpp"
+#include "io/ms2.hpp"
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::synth {
+
+struct SpectraParams {
+  std::uint32_t num_spectra = 1000;
+  double peak_observe_prob = 0.85;  ///< fragment actually seen
+  double mz_jitter_stddev = 0.008;  ///< Da, instrument error (< ΔF = 0.05)
+  std::uint32_t noise_peaks = 25;
+  Mz noise_max_mz = 2000.0;
+  double modified_fraction = 0.3;  ///< queries drawn from modified variants
+  std::uint32_t max_mods_per_query = 2;
+  Charge precursor_charge_min = 2;
+  Charge precursor_charge_max = 3;
+  theospec::FragmentParams fragments;  ///< true-peak generator settings
+  std::uint64_t seed = 0xFACE;
+};
+
+struct GeneratedSpectra {
+  std::vector<chem::Spectrum> spectra;
+  /// truth[i] = index into the source peptide list for spectra[i].
+  std::vector<std::uint32_t> truth;
+
+  io::Ms2File to_ms2() const;
+};
+
+/// Samples peptides uniformly from `peptides` and synthesizes one spectrum
+/// per draw. Deterministic given the seed.
+GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
+                                  const chem::ModificationSet& mods,
+                                  const SpectraParams& params);
+
+}  // namespace lbe::synth

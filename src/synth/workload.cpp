@@ -1,0 +1,83 @@
+#include "synth/workload.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "digest/digestor.hpp"
+#include "digest/enzyme.hpp"
+
+namespace lbe::synth {
+
+Workload make_workload(const WorkloadParams& params) {
+  Workload workload;
+  workload.mods = chem::ModificationSet::paper_default();
+  workload.variant_params = params.variants;
+
+  // §V-A digestion settings: fully tryptic, <= 2 missed cleavages,
+  // length 6-40, mass 100-5000 Da.
+  digest::DigestionParams digestion;
+  const auto& enzyme = digest::trypsin();
+
+  // Grow the proteome family-by-family until enough entries accumulate.
+  // Family generation is prefix-stable (per-family sub-seeds), so this is
+  // equivalent to generating a big proteome and cutting it. Dedup and
+  // variant counting run incrementally — each new peptide is seen once.
+  ProteomeParams proteome = params.proteome;
+  proteome.seed = params.seed;
+  std::unordered_set<std::string> seen;
+  std::uint64_t cumulative = 0;
+  constexpr std::uint32_t kMaxFamilies = 1u << 20;
+
+  for (std::uint32_t family = 0;
+       cumulative < params.target_entries && family < kMaxFamilies;
+       ++family) {
+    const auto records = generate_family(proteome, family);
+    for (std::size_t r = 0;
+         r < records.size() && cumulative < params.target_entries; ++r) {
+      auto peptides = digest::digest_protein(records[r].sequence, 0, enzyme,
+                                             digestion);
+      for (auto& peptide : peptides) {
+        if (cumulative >= params.target_entries) break;
+        if (!seen.insert(peptide.sequence).second) continue;
+        cumulative += digest::count_variants(peptide.sequence, workload.mods,
+                                             workload.variant_params);
+        workload.base_peptides.push_back(std::move(peptide.sequence));
+      }
+    }
+  }
+  if (cumulative < params.target_entries) {
+    throw ConfigError("workload: could not reach target_entries");
+  }
+  workload.planned_entries = cumulative;
+
+  // Queries sample the retained peptides.
+  SpectraParams spectra = params.spectra;
+  spectra.num_spectra = params.num_queries;
+  spectra.seed = params.seed ^ 0xABCDEF;
+  auto generated =
+      generate_spectra(workload.base_peptides, workload.mods, spectra);
+  workload.queries = std::move(generated.spectra);
+  workload.query_truth = std::move(generated.truth);
+
+  log::debug("workload: ", workload.base_peptides.size(), " base peptides, ",
+             workload.planned_entries, " entries, ",
+             workload.queries.size(), " queries");
+  return workload;
+}
+
+Workload make_paper_workload(std::uint64_t target_entries,
+                             std::uint32_t num_queries, std::uint64_t seed) {
+  WorkloadParams params;
+  params.target_entries = target_entries;
+  params.num_queries = num_queries;
+  params.seed = seed;
+  params.variants.max_mod_residues = 5;  // §V-A: <= 5 modified residues
+  // Cap the blow-up per peptide so scaled-down runs stay tractable while
+  // preserving the "index grows much faster than the peptide count" effect.
+  params.variants.max_variants_per_peptide = 64;
+  return make_workload(params);
+}
+
+}  // namespace lbe::synth

@@ -1,0 +1,53 @@
+// Benchmark workload presets mirroring §V-A of the paper, scaled to finish
+// in seconds on one core. A workload bundles everything one experiment
+// needs: deduplicated base peptides (the digested database), the paper's
+// modification set, variant limits, and a query batch with ground truth.
+//
+// `target_entries` plays the role of the paper's "index size (million
+// peptides & spectra)" axis: the base peptide list is cut where cumulative
+// variant counts reach the target, so the realized index size lands within
+// one peptide's variant count of the request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/modification.hpp"
+#include "chem/spectrum.hpp"
+#include "digest/variants.hpp"
+#include "synth/proteome.hpp"
+#include "synth/spectra.hpp"
+
+namespace lbe::synth {
+
+struct WorkloadParams {
+  std::uint64_t target_entries = 100000;  ///< index entries incl. variants
+  std::uint32_t num_queries = 200;
+  std::uint64_t seed = 2019;  ///< publication year; any value works
+  ProteomeParams proteome;    ///< family structure knobs
+  SpectraParams spectra;      ///< query realism knobs
+  digest::VariantParams variants;
+};
+
+struct Workload {
+  std::vector<std::string> base_peptides;  ///< digested + deduplicated
+  chem::ModificationSet mods;              ///< paper defaults (§V-A)
+  digest::VariantParams variant_params;
+  std::vector<chem::Spectrum> queries;
+  std::vector<std::uint32_t> query_truth;  ///< base-peptide index per query
+  std::uint64_t planned_entries = 0;       ///< realized variant total
+};
+
+/// Builds a workload: grows the synthetic proteome family-by-family until
+/// the digested+expanded entry count reaches the target, then generates
+/// queries from the retained peptides. Deterministic given `seed`.
+Workload make_workload(const WorkloadParams& params);
+
+/// Convenience used by every figure bench: paper-default settings at a
+/// given index size and query count.
+Workload make_paper_workload(std::uint64_t target_entries,
+                             std::uint32_t num_queries,
+                             std::uint64_t seed = 2019);
+
+}  // namespace lbe::synth

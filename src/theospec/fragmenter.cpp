@@ -1,0 +1,90 @@
+#include "theospec/fragmenter.hpp"
+
+#include <algorithm>
+
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+
+namespace lbe::theospec {
+
+std::vector<Fragment> fragment_peptide(const chem::Peptide& peptide,
+                                       const chem::ModificationSet& mods,
+                                       const FragmentParams& params) {
+  LBE_CHECK(params.max_fragment_charge >= 1, "need max_fragment_charge >= 1");
+  const std::size_t n = peptide.length();
+  std::vector<Fragment> out;
+  if (n < 2) return out;
+
+  // Prefix sums of residue deltas give every b/y neutral mass in O(n).
+  std::vector<Mass> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + peptide.residue_delta(i, mods);
+  }
+  const Mass total = prefix[n];
+
+  out.reserve(fragment_count(n, params));
+  auto emit = [&](Mass neutral, IonSeries series, std::uint16_t ordinal) {
+    for (Charge z = 1; z <= params.max_fragment_charge; ++z) {
+      out.push_back(
+          Fragment{chem::mz_from_mass(neutral, z), series, ordinal, z});
+    }
+    if (params.neutral_loss_nh3 && series != IonSeries::kA) {
+      for (Charge z = 1; z <= params.max_fragment_charge; ++z) {
+        out.push_back(Fragment{chem::mz_from_mass(neutral - chem::kAmmonia, z),
+                               series, ordinal, z});
+      }
+    }
+    if (params.neutral_loss_h2o && series != IonSeries::kA) {
+      for (Charge z = 1; z <= params.max_fragment_charge; ++z) {
+        out.push_back(Fragment{chem::mz_from_mass(neutral - chem::kWater, z),
+                               series, ordinal, z});
+      }
+    }
+  };
+
+  for (std::size_t i = 1; i < n; ++i) {
+    // b_i: first i residues; neutral b mass = sum(residues) (acylium form).
+    const Mass b_neutral = prefix[i];
+    emit(b_neutral, IonSeries::kB, static_cast<std::uint16_t>(i));
+    if (params.a_ions) {
+      emit(b_neutral - chem::kCarbonMonoxide, IonSeries::kA,
+           static_cast<std::uint16_t>(i));
+    }
+    // y_{n-i}: last n-i residues plus water.
+    const Mass y_neutral = total - prefix[i] + chem::kWater;
+    emit(y_neutral, IonSeries::kY, static_cast<std::uint16_t>(n - i));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Fragment& a, const Fragment& b) { return a.mz < b.mz; });
+  return out;
+}
+
+chem::Spectrum theoretical_spectrum(const chem::Peptide& peptide,
+                                    const chem::ModificationSet& mods,
+                                    const FragmentParams& params) {
+  chem::Spectrum spec;
+  for (const auto& fragment : fragment_peptide(peptide, mods, params)) {
+    spec.add_peak(fragment.mz, 1.0f);
+  }
+  spec.precursor.neutral_mass = peptide.mass(mods);
+  spec.precursor.charge = 2;
+  spec.precursor.mz =
+      chem::mz_from_mass(spec.precursor.neutral_mass, spec.precursor.charge);
+  spec.finalize();
+  return spec;
+}
+
+std::size_t fragment_count(std::size_t peptide_length,
+                           const FragmentParams& params) {
+  if (peptide_length < 2) return 0;
+  const std::size_t cuts = peptide_length - 1;
+  const std::size_t z = params.max_fragment_charge;
+  std::size_t per_cut = 2 * z;                       // b + y
+  if (params.a_ions) per_cut += z;                   // a
+  if (params.neutral_loss_nh3) per_cut += 2 * z;     // b/y - NH3
+  if (params.neutral_loss_h2o) per_cut += 2 * z;     // b/y - H2O
+  return cuts * per_cut;
+}
+
+}  // namespace lbe::theospec

@@ -1,0 +1,100 @@
+#include "chem/amino_acid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chem/mass.hpp"
+
+namespace lbe::chem {
+namespace {
+
+TEST(AminoAcid, TwentyCanonicalResidues) {
+  EXPECT_EQ(kResidues.size(), 20u);
+  for (const char c : kResidues) EXPECT_TRUE(is_residue(c)) << c;
+}
+
+TEST(AminoAcid, NonResiduesRejected) {
+  for (const char c : {'B', 'J', 'O', 'U', 'X', 'Z'}) {
+    EXPECT_FALSE(is_residue(c)) << c;
+  }
+  EXPECT_FALSE(is_residue('a'));  // lower case is not canonical
+  EXPECT_FALSE(is_residue('1'));
+  EXPECT_FALSE(is_residue(' '));
+}
+
+TEST(AminoAcid, KnownMonoisotopicMasses) {
+  EXPECT_NEAR(residue_mass('G'), 57.02146, 1e-4);
+  EXPECT_NEAR(residue_mass('A'), 71.03711, 1e-4);
+  EXPECT_NEAR(residue_mass('W'), 186.07931, 1e-4);
+  EXPECT_NEAR(residue_mass('K'), 128.09496, 1e-4);
+  EXPECT_NEAR(residue_mass('R'), 156.10111, 1e-4);
+}
+
+TEST(AminoAcid, LeucineIsoleucineIsobaric) {
+  EXPECT_DOUBLE_EQ(residue_mass('L'), residue_mass('I'));
+}
+
+TEST(AminoAcid, GlycineIsLightestTryptophanHeaviest) {
+  for (const char c : kResidues) {
+    EXPECT_GE(residue_mass(c), residue_mass('G'));
+    EXPECT_LE(residue_mass(c), residue_mass('W'));
+  }
+}
+
+TEST(AminoAcid, ResidueMassOrZeroSafeOnJunk) {
+  EXPECT_DOUBLE_EQ(residue_mass_or_zero('#'), 0.0);
+  EXPECT_DOUBLE_EQ(residue_mass_or_zero('B'), 0.0);
+  EXPECT_GT(residue_mass_or_zero('A'), 0.0);
+}
+
+TEST(AminoAcid, FindInvalidResidue) {
+  EXPECT_EQ(find_invalid_residue("PEPTIDE"), std::string_view::npos);
+  EXPECT_EQ(find_invalid_residue("PEPXTIDE"), 3u);
+  EXPECT_EQ(find_invalid_residue(""), 0u);
+  EXPECT_EQ(find_invalid_residue("b"), 0u);
+}
+
+TEST(AminoAcid, PeptideMassIsResiduesPlusWater) {
+  // Glycine dipeptide GG: 2 * 57.02146 + water.
+  EXPECT_NEAR(peptide_mass("GG"), 2 * 57.02146374 + kWater, 1e-6);
+}
+
+TEST(AminoAcid, KnownPeptideMass) {
+  // PEPTIDE: a community reference value, monoisotopic ~799.36 Da.
+  EXPECT_NEAR(peptide_mass("PEPTIDE"), 799.35997, 1e-3);
+}
+
+TEST(AminoAcid, PeptideMassAdditive) {
+  const Mass ab = peptide_mass("ACDK");
+  const Mass a = peptide_mass("AC");
+  const Mass b = peptide_mass("DK");
+  // Concatenation removes one water.
+  EXPECT_NEAR(ab, a + b - kWater, 1e-9);
+}
+
+TEST(AminoAcid, SwissprotFrequenciesSumToOne) {
+  const auto& freq = swissprot_frequencies();
+  const double sum = std::accumulate(freq.begin(), freq.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 0.01);
+  for (const double f : freq) EXPECT_GT(f, 0.0);
+}
+
+TEST(MassConversions, MzRoundTrip) {
+  const Mass neutral = 1500.75;
+  for (Charge z = 1; z <= 4; ++z) {
+    const Mz mz = mz_from_mass(neutral, z);
+    EXPECT_NEAR(mass_from_mz(mz, z), neutral, 1e-9);
+    EXPECT_GT(mz, 0.0);
+  }
+}
+
+TEST(MassConversions, HigherChargeLowerMz) {
+  const Mass neutral = 2000.0;
+  EXPECT_GT(mz_from_mass(neutral, 1), mz_from_mass(neutral, 2));
+  EXPECT_GT(mz_from_mass(neutral, 2), mz_from_mass(neutral, 3));
+}
+
+}  // namespace
+}  // namespace lbe::chem

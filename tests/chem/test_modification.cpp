@@ -1,0 +1,88 @@
+#include "chem/modification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::chem {
+namespace {
+
+TEST(ModificationSet, PaperDefaultHasThreeMods) {
+  const auto mods = ModificationSet::paper_default();
+  ASSERT_EQ(mods.size(), 3u);
+  EXPECT_EQ(mods[0].name, "Deamidation");
+  EXPECT_EQ(mods[1].name, "GlyGly");
+  EXPECT_EQ(mods[2].name, "Oxidation");
+}
+
+TEST(ModificationSet, PaperDefaultDeltas) {
+  const auto mods = ModificationSet::paper_default();
+  EXPECT_NEAR(mods[0].delta, 0.984016, 1e-5);    // deamidation
+  EXPECT_NEAR(mods[1].delta, 114.042927, 1e-5);  // GlyGly == GG residue mass
+  EXPECT_NEAR(mods[2].delta, 15.994915, 1e-5);   // oxidation
+}
+
+TEST(ModificationSet, AppliesToTargets) {
+  const auto mods = ModificationSet::paper_default();
+  EXPECT_TRUE(mods[0].applies_to('N'));
+  EXPECT_TRUE(mods[0].applies_to('Q'));
+  EXPECT_FALSE(mods[0].applies_to('M'));
+  EXPECT_TRUE(mods[2].applies_to('M'));
+}
+
+TEST(ModificationSet, VariableModsForResidue) {
+  const auto mods = ModificationSet::paper_default();
+  const auto for_m = mods.variable_mods_for('M');
+  ASSERT_EQ(for_m.size(), 1u);
+  EXPECT_EQ(mods[for_m[0]].name, "Oxidation");
+  EXPECT_TRUE(mods.variable_mods_for('A').empty());
+  const auto for_k = mods.variable_mods_for('K');
+  ASSERT_EQ(for_k.size(), 1u);
+  EXPECT_EQ(mods[for_k[0]].name, "GlyGly");
+}
+
+TEST(ModificationSet, FixedModsExcludedFromVariableLookup) {
+  ModificationSet mods;
+  mods.add({"Carbamidomethyl", 57.021464, "C", true});
+  EXPECT_TRUE(mods.variable_mods_for('C').empty());
+  EXPECT_NEAR(mods.fixed_delta('C'), 57.021464, 1e-6);
+  EXPECT_DOUBLE_EQ(mods.fixed_delta('A'), 0.0);
+}
+
+TEST(ModificationSet, AddValidation) {
+  ModificationSet mods;
+  EXPECT_THROW(mods.add({"", 1.0, "A", false}), ConfigError);
+  EXPECT_THROW(mods.add({"NoTargets", 1.0, "", false}), ConfigError);
+  EXPECT_THROW(mods.add({"BadResidue", 1.0, "X", false}), ConfigError);
+  mods.add({"Ok", 1.0, "A", false});
+  EXPECT_THROW(mods.add({"Ok", 2.0, "C", false}), ConfigError);  // duplicate
+}
+
+TEST(ModificationSet, ParseRoundTrip) {
+  const auto mods = ModificationSet::parse(
+      "Oxidation:15.994915:M;Deamidation:0.984016:NQ;Fixed1:57.02:C:fixed");
+  ASSERT_EQ(mods.size(), 3u);
+  EXPECT_EQ(mods[0].name, "Oxidation");
+  EXPECT_FALSE(mods[0].fixed);
+  EXPECT_TRUE(mods[2].fixed);
+  EXPECT_EQ(mods[2].residues, "C");
+}
+
+TEST(ModificationSet, ParseEmptyGivesEmptySet) {
+  EXPECT_EQ(ModificationSet::parse("").size(), 0u);
+  EXPECT_EQ(ModificationSet::parse("  ").size(), 0u);
+}
+
+TEST(ModificationSet, ParseRejectsMalformed) {
+  EXPECT_THROW(ModificationSet::parse("JustAName"), ConfigError);
+  EXPECT_THROW(ModificationSet::parse("A:notanumber:M"), ConfigError);
+  EXPECT_THROW(ModificationSet::parse("A:1.0:M:banana"), ConfigError);
+}
+
+TEST(ModificationSet, ParseLowercasesResiduesUp) {
+  const auto mods = ModificationSet::parse("Ox:15.99:m");
+  EXPECT_TRUE(mods[0].applies_to('M'));
+}
+
+}  // namespace
+}  // namespace lbe::chem

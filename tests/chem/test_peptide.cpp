@@ -1,0 +1,97 @@
+#include "chem/peptide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/amino_acid.hpp"
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+
+namespace lbe::chem {
+namespace {
+
+class PeptideTest : public ::testing::Test {
+ protected:
+  ModificationSet mods_ = ModificationSet::paper_default();
+};
+
+TEST_F(PeptideTest, ValidSequenceAccepted) {
+  const Peptide p("PEPTIDEK");
+  EXPECT_EQ(p.sequence(), "PEPTIDEK");
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_FALSE(p.modified());
+}
+
+TEST_F(PeptideTest, InvalidSequenceRejected) {
+  EXPECT_THROW(Peptide("PEPXIDE"), ConfigError);
+  EXPECT_THROW(Peptide(""), ConfigError);
+  EXPECT_THROW(Peptide("pep"), ConfigError);
+}
+
+TEST_F(PeptideTest, UnmodifiedMassMatchesAminoAcidSum) {
+  const Peptide p("ACDEFGHIK");
+  EXPECT_NEAR(p.mass(mods_), peptide_mass("ACDEFGHIK"), 1e-9);
+}
+
+TEST_F(PeptideTest, ModifiedMassAddsDelta) {
+  // Oxidation is mod id 2 in paper_default; M is at position 0.
+  const Peptide p("MKWVTFISLLLLFSSAYSR", {{0, 2}}, mods_);
+  EXPECT_TRUE(p.modified());
+  EXPECT_NEAR(p.mass(mods_),
+              peptide_mass("MKWVTFISLLLLFSSAYSR") + 15.99491462, 1e-5);
+}
+
+TEST_F(PeptideTest, MultipleModsSumDeltas) {
+  // N at 0 (deamidation id 0), K at 3 (GlyGly id 1).
+  const Peptide p("NACK", {{0, 0}, {3, 1}}, mods_);
+  EXPECT_NEAR(p.mass(mods_),
+              peptide_mass("NACK") + 0.98401585 + 114.04292744, 1e-5);
+}
+
+TEST_F(PeptideTest, SiteValidationRejectsBadPositions) {
+  EXPECT_THROW(Peptide("MK", {{5, 2}}, mods_), ConfigError);     // off end
+  EXPECT_THROW(Peptide("MK", {{0, 99}}, mods_), ConfigError);    // bad mod id
+  EXPECT_THROW(Peptide("MK", {{1, 2}}, mods_), ConfigError);     // Ox on K
+  EXPECT_THROW(Peptide("MM", {{1, 2}, {0, 2}}, mods_), ConfigError);  // order
+  EXPECT_THROW(Peptide("MM", {{0, 2}, {0, 2}}, mods_), ConfigError);  // dup
+}
+
+TEST_F(PeptideTest, ResidueDeltaIncludesPlacedMod) {
+  const Peptide p("MAM", {{2, 2}}, mods_);
+  EXPECT_NEAR(p.residue_delta(0, mods_), residue_mass('M'), 1e-9);
+  EXPECT_NEAR(p.residue_delta(2, mods_), residue_mass('M') + 15.99491462,
+              1e-5);
+}
+
+TEST_F(PeptideTest, ResidueDeltasSumToMass) {
+  const Peptide p("NMCKQ", {{1, 2}, {3, 1}}, mods_);
+  Mass sum = kWater;
+  for (std::size_t i = 0; i < p.length(); ++i) {
+    sum += p.residue_delta(i, mods_);
+  }
+  EXPECT_NEAR(sum, p.mass(mods_), 1e-9);
+}
+
+TEST_F(PeptideTest, AnnotatedForm) {
+  const Peptide plain("PEPK");
+  EXPECT_EQ(plain.annotated(mods_), "PEPK");
+  const Peptide modified("MPEK", {{0, 2}, {3, 1}}, mods_);
+  EXPECT_EQ(modified.annotated(mods_), "M(Oxidation)PEK(GlyGly)");
+}
+
+TEST_F(PeptideTest, EqualityIncludesSites) {
+  const Peptide a("MK");
+  const Peptide b("MK");
+  const Peptide c("MK", {{0, 2}}, mods_);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(PeptideTest, FixedModsAppliedToMass) {
+  ModificationSet fixed;
+  fixed.add({"Carbamidomethyl", 57.021464, "C", true});
+  const Peptide p("ACC");
+  EXPECT_NEAR(p.mass(fixed), peptide_mass("ACC") + 2 * 57.021464, 1e-5);
+}
+
+}  // namespace
+}  // namespace lbe::chem

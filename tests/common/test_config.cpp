@@ -1,0 +1,102 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = Config::from_string(
+      "resolution = 0.01\n"
+      "# a comment\n"
+      "\n"
+      "policy = cyclic\n");
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.get_double("resolution"), 0.01);
+  EXPECT_EQ(cfg.get_string("policy"), "cyclic");
+}
+
+TEST(Config, TrimsKeysAndValues) {
+  const auto cfg = Config::from_string("  key   =   value with spaces  \n");
+  EXPECT_EQ(cfg.get_string("key"), "value with spaces");
+}
+
+TEST(Config, MissingKeyThrows) {
+  const Config cfg;
+  EXPECT_THROW(cfg.get_string("nope"), ConfigError);
+  EXPECT_THROW(cfg.get_double("nope"), ConfigError);
+  EXPECT_THROW(cfg.get_int("nope"), ConfigError);
+  EXPECT_THROW(cfg.get_bool("nope"), ConfigError);
+}
+
+TEST(Config, FallbacksUsedWhenMissing) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_string("k", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cfg.get_double("k", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_int("k", 7), 7);
+  EXPECT_TRUE(cfg.get_bool("k", true));
+}
+
+TEST(Config, FallbackNotUsedWhenPresent) {
+  const auto cfg = Config::from_string("x = 9\n");
+  EXPECT_EQ(cfg.get_int("x", 7), 9);
+}
+
+TEST(Config, BadNumberThrows) {
+  const auto cfg = Config::from_string("x = not_a_number\n");
+  EXPECT_THROW(cfg.get_double("x"), ConfigError);
+  EXPECT_THROW(cfg.get_double("x", 1.0), ConfigError);
+}
+
+TEST(Config, NonIntegerRejectedByGetInt) {
+  const auto cfg = Config::from_string("x = 1.5\n");
+  EXPECT_THROW(cfg.get_int("x"), ConfigError);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg = Config::from_string(
+      "a = true\nb = FALSE\nc = 1\nd = off\ne = Yes\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+  EXPECT_TRUE(cfg.get_bool("e"));
+  EXPECT_THROW(Config::from_string("f = maybe\n").get_bool("f"), ConfigError);
+}
+
+TEST(Config, MalformedLineThrowsWithLineNumber) {
+  try {
+    Config::from_string("ok = 1\nbroken line\n", "test.cfg");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.file(), "test.cfg");
+  }
+}
+
+TEST(Config, EmptyKeyRejected) {
+  EXPECT_THROW(Config::from_string("= value\n"), ParseError);
+}
+
+TEST(Config, LaterValueOverridesEarlier) {
+  const auto cfg = Config::from_string("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k"), 2);
+}
+
+TEST(Config, RoundTripsThroughToString) {
+  const auto cfg = Config::from_string("b = 2\na = 1\n");
+  const auto again = Config::from_string(cfg.to_string());
+  EXPECT_EQ(again.get_int("a"), 1);
+  EXPECT_EQ(again.get_int("b"), 2);
+  // Deterministic (sorted) serialization.
+  EXPECT_EQ(cfg.to_string(), "a = 1\nb = 2\n");
+}
+
+TEST(Config, MissingFileThrowsIoError) {
+  EXPECT_THROW(Config::from_file("/nonexistent/path/x.cfg"), IoError);
+}
+
+}  // namespace
+}  // namespace lbe

@@ -1,0 +1,58 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbe {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "series", "value"});
+  csv.row({"1", "chunk", "120.5"});
+  csv.row({"2", "cyclic", "8"});
+  EXPECT_EQ(out.str(),
+            "x,series,value\n"
+            "1,chunk,120.5\n"
+            "2,cyclic,8\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a"});
+  csv.row({"hello, world"});
+  EXPECT_EQ(out.str(), "a\n\"hello, world\"\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a"});
+  csv.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"only one"}), InvariantError);
+}
+
+TEST(Csv, EmptyColumnsRejected) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), InvariantError);
+}
+
+TEST(Csv, NumericFieldFormatting) {
+  EXPECT_EQ(CsvWriter::field(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::field(0.000012345), "1.2345e-05");
+  EXPECT_EQ(CsvWriter::field(std::uint64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::field(std::int64_t{-3}), "-3");
+  EXPECT_EQ(CsvWriter::field(7), "7");
+}
+
+}  // namespace
+}  // namespace lbe

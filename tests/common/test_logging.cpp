@@ -1,0 +1,63 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lbe::log {
+namespace {
+
+struct Captured {
+  Level level;
+  std::string message;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::kDebug);
+    set_sink([this](Level lvl, const std::string& msg) {
+      captured_.push_back({lvl, msg});
+    });
+  }
+  void TearDown() override {
+    set_sink(nullptr);
+    set_level(Level::kInfo);
+  }
+  std::vector<Captured> captured_;
+};
+
+TEST_F(LoggingTest, MessagesReachSink) {
+  info("hello ", 42);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "hello 42");
+  EXPECT_EQ(captured_[0].level, Level::kInfo);
+}
+
+TEST_F(LoggingTest, LevelFilterSuppresses) {
+  set_level(Level::kWarn);
+  debug("invisible");
+  info("also invisible");
+  warn("visible");
+  error("also visible");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].level, Level::kWarn);
+  EXPECT_EQ(captured_[1].level, Level::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_level(Level::kOff);
+  error("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, ConcatenatesMixedTypes) {
+  set_level(Level::kDebug);
+  debug("x=", 1.5, " y=", 2, " z=", "str");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "x=1.5 y=2 z=str");
+}
+
+}  // namespace
+}  // namespace lbe::log

@@ -1,0 +1,131 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace lbe {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro, BelowCoversRangeUniformly) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // within 10% of expected
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, NormalMomentsRoughlyStandard) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Xoshiro256 rng(14);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Xoshiro256 rng(15);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // 1/100! chance of false failure
+}
+
+TEST(Shuffle, DeterministicForSeed) {
+  std::vector<int> a(50);
+  std::iota(a.begin(), a.end(), 0);
+  auto b = a;
+  Xoshiro256 rng_a(77);
+  Xoshiro256 rng_b(77);
+  shuffle(a.begin(), a.end(), rng_a);
+  shuffle(b.begin(), b.end(), rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shuffle, HandlesDegenerateSizes) {
+  Xoshiro256 rng(16);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  std::vector<int> one{42};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(SplitMix, KnownFirstOutputsDiffer) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lbe

@@ -1,0 +1,128 @@
+#include "core/edit_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace lbe::core {
+namespace {
+
+TEST(EditDistance, IdenticalStringsZero) {
+  EXPECT_EQ(edit_distance("PEPTIDE", "PEPTIDE"), 0u);
+  EXPECT_EQ(edit_distance("", ""), 0u);
+}
+
+TEST(EditDistance, EmptyVsNonEmpty) {
+  EXPECT_EQ(edit_distance("", "ABC"), 3u);
+  EXPECT_EQ(edit_distance("ABC", ""), 3u);
+}
+
+TEST(EditDistance, SingleOperations) {
+  EXPECT_EQ(edit_distance("PEPTIDE", "PEPTIDES"), 1u);  // insert
+  EXPECT_EQ(edit_distance("PEPTIDE", "PEPTIDE"), 0u);
+  EXPECT_EQ(edit_distance("PEPTIDE", "PEPTIDX"), 1u);   // substitute
+  EXPECT_EQ(edit_distance("PEPTIDE", "PEPTID"), 1u);    // delete
+}
+
+TEST(EditDistance, ClassicExamples) {
+  EXPECT_EQ(edit_distance("KITTEN", "SITTING"), 3u);
+  EXPECT_EQ(edit_distance("SUNDAY", "SATURDAY"), 3u);
+  EXPECT_EQ(edit_distance("FLAW", "LAWN"), 2u);
+}
+
+TEST(EditDistance, Symmetric) {
+  EXPECT_EQ(edit_distance("INTENTION", "EXECUTION"),
+            edit_distance("EXECUTION", "INTENTION"));
+}
+
+TEST(BoundedEditDistance, ExactWithinLimit) {
+  EXPECT_EQ(bounded_edit_distance("KITTEN", "SITTING", 3), 3u);
+  EXPECT_EQ(bounded_edit_distance("KITTEN", "SITTING", 5), 3u);
+  EXPECT_EQ(bounded_edit_distance("AAA", "AAA", 0), 0u);
+}
+
+TEST(BoundedEditDistance, ReportsExceededAsAboveLimit) {
+  EXPECT_GT(bounded_edit_distance("KITTEN", "SITTING", 2), 2u);
+  EXPECT_GT(bounded_edit_distance("AAAA", "BBBB", 3), 3u);
+}
+
+TEST(BoundedEditDistance, LengthGapShortCircuits) {
+  EXPECT_GT(bounded_edit_distance("A", "AAAAAAAAAA", 3), 3u);
+}
+
+TEST(BoundedEditDistance, EmptyStringEdgeCases) {
+  EXPECT_EQ(bounded_edit_distance("", "", 0), 0u);
+  EXPECT_EQ(bounded_edit_distance("AB", "", 2), 2u);
+  EXPECT_GT(bounded_edit_distance("ABC", "", 2), 2u);
+}
+
+// Property: banded result agrees with the reference DP whenever the true
+// distance is within the limit, and exceeds the limit otherwise.
+class BoundedVsReference
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(BoundedVsReference, AgreesWithFullDp) {
+  const auto [seed, limit] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len_a = 1 + rng.below(24);
+    const std::size_t len_b = 1 + rng.below(24);
+    std::string a;
+    std::string b;
+    for (std::size_t i = 0; i < len_a; ++i) {
+      a += alphabet[rng.below(alphabet.size())];
+    }
+    // Half the time, derive b from a by light mutation so small distances
+    // are well represented.
+    if (round % 2 == 0) {
+      b = a;
+      const std::size_t edits = rng.below(4);
+      for (std::size_t e = 0; e < edits && !b.empty(); ++e) {
+        b[rng.below(b.size())] = alphabet[rng.below(alphabet.size())];
+      }
+    } else {
+      for (std::size_t i = 0; i < len_b; ++i) {
+        b += alphabet[rng.below(alphabet.size())];
+      }
+    }
+    const std::uint32_t exact = edit_distance(a, b);
+    const std::uint32_t banded = bounded_edit_distance(a, b, limit);
+    if (exact <= limit) {
+      EXPECT_EQ(banded, exact) << a << " vs " << b << " limit " << limit;
+    } else {
+      EXPECT_GT(banded, limit) << a << " vs " << b << " limit " << limit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundedVsReference,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u)));
+
+TEST(EditDistance, TriangleInequalityOnRandomTriples) {
+  Xoshiro256 rng(99);
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  auto random_string = [&](std::size_t max_len) {
+    std::string s;
+    const std::size_t len = 1 + rng.below(max_len);
+    for (std::size_t i = 0; i < len; ++i) {
+      s += alphabet[rng.below(alphabet.size())];
+    }
+    return s;
+  };
+  for (int round = 0; round < 100; ++round) {
+    const std::string a = random_string(15);
+    const std::string b = random_string(15);
+    const std::string c = random_string(15);
+    EXPECT_LE(edit_distance(a, c),
+              edit_distance(a, b) + edit_distance(b, c));
+  }
+}
+
+}  // namespace
+}  // namespace lbe::core

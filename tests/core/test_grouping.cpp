@@ -1,0 +1,203 @@
+#include "core/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/edit_distance.hpp"
+
+namespace lbe::core {
+namespace {
+
+std::vector<std::string> shuffled(std::vector<std::string> v,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  shuffle(v.begin(), v.end(), rng);
+  return v;
+}
+
+TEST(GroupingParams, Validation) {
+  GroupingParams params;
+  EXPECT_NO_THROW(params.validate());
+  params.d_prime = 1.5;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = GroupingParams{};
+  params.gsize = 0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(Grouping, EmptyInput) {
+  const auto result = group_peptides({}, GroupingParams{});
+  EXPECT_TRUE(result.sequences.empty());
+  EXPECT_TRUE(result.group_sizes.empty());
+}
+
+TEST(Grouping, SingleSequenceSingleGroup) {
+  const auto result = group_peptides({"PEPTIDEK"}, GroupingParams{});
+  ASSERT_EQ(result.group_sizes.size(), 1u);
+  EXPECT_EQ(result.group_sizes[0], 1u);
+}
+
+TEST(Grouping, SortIsByLengthThenLex) {
+  const auto result = group_peptides(
+      {"CCC", "BBBB", "AAAA", "DD"}, GroupingParams{});
+  ASSERT_EQ(result.sequences.size(), 4u);
+  EXPECT_EQ(result.sequences[0], "DD");
+  EXPECT_EQ(result.sequences[1], "CCC");
+  EXPECT_EQ(result.sequences[2], "AAAA");
+  EXPECT_EQ(result.sequences[3], "BBBB");
+}
+
+TEST(Grouping, GroupSizesSumToInput) {
+  std::vector<std::string> seqs;
+  Xoshiro256 rng(3);
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    const std::size_t len = 6 + rng.below(20);
+    for (std::size_t j = 0; j < len; ++j) {
+      s += alphabet[rng.below(alphabet.size())];
+    }
+    seqs.push_back(std::move(s));
+  }
+  const auto result = group_peptides(seqs, GroupingParams{});
+  const std::uint64_t total = std::accumulate(
+      result.group_sizes.begin(), result.group_sizes.end(), std::uint64_t{0});
+  EXPECT_EQ(total, seqs.size());
+  EXPECT_EQ(result.sequences.size(), seqs.size());
+  EXPECT_EQ(result.permutation.size(), seqs.size());
+}
+
+TEST(Grouping, PermutationIsValid) {
+  const std::vector<std::string> input = {"CCC", "BBBB", "AAAA", "DD"};
+  const auto result = group_peptides(input, GroupingParams{});
+  std::vector<bool> seen(input.size(), false);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint32_t orig = result.permutation[i];
+    ASSERT_LT(orig, input.size());
+    EXPECT_FALSE(seen[orig]);
+    seen[orig] = true;
+    EXPECT_EQ(result.sequences[i], input[orig]);
+  }
+}
+
+TEST(Grouping, GsizeCapRespected) {
+  // 50 identical sequences with gsize 20 must split into 20/20/10.
+  std::vector<std::string> seqs(50, "PEPTIDEK");
+  GroupingParams params;
+  params.gsize = 20;
+  const auto result = group_peptides(seqs, params);
+  ASSERT_EQ(result.group_sizes.size(), 3u);
+  EXPECT_EQ(result.group_sizes[0], 20u);
+  EXPECT_EQ(result.group_sizes[1], 20u);
+  EXPECT_EQ(result.group_sizes[2], 10u);
+}
+
+TEST(Grouping, SimilarSequencesGroupedTogether) {
+  // A family of near-identical peptides and one outlier of equal length.
+  GroupingParams params;
+  params.criterion = GroupingCriterion::kAbsolute;
+  params.d = 2;
+  const std::vector<std::string> seqs = {
+      "AAAAAAAAGK", "AAAAAAAACK", "AAAAAAAAMK", "WWWWWWWWWW"};
+  const auto result = group_peptides(seqs, params);
+  // Sorted: AAAAAAAACK, AAAAAAAAGK, AAAAAAAAMK, WWWWWWWWWW.
+  ASSERT_EQ(result.group_sizes.size(), 2u);
+  EXPECT_EQ(result.group_sizes[0], 3u);
+  EXPECT_EQ(result.group_sizes[1], 1u);
+}
+
+TEST(Grouping, InputOrderDoesNotChangeOutput) {
+  std::vector<std::string> seqs;
+  Xoshiro256 rng(5);
+  for (int f = 0; f < 10; ++f) {
+    std::string base = "PEPTIDEBASE";
+    base[0] = static_cast<char>('A' + f);
+    for (int m = 0; m < 5; ++m) {
+      std::string member = base;
+      member[5] = static_cast<char>('A' + m);
+      seqs.push_back(member);
+    }
+  }
+  const auto a = group_peptides(seqs, GroupingParams{});
+  const auto b = group_peptides(shuffled(seqs, 17), GroupingParams{});
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.group_sizes, b.group_sizes);
+}
+
+TEST(Grouping, Criterion1CutoffBehaviour) {
+  GroupingParams params;
+  params.criterion = GroupingCriterion::kAbsolute;
+  params.d = 2;
+  // len 4: cutoff = max(2, 2) = 2.
+  EXPECT_TRUE(passes_cutoff("AAAA", "AABB", params));
+  EXPECT_FALSE(passes_cutoff("AAAA", "ABBB", params));
+  // len 12: cutoff = max(2, 6) = 6 — longer sequences are more permissive.
+  EXPECT_TRUE(passes_cutoff("AAAAAAAAAAAA", "AAAAAABBBBBB", params));
+}
+
+TEST(Grouping, Criterion2CutoffBehaviour) {
+  GroupingParams params;
+  params.criterion = GroupingCriterion::kNormalized;
+  params.d_prime = 0.5;
+  // dist("AAAA","AABB") = 2; 2/4 = 0.5 <= 0.5 passes.
+  EXPECT_TRUE(passes_cutoff("AAAA", "AABB", params));
+  // dist("AAAA","ABBB") = 3; 3/4 > 0.5 fails.
+  EXPECT_FALSE(passes_cutoff("AAAA", "ABBB", params));
+}
+
+TEST(Grouping, PaperDefaultCriterion2IsPermissive) {
+  // d' = 0.86: even quite different same-length sequences pass; groups are
+  // then bounded mostly by gsize. This mirrors the paper's defaults.
+  GroupingParams params;  // defaults: criterion 2, d' = 0.86
+  EXPECT_TRUE(passes_cutoff("AAAAAAAAAA", "AAAABBBBBB", params));
+  EXPECT_FALSE(passes_cutoff("AA", "WWWWWWWWWWWWWWWWWWWW", params));
+}
+
+TEST(Grouping, GroupMembersActuallySimilarUnderCriterion1) {
+  GroupingParams params;
+  params.criterion = GroupingCriterion::kAbsolute;
+  params.d = 2;
+  std::vector<std::string> seqs;
+  Xoshiro256 rng(11);
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (int f = 0; f < 20; ++f) {
+    std::string base;
+    for (int j = 0; j < 12; ++j) base += alphabet[rng.below(20)];
+    for (int m = 0; m < 4; ++m) {
+      std::string member = base;
+      member[rng.below(member.size())] = alphabet[rng.below(20)];
+      seqs.push_back(member);
+    }
+  }
+  const auto result = group_peptides(seqs, params);
+  // Verify the grouping invariant: every member passes the cutoff vs the
+  // group seed (first member of the group).
+  std::size_t position = 0;
+  for (const std::uint32_t size : result.group_sizes) {
+    const std::string& seed = result.sequences[position];
+    for (std::uint32_t k = 1; k < size; ++k) {
+      EXPECT_TRUE(passes_cutoff(seed, result.sequences[position + k], params));
+    }
+    position += size;
+  }
+}
+
+TEST(Grouping, GroupOfDerivation) {
+  std::vector<std::string> seqs(25, "PEPTIDEK");
+  GroupingParams params;
+  params.gsize = 10;
+  const auto result = group_peptides(seqs, params);
+  const auto groups = result.group_of();
+  ASSERT_EQ(groups.size(), 25u);
+  EXPECT_EQ(groups[0], 0u);
+  EXPECT_EQ(groups[9], 0u);
+  EXPECT_EQ(groups[10], 1u);
+  EXPECT_EQ(groups[24], 2u);
+}
+
+}  // namespace
+}  // namespace lbe::core

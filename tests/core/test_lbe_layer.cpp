@@ -1,0 +1,148 @@
+#include "core/lbe_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "digest/variants.hpp"
+#include "io/fasta.hpp"
+
+namespace lbe::core {
+namespace {
+
+class LbeLayerTest : public ::testing::Test {
+ protected:
+  LbeLayerTest() {
+    variant_params_.max_mod_residues = 2;
+    lbe_params_.partition.ranks = 4;
+    lbe_params_.partition.policy = Policy::kCyclic;
+  }
+
+  std::vector<std::string> sample_peptides() const {
+    return {"NMKAAA", "NMKAAC", "NMKAAG",  // family with mods
+            "GGGGGGG", "GGGGGGA",          // family without many mods
+            "WWWWHHHH", "PEPTIDEK", "MMMMKK"};
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  digest::VariantParams variant_params_;
+  LbeParams lbe_params_;
+};
+
+TEST_F(LbeLayerTest, VariantTotalsMatchEnumeration) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  std::uint64_t expected = 0;
+  for (const auto& seq : plan.grouping().sequences) {
+    expected += digest::count_variants(seq, mods_, variant_params_);
+  }
+  EXPECT_EQ(plan.num_variants(), expected);
+  EXPECT_EQ(plan.num_bases(), sample_peptides().size());
+}
+
+TEST_F(LbeLayerTest, MappingCoversAllVariantsOnce) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  const auto& mapping = plan.mapping();
+  EXPECT_EQ(mapping.total_peptides(), plan.num_variants());
+  std::set<GlobalPeptideId> seen;
+  for (RankId rank = 0; rank < plan.ranks(); ++rank) {
+    for (std::size_t local = 0; local < mapping.rank_count(rank); ++local) {
+      const auto global =
+          mapping.to_global(rank, static_cast<LocalPeptideId>(local));
+      EXPECT_TRUE(seen.insert(global).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), plan.num_variants());
+}
+
+TEST_F(LbeLayerTest, RankStoreMatchesMappingOrder) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  for (RankId rank = 0; rank < plan.ranks(); ++rank) {
+    const auto store = plan.build_rank_store(rank);
+    ASSERT_EQ(store.size(), plan.mapping().rank_count(rank));
+    for (std::size_t local = 0; local < store.size(); ++local) {
+      const auto global = plan.mapping().to_global(
+          rank, static_cast<LocalPeptideId>(local));
+      const chem::Peptide expected = plan.variant_peptide(global);
+      EXPECT_EQ(store.materialize(static_cast<LocalPeptideId>(local)),
+                expected);
+    }
+  }
+}
+
+TEST_F(LbeLayerTest, GlobalStoreMatchesVariantIds) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  const auto store = plan.build_global_store();
+  ASSERT_EQ(store.size(), plan.num_variants());
+  for (GlobalPeptideId g = 0; g < store.size(); ++g) {
+    EXPECT_EQ(store.materialize(g), plan.variant_peptide(g));
+  }
+}
+
+TEST_F(LbeLayerTest, VariantsStayWithTheirBase) {
+  // Every variant of a base peptide must live on the same rank.
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  for (GlobalPeptideId g = 0; g < plan.num_variants(); ++g) {
+    const auto loc = plan.locate_variant(g);
+    const RankId rank = plan.mapping().rank_of(g);
+    // The base's first variant must be on the same rank.
+    const auto first_of_base = plan.locate_variant(g).ordinal == 0
+                                   ? g
+                                   : g - loc.ordinal;
+    EXPECT_EQ(plan.mapping().rank_of(first_of_base), rank);
+  }
+}
+
+TEST_F(LbeLayerTest, LocateVariantInverse) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  std::uint64_t cursor = 0;
+  for (std::uint32_t base = 0; base < plan.num_bases(); ++base) {
+    const auto count = digest::count_variants(plan.base_sequence(base), mods_,
+                                              variant_params_);
+    for (std::uint32_t ordinal = 0; ordinal < count; ++ordinal, ++cursor) {
+      const auto loc =
+          plan.locate_variant(static_cast<GlobalPeptideId>(cursor));
+      EXPECT_EQ(loc.base_id, base);
+      EXPECT_EQ(loc.ordinal, ordinal);
+    }
+  }
+  EXPECT_THROW(plan.locate_variant(
+                   static_cast<GlobalPeptideId>(plan.num_variants())),
+               InvariantError);
+}
+
+TEST_F(LbeLayerTest, ClusteredFastaRoundTrip) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  const std::string path = ::testing::TempDir() + "/lbe_clustered.fasta";
+  write_clustered_fasta(path, plan.grouping());
+  const auto loaded = read_clustered_fasta(path);
+  EXPECT_EQ(loaded.sequences, plan.grouping().sequences);
+  EXPECT_EQ(loaded.group_sizes, plan.grouping().group_sizes);
+}
+
+TEST_F(LbeLayerTest, ReadClusteredFastaRejectsPlainFasta) {
+  const std::string path = ::testing::TempDir() + "/lbe_plain.fasta";
+  io::write_fasta_file(path, {{"not-a-cluster-header", "PEPTIDEK"}});
+  EXPECT_THROW(read_clustered_fasta(path), ParseError);
+}
+
+TEST_F(LbeLayerTest, InvalidRankRejected) {
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, lbe_params_);
+  EXPECT_THROW(plan.build_rank_store(-1), InvariantError);
+  EXPECT_THROW(plan.build_rank_store(99), InvariantError);
+}
+
+TEST_F(LbeLayerTest, ChunkPolicyKeepsClusterOrderContiguous) {
+  LbeParams chunk_params = lbe_params_;
+  chunk_params.partition.policy = Policy::kChunk;
+  const LbePlan plan(sample_peptides(), mods_, variant_params_, chunk_params);
+  for (const auto& bases : plan.base_partition().per_rank) {
+    for (std::size_t i = 1; i < bases.size(); ++i) {
+      EXPECT_EQ(bases[i], bases[i - 1] + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbe::core

@@ -1,0 +1,264 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace lbe::core {
+namespace {
+
+// Checks that a plan is a disjoint exact cover of {0..total-1} and local
+// ids are in ascending global order.
+void expect_exact_cover(const PartitionPlan& plan, std::size_t total) {
+  std::vector<bool> seen(total, false);
+  for (const auto& ids : plan.per_rank) {
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    for (const GlobalPeptideId id : ids) {
+      ASSERT_LT(id, total);
+      EXPECT_FALSE(seen[id]) << "id assigned twice: " << id;
+      seen[id] = true;
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_TRUE(seen[i]) << "id unassigned: " << i;
+  }
+}
+
+std::vector<std::uint32_t> uniform_groups(std::size_t count,
+                                          std::uint32_t size) {
+  return std::vector<std::uint32_t>(count, size);
+}
+
+TEST(PolicyParsing, RoundTrip) {
+  EXPECT_EQ(policy_from_string("chunk"), Policy::kChunk);
+  EXPECT_EQ(policy_from_string("CYCLIC"), Policy::kCyclic);
+  EXPECT_EQ(policy_from_string("Random"), Policy::kRandom);
+  EXPECT_THROW(policy_from_string("zigzag"), ConfigError);
+  EXPECT_STREQ(policy_name(Policy::kChunk), "chunk");
+  EXPECT_STREQ(policy_name(Policy::kCyclic), "cyclic");
+  EXPECT_STREQ(policy_name(Policy::kRandom), "random");
+}
+
+TEST(PartitionParams, Validation) {
+  PartitionParams params;
+  params.ranks = 0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+class PolicyCoverage
+    : public ::testing::TestWithParam<std::tuple<Policy, int, std::size_t>> {};
+
+TEST_P(PolicyCoverage, ExactDisjointCover) {
+  const auto [policy, ranks, groups] = GetParam();
+  PartitionParams params;
+  params.policy = policy;
+  params.ranks = ranks;
+  const auto group_sizes = uniform_groups(groups, 20);
+  const auto plan = partition(group_sizes, params);
+  ASSERT_EQ(plan.per_rank.size(), static_cast<std::size_t>(ranks));
+  expect_exact_cover(plan, groups * 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyCoverage,
+    ::testing::Combine(::testing::Values(Policy::kChunk, Policy::kCyclic,
+                                         Policy::kRandom),
+                       ::testing::Values(1, 2, 7, 16),
+                       ::testing::Values(std::size_t{1}, std::size_t{13},
+                                         std::size_t{100})));
+
+TEST(ChunkPolicy, ContiguousRanges) {
+  PartitionParams params;
+  params.policy = Policy::kChunk;
+  params.ranks = 4;
+  const auto plan = partition(uniform_groups(10, 10), params);  // N = 100
+  for (const auto& ids : plan.per_rank) {
+    ASSERT_FALSE(ids.empty());
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], ids[i - 1] + 1);  // contiguous
+    }
+    EXPECT_EQ(ids.size(), 25u);
+  }
+  EXPECT_EQ(plan.per_rank[0].front(), 0u);
+  EXPECT_EQ(plan.per_rank[3].back(), 99u);
+}
+
+TEST(ChunkPolicy, BalancedWhenNotDivisible) {
+  PartitionParams params;
+  params.policy = Policy::kChunk;
+  params.ranks = 3;
+  const auto plan = partition(uniform_groups(1, 10), params);  // N = 10
+  std::vector<std::size_t> sizes;
+  for (const auto& ids : plan.per_rank) sizes.push_back(ids.size());
+  const auto [min_size, max_size] =
+      std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*max_size - *min_size, 1u);
+}
+
+TEST(CyclicPolicy, RoundRobinAssignment) {
+  PartitionParams params;
+  params.policy = Policy::kCyclic;
+  params.ranks = 3;
+  const auto plan = partition(uniform_groups(1, 9), params);
+  EXPECT_EQ(plan.per_rank[0], (std::vector<GlobalPeptideId>{0, 3, 6}));
+  EXPECT_EQ(plan.per_rank[1], (std::vector<GlobalPeptideId>{1, 4, 7}));
+  EXPECT_EQ(plan.per_rank[2], (std::vector<GlobalPeptideId>{2, 5, 8}));
+}
+
+TEST(CyclicPolicy, PerGroupSpreadIsNearUniform) {
+  // Every group of 20 split over 16 ranks: each rank gets 1 or 2 members.
+  PartitionParams params;
+  params.policy = Policy::kCyclic;
+  params.ranks = 16;
+  const std::size_t groups = 64;
+  const auto plan = partition(uniform_groups(groups, 20), params);
+  for (const auto& ids : plan.per_rank) {
+    std::vector<std::size_t> per_group(groups, 0);
+    for (const GlobalPeptideId id : ids) ++per_group[id / 20];
+    for (const std::size_t count : per_group) {
+      EXPECT_GE(count, 1u);
+      EXPECT_LE(count, 2u);
+    }
+  }
+}
+
+TEST(ChunkPolicy, PlacesWholeGroupsOnOneRank) {
+  // The pathology of Fig. 2: group members stay contiguous, so a rank owns
+  // entire groups.
+  PartitionParams params;
+  params.policy = Policy::kChunk;
+  params.ranks = 4;
+  const std::size_t groups = 16;
+  const auto plan = partition(uniform_groups(groups, 20), params);
+  std::size_t whole_groups = 0;
+  for (const auto& ids : plan.per_rank) {
+    std::set<std::uint32_t> touched;
+    std::vector<std::size_t> per_group(groups, 0);
+    for (const GlobalPeptideId id : ids) {
+      touched.insert(id / 20);
+      ++per_group[id / 20];
+    }
+    for (const std::size_t count : per_group) {
+      if (count == 20) ++whole_groups;
+    }
+  }
+  EXPECT_GE(whole_groups, groups - 4);  // at most p-1... boundaries split
+}
+
+TEST(RandomPolicy, DeterministicForSeed) {
+  PartitionParams params;
+  params.policy = Policy::kRandom;
+  params.ranks = 8;
+  params.seed = 123;
+  const auto group_sizes = uniform_groups(50, 20);
+  const auto a = partition(group_sizes, params);
+  const auto b = partition(group_sizes, params);
+  EXPECT_EQ(a.per_rank, b.per_rank);
+}
+
+TEST(RandomPolicy, DifferentSeedsDiffer) {
+  PartitionParams params;
+  params.policy = Policy::kRandom;
+  params.ranks = 8;
+  params.seed = 1;
+  const auto group_sizes = uniform_groups(50, 20);
+  const auto a = partition(group_sizes, params);
+  params.seed = 2;
+  const auto b = partition(group_sizes, params);
+  EXPECT_NE(a.per_rank, b.per_rank);
+}
+
+TEST(RandomPolicy, PerGroupSpreadBounded) {
+  PartitionParams params;
+  params.policy = Policy::kRandom;
+  params.ranks = 16;
+  const std::size_t groups = 64;
+  const auto plan = partition(uniform_groups(groups, 20), params);
+  // Chunk-splitting a shuffled 20-group into 16 parts yields parts of
+  // size 1 or 2 only.
+  for (const auto& ids : plan.per_rank) {
+    std::vector<std::size_t> per_group(groups, 0);
+    for (const GlobalPeptideId id : ids) ++per_group[id / 20];
+    for (const std::size_t count : per_group) EXPECT_LE(count, 2u);
+  }
+}
+
+TEST(RandomPolicy, RotationBalancesRankTotals) {
+  PartitionParams params;
+  params.policy = Policy::kRandom;
+  params.ranks = 16;
+  params.rotate_groups = true;
+  const auto plan = partition(uniform_groups(64, 20), params);  // N = 1280
+  for (const auto& ids : plan.per_rank) {
+    EXPECT_EQ(ids.size(), 80u);  // perfectly balanced with rotation
+  }
+}
+
+TEST(RandomPolicy, NoRotationSkewsFixedRanks) {
+  PartitionParams params;
+  params.policy = Policy::kRandom;
+  params.ranks = 16;
+  params.rotate_groups = false;
+  const auto plan = partition(uniform_groups(64, 20), params);
+  // 20 entries into 16 contiguous floor-boundary parts: parts 3, 7, 11, 15
+  // get 2 members, the rest 1. Without rotation the same ranks receive the
+  // big part for every group — a 2x systematic pile-up rotation fixes.
+  EXPECT_EQ(plan.per_rank[3].size(), 128u);
+  EXPECT_EQ(plan.per_rank[15].size(), 128u);
+  EXPECT_EQ(plan.per_rank[0].size(), 64u);
+  EXPECT_EQ(plan.per_rank[1].size(), 64u);
+}
+
+TEST(PartitionFlat, TreatsEntriesAsSingletonGroups) {
+  PartitionParams params;
+  params.policy = Policy::kCyclic;
+  params.ranks = 4;
+  const auto plan = partition_flat(10, params);
+  expect_exact_cover(plan, 10);
+  EXPECT_EQ(plan.per_rank[0].size(), 3u);
+  EXPECT_EQ(plan.per_rank[3].size(), 2u);
+}
+
+TEST(Partition, SingleRankGetsEverything) {
+  for (const Policy policy :
+       {Policy::kChunk, Policy::kCyclic, Policy::kRandom}) {
+    PartitionParams params;
+    params.policy = policy;
+    params.ranks = 1;
+    const auto plan = partition(uniform_groups(5, 7), params);
+    ASSERT_EQ(plan.per_rank.size(), 1u);
+    EXPECT_EQ(plan.per_rank[0].size(), 35u);
+  }
+}
+
+TEST(Partition, EmptyInputYieldsEmptyRanks) {
+  PartitionParams params;
+  params.ranks = 4;
+  for (const Policy policy :
+       {Policy::kChunk, Policy::kCyclic, Policy::kRandom}) {
+    params.policy = policy;
+    const auto plan = partition({}, params);
+    ASSERT_EQ(plan.per_rank.size(), 4u);
+    for (const auto& ids : plan.per_rank) EXPECT_TRUE(ids.empty());
+  }
+}
+
+TEST(Partition, MoreRanksThanEntries) {
+  PartitionParams params;
+  params.policy = Policy::kCyclic;
+  params.ranks = 10;
+  const auto plan = partition(uniform_groups(1, 3), params);
+  expect_exact_cover(plan, 3);
+  std::size_t empty_ranks = 0;
+  for (const auto& ids : plan.per_rank) {
+    if (ids.empty()) ++empty_ranks;
+  }
+  EXPECT_EQ(empty_ranks, 7u);
+}
+
+}  // namespace
+}  // namespace lbe::core

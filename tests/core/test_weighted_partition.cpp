@@ -1,0 +1,105 @@
+// Tests for the Weighted policy (heterogeneous-cluster extension).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/partition.hpp"
+
+namespace lbe::core {
+namespace {
+
+PartitionParams weighted(std::vector<double> weights) {
+  PartitionParams params;
+  params.policy = Policy::kWeighted;
+  params.ranks = static_cast<int>(weights.size());
+  params.weights = std::move(weights);
+  return params;
+}
+
+TEST(WeightedPartition, ParsesFromString) {
+  EXPECT_EQ(policy_from_string("weighted"), Policy::kWeighted);
+  EXPECT_STREQ(policy_name(Policy::kWeighted), "weighted");
+}
+
+TEST(WeightedPartition, ValidationRules) {
+  PartitionParams params;
+  params.policy = Policy::kWeighted;
+  params.ranks = 3;
+  EXPECT_THROW(params.validate(), ConfigError);  // missing weights
+  params.weights = {1.0, 2.0};
+  EXPECT_THROW(params.validate(), ConfigError);  // wrong count
+  params.weights = {1.0, 2.0, 0.0};
+  EXPECT_THROW(params.validate(), ConfigError);  // non-positive
+  params.weights = {1.0, 2.0, 3.0};
+  EXPECT_NO_THROW(params.validate());
+
+  PartitionParams cyclic;
+  cyclic.ranks = 2;
+  cyclic.weights = {1.0, 1.0};
+  EXPECT_THROW(cyclic.validate(), ConfigError);  // weights w/o policy
+}
+
+TEST(WeightedPartition, EqualWeightsMatchCyclicCounts) {
+  const auto plan =
+      partition(std::vector<std::uint32_t>(10, 10), weighted({1, 1, 1, 1}));
+  for (const auto& ids : plan.per_rank) EXPECT_EQ(ids.size(), 25u);
+}
+
+TEST(WeightedPartition, SharesProportionalToWeights) {
+  // Weights 3:1 over 4 ranks -> shares 3/8 and 1/8 of 800 entries.
+  const auto plan = partition(std::vector<std::uint32_t>(40, 20),
+                              weighted({3.0, 3.0, 1.0, 1.0}));
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[0].size()), 300.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[1].size()), 300.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[2].size()), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[3].size()), 100.0, 2.0);
+}
+
+TEST(WeightedPartition, ExactDisjointCover) {
+  const auto plan = partition(std::vector<std::uint32_t>(13, 7),
+                              weighted({2.5, 1.0, 0.5}));
+  std::vector<bool> seen(13 * 7, false);
+  for (const auto& ids : plan.per_rank) {
+    for (const GlobalPeptideId id : ids) {
+      ASSERT_LT(id, seen.size());
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WeightedPartition, InterleavesNeighbours) {
+  // Consecutive entries should spread: no rank may own a long run of
+  // consecutive ids when weights are moderate.
+  const auto plan =
+      partition(std::vector<std::uint32_t>(10, 16), weighted({2, 1, 1}));
+  for (const auto& ids : plan.per_rank) {
+    std::size_t longest_run = 1;
+    std::size_t run = 1;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      run = (ids[i] == ids[i - 1] + 1) ? run + 1 : 1;
+      longest_run = std::max(longest_run, run);
+    }
+    EXPECT_LE(longest_run, 3u);
+  }
+}
+
+TEST(WeightedPartition, Deterministic) {
+  const std::vector<std::uint32_t> groups(25, 11);
+  const auto a = partition(groups, weighted({1.0, 0.25, 4.0}));
+  const auto b = partition(groups, weighted({1.0, 0.25, 4.0}));
+  EXPECT_EQ(a.per_rank, b.per_rank);
+}
+
+TEST(WeightedPartition, SkewedWeightsStillCover) {
+  const auto plan =
+      partition(std::vector<std::uint32_t>(1, 100), weighted({9.0, 1.0}));
+  EXPECT_EQ(plan.total(), 100u);
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[0].size()), 90.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(plan.per_rank[1].size()), 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace lbe::core

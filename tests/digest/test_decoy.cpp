@@ -1,0 +1,100 @@
+#include "digest/decoy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chem/amino_acid.hpp"
+#include "digest/digestor.hpp"
+
+namespace lbe::digest {
+namespace {
+
+TEST(Decoy, ReverseReversesWholeSequence) {
+  EXPECT_EQ(decoy_sequence("PEPTIDEK", DecoyMethod::kReverse, trypsin(), 1),
+            "KEDITPEP");
+}
+
+TEST(Decoy, ShuffleIsSeededPermutation) {
+  const std::string target = "MKWVTFISLLLLFSSAYSR";
+  const auto a = decoy_sequence(target, DecoyMethod::kShuffle, trypsin(), 7);
+  const auto b = decoy_sequence(target, DecoyMethod::kShuffle, trypsin(), 7);
+  const auto c = decoy_sequence(target, DecoyMethod::kShuffle, trypsin(), 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(std::is_permutation(target.begin(), target.end(), a.begin()));
+  EXPECT_NE(a, target);
+}
+
+TEST(Decoy, PseudoReverseKeepsCleavageSites) {
+  // GGGK | AVAR | CCC  ->  per-fragment reversal keeping K and R in place.
+  const auto decoy = decoy_sequence("GGGKAVARCCC", DecoyMethod::kPseudoReverse,
+                                    trypsin(), 1);
+  EXPECT_EQ(decoy.size(), 11u);
+  EXPECT_EQ(decoy[3], 'K');
+  EXPECT_EQ(decoy[7], 'R');
+  EXPECT_EQ(decoy.substr(4, 3), "AVA");  // palindromic fragment unchanged
+}
+
+TEST(Decoy, PseudoReversePreservesDigestStatistics) {
+  // Digesting target and pseudo-reversed decoy yields peptides with
+  // identical length multisets and identical mass multisets.
+  const std::string target = "MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHR";
+  const auto decoy = decoy_sequence(target, DecoyMethod::kPseudoReverse,
+                                    trypsin(), 1);
+  DigestionParams params;
+  params.min_length = 1;
+  params.min_mass = 0.0;
+  params.missed_cleavages = 0;
+  const auto target_peps = digest_protein(target, 0, trypsin(), params);
+  const auto decoy_peps = digest_protein(decoy, 0, trypsin(), params);
+  ASSERT_EQ(target_peps.size(), decoy_peps.size());
+  std::vector<double> target_masses;
+  std::vector<double> decoy_masses;
+  for (const auto& p : target_peps) {
+    target_masses.push_back(chem::peptide_mass(p.sequence));
+  }
+  for (const auto& p : decoy_peps) {
+    decoy_masses.push_back(chem::peptide_mass(p.sequence));
+  }
+  std::sort(target_masses.begin(), target_masses.end());
+  std::sort(decoy_masses.begin(), decoy_masses.end());
+  for (std::size_t i = 0; i < target_masses.size(); ++i) {
+    EXPECT_NEAR(target_masses[i], decoy_masses[i], 1e-9);
+  }
+}
+
+TEST(Decoy, MakeDecoysPrefixesHeaders) {
+  const std::vector<io::FastaRecord> targets = {{"sp|P1|A", "PEPTIDEK"},
+                                                {"sp|P2|B", "GGGGGGK"}};
+  const auto decoys = make_decoys(targets, DecoyMethod::kReverse);
+  ASSERT_EQ(decoys.size(), 2u);
+  EXPECT_EQ(decoys[0].header, "DECOY_sp|P1|A");
+  EXPECT_TRUE(is_decoy_header(decoys[0].header));
+  EXPECT_FALSE(is_decoy_header(targets[0].header));
+}
+
+TEST(Decoy, WithDecoysDoublesDatabase) {
+  const std::vector<io::FastaRecord> targets = {{"a", "PEPTIDEK"},
+                                                {"b", "GGGGGGK"}};
+  const auto combined = with_decoys(targets, DecoyMethod::kPseudoReverse);
+  ASSERT_EQ(combined.size(), 4u);
+  EXPECT_EQ(combined[0].header, "a");
+  EXPECT_TRUE(is_decoy_header(combined[2].header));
+  // Decoy sequences remain valid residue strings.
+  for (const auto& record : combined) {
+    EXPECT_EQ(chem::find_invalid_residue(record.sequence),
+              std::string_view::npos);
+  }
+}
+
+TEST(Decoy, DistinctSeedsPerRecordForShuffle) {
+  const std::vector<io::FastaRecord> targets = {{"a", "MKWVTFISLLLLFSSAY"},
+                                                {"b", "MKWVTFISLLLLFSSAY"}};
+  const auto decoys = make_decoys(targets, DecoyMethod::kShuffle);
+  // Identical targets get different shuffles (per-record seed offset).
+  EXPECT_NE(decoys[0].sequence, decoys[1].sequence);
+}
+
+}  // namespace
+}  // namespace lbe::digest

@@ -1,0 +1,67 @@
+#include "digest/dedup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lbe::digest {
+namespace {
+
+TEST(Dedup, RemovesLaterDuplicateSequences) {
+  std::vector<std::string> seqs = {"PEPTIDEK", "AAAK", "PEPTIDEK", "AAAK",
+                                   "CCCK"};
+  const std::size_t dropped = deduplicate(seqs);
+  EXPECT_EQ(dropped, 2u);
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], "PEPTIDEK");
+  EXPECT_EQ(seqs[1], "AAAK");
+  EXPECT_EQ(seqs[2], "CCCK");
+}
+
+TEST(Dedup, KeepsFirstOccurrenceOrder) {
+  std::vector<std::string> seqs = {"B", "A", "B", "C", "A"};
+  deduplicate(seqs);
+  EXPECT_EQ(seqs, (std::vector<std::string>{"B", "A", "C"}));
+}
+
+TEST(Dedup, NoDuplicatesIsNoop) {
+  std::vector<std::string> seqs = {"A", "B", "C"};
+  EXPECT_EQ(deduplicate(seqs), 0u);
+  EXPECT_EQ(seqs.size(), 3u);
+}
+
+TEST(Dedup, EmptyInput) {
+  std::vector<std::string> seqs;
+  EXPECT_EQ(deduplicate(seqs), 0u);
+}
+
+TEST(Dedup, AllIdentical) {
+  std::vector<std::string> seqs(10, "SAME");
+  EXPECT_EQ(deduplicate(seqs), 9u);
+  ASSERT_EQ(seqs.size(), 1u);
+}
+
+TEST(Dedup, DigestedPeptideKeepsFirstProteinAttribution) {
+  std::vector<DigestedPeptide> peptides = {
+      {"PEPK", 0, 0, 0},
+      {"AAAK", 1, 5, 0},
+      {"PEPK", 2, 9, 1},  // duplicate sequence from another protein
+  };
+  const std::size_t dropped = deduplicate(peptides);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(peptides.size(), 2u);
+  EXPECT_EQ(peptides[0].sequence, "PEPK");
+  EXPECT_EQ(peptides[0].protein, 0u);  // DBToolkit behaviour: first wins
+}
+
+TEST(Dedup, LargeInputStaysLinearish) {
+  std::vector<std::string> seqs;
+  seqs.reserve(20000);
+  for (int i = 0; i < 10000; ++i) {
+    seqs.push_back("PEP" + std::to_string(i % 5000));
+  }
+  const std::size_t dropped = deduplicate(seqs);
+  EXPECT_EQ(dropped, 5000u);
+  EXPECT_EQ(seqs.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace lbe::digest

@@ -1,0 +1,144 @@
+#include "digest/digestor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chem/amino_acid.hpp"
+#include "common/error.hpp"
+
+namespace lbe::digest {
+namespace {
+
+DigestionParams loose_params() {
+  DigestionParams params;
+  params.missed_cleavages = 0;
+  params.min_length = 1;
+  params.max_length = 100;
+  params.min_mass = 0.0;
+  params.max_mass = 1e6;
+  return params;
+}
+
+TEST(Digestor, FullyTrypticNoMissedCleavages) {
+  // AAAKBBBRCCC with valid residues: use G blocks. "GGGKGGGRGGG"
+  const auto peptides =
+      digest_protein("GGGKGGGRGGG", 0, trypsin(), loose_params());
+  ASSERT_EQ(peptides.size(), 3u);
+  EXPECT_EQ(peptides[0].sequence, "GGGK");
+  EXPECT_EQ(peptides[1].sequence, "GGGR");
+  EXPECT_EQ(peptides[2].sequence, "GGG");
+  EXPECT_EQ(peptides[0].start, 0u);
+  EXPECT_EQ(peptides[1].start, 4u);
+  EXPECT_EQ(peptides[2].start, 8u);
+}
+
+TEST(Digestor, MissedCleavagesProduceSpans) {
+  DigestionParams params = loose_params();
+  params.missed_cleavages = 1;
+  const auto peptides =
+      digest_protein("GGGKGGGRGGG", 0, trypsin(), params);
+  std::set<std::string> seqs;
+  for (const auto& p : peptides) seqs.insert(p.sequence);
+  EXPECT_TRUE(seqs.count("GGGK"));
+  EXPECT_TRUE(seqs.count("GGGKGGGR"));
+  EXPECT_TRUE(seqs.count("GGGRGGG"));
+  EXPECT_FALSE(seqs.count("GGGKGGGRGGG"));  // needs 2 missed
+  ASSERT_EQ(peptides.size(), 5u);
+}
+
+TEST(Digestor, MissedCleavageCountRecorded) {
+  DigestionParams params = loose_params();
+  params.missed_cleavages = 2;
+  const auto peptides =
+      digest_protein("GGGKGGGRGGG", 0, trypsin(), params);
+  for (const auto& p : peptides) {
+    if (p.sequence == "GGGKGGGRGGG") EXPECT_EQ(p.missed_cleavages, 2u);
+    if (p.sequence == "GGGK") EXPECT_EQ(p.missed_cleavages, 0u);
+    if (p.sequence == "GGGKGGGR") EXPECT_EQ(p.missed_cleavages, 1u);
+  }
+}
+
+TEST(Digestor, LengthFilterApplies) {
+  DigestionParams params = loose_params();
+  params.min_length = 4;
+  const auto peptides =
+      digest_protein("GGGKGGGRGGG", 0, trypsin(), params);
+  for (const auto& p : peptides) EXPECT_GE(p.sequence.size(), 4u);
+  // "GGG" tail (length 3) must be gone.
+  for (const auto& p : peptides) EXPECT_NE(p.sequence, "GGG");
+}
+
+TEST(Digestor, MassFilterApplies) {
+  DigestionParams params = loose_params();
+  params.max_mass = 300.0;  // GGGK ~ 317 Da is too heavy
+  const auto peptides =
+      digest_protein("GGGKGGGRGGG", 0, trypsin(), params);
+  for (const auto& p : peptides) {
+    EXPECT_LE(chem::peptide_mass(p.sequence), 300.0);
+  }
+}
+
+TEST(Digestor, ProlineSuppressionChangesProducts) {
+  // KP at positions 3-4: no cleavage after K3.
+  const auto peptides =
+      digest_protein("GGGKPGGRGGG", 0, trypsin(), loose_params());
+  ASSERT_GE(peptides.size(), 1u);
+  EXPECT_EQ(peptides[0].sequence, "GGGKPGGR");
+}
+
+TEST(Digestor, NoSitesYieldsWholeProtein) {
+  const auto peptides = digest_protein("GGGGGG", 7, trypsin(), loose_params());
+  ASSERT_EQ(peptides.size(), 1u);
+  EXPECT_EQ(peptides[0].sequence, "GGGGGG");
+  EXPECT_EQ(peptides[0].protein, 7u);
+}
+
+TEST(Digestor, EmptyProteinYieldsNothing) {
+  EXPECT_TRUE(digest_protein("", 0, trypsin(), loose_params()).empty());
+}
+
+TEST(Digestor, PaperSettingsValidate) {
+  DigestionParams params;  // defaults are the paper's settings
+  EXPECT_EQ(params.missed_cleavages, 2u);
+  EXPECT_EQ(params.min_length, 6u);
+  EXPECT_EQ(params.max_length, 40u);
+  EXPECT_NO_THROW(params.validate());
+}
+
+TEST(Digestor, InvalidParamsThrow) {
+  DigestionParams params = loose_params();
+  params.min_length = 0;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = loose_params();
+  params.min_length = 50;
+  params.max_length = 10;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = loose_params();
+  params.min_mass = 100.0;
+  params.max_mass = 50.0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(Digestor, DatabaseDigestTracksProteinIds) {
+  const std::vector<io::FastaRecord> db = {
+      {"p0", "GGGKGGG"},
+      {"p1", "AAARAAA"},
+  };
+  const auto peptides = digest_database(db, trypsin(), loose_params());
+  ASSERT_EQ(peptides.size(), 4u);
+  EXPECT_EQ(peptides[0].protein, 0u);
+  EXPECT_EQ(peptides[2].protein, 1u);
+}
+
+TEST(Digestor, PeptidesCoverProteinWithoutOverlapAtZeroMissed) {
+  const std::string protein = "MKWVTFISLLLLFSSAYSRGVFRRDTHK";
+  const auto peptides =
+      digest_protein(protein, 0, trypsin(), loose_params());
+  std::string reassembled;
+  for (const auto& p : peptides) reassembled += p.sequence;
+  EXPECT_EQ(reassembled, protein);
+}
+
+}  // namespace
+}  // namespace lbe::digest

@@ -1,0 +1,75 @@
+#include "digest/enzyme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::digest {
+namespace {
+
+TEST(Enzyme, TrypsinCutsAfterKAndR) {
+  const auto& t = trypsin();
+  EXPECT_TRUE(t.cleaves_after("AKA", 1));
+  EXPECT_TRUE(t.cleaves_after("ARA", 1));
+  EXPECT_FALSE(t.cleaves_after("AAA", 1));
+}
+
+TEST(Enzyme, TrypsinBlockedByProline) {
+  const auto& t = trypsin();
+  EXPECT_FALSE(t.cleaves_after("AKP", 1));
+  EXPECT_FALSE(t.cleaves_after("ARP", 1));
+  EXPECT_TRUE(t.cleaves_after("AKG", 1));
+}
+
+TEST(Enzyme, TrypsinPIgnoresProlineRule) {
+  const auto& tp = enzyme_by_name("trypsin/p");
+  EXPECT_TRUE(tp.cleaves_after("AKP", 1));
+}
+
+TEST(Enzyme, TerminalResidueNeverBlocksOnMissingNext) {
+  const auto& t = trypsin();
+  // K at the last position: cleaving "after" the final residue is allowed
+  // by the rule (no next residue to block), though sites() never asks.
+  EXPECT_TRUE(t.cleaves_after("AAK", 2));
+}
+
+TEST(Enzyme, SitesEnumeratesInternalBoundaries) {
+  const auto& t = trypsin();
+  // MKWVTFISLLLLFSSAYSR -> K at 1; R at the end is terminal (not a site).
+  const auto sites = t.sites("MKWVTFISLLLLFSSAYSR");
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0], 1u);
+}
+
+TEST(Enzyme, SitesOnEmptyAndSingle) {
+  const auto& t = trypsin();
+  EXPECT_TRUE(t.sites("").empty());
+  EXPECT_TRUE(t.sites("K").empty());
+}
+
+TEST(Enzyme, LysCOnlyCutsAfterK) {
+  const auto& lysc = enzyme_by_name("lys-c");
+  EXPECT_TRUE(lysc.cleaves_after("AKA", 1));
+  EXPECT_FALSE(lysc.cleaves_after("ARA", 1));
+}
+
+TEST(Enzyme, ChymotrypsinAromatics) {
+  const auto& chymo = enzyme_by_name("chymotrypsin");
+  EXPECT_TRUE(chymo.cleaves_after("AFA", 1));
+  EXPECT_TRUE(chymo.cleaves_after("AWA", 1));
+  EXPECT_TRUE(chymo.cleaves_after("AYA", 1));
+  EXPECT_FALSE(chymo.cleaves_after("AFP", 1));
+  EXPECT_FALSE(chymo.cleaves_after("AKA", 1));
+}
+
+TEST(Enzyme, LookupIsCaseInsensitive) {
+  EXPECT_EQ(enzyme_by_name("TRYPSIN").name, "trypsin");
+  EXPECT_EQ(enzyme_by_name("Glu-C").name, "glu-c");
+}
+
+TEST(Enzyme, UnknownNameThrows) {
+  EXPECT_THROW(enzyme_by_name("pepsinogen-x"), ConfigError);
+}
+
+}  // namespace
+}  // namespace lbe::digest

@@ -1,0 +1,69 @@
+#include "index/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::index {
+namespace {
+
+TEST(Binning, PaperResolutionLayout) {
+  const Binning b(0.01, 5000.0);
+  EXPECT_DOUBLE_EQ(b.resolution(), 0.01);
+  EXPECT_EQ(b.num_bins(), 500001u);
+}
+
+TEST(Binning, RejectsBadConstruction) {
+  EXPECT_THROW(Binning(0.0, 100.0), InvariantError);
+  EXPECT_THROW(Binning(-0.01, 100.0), InvariantError);
+  EXPECT_THROW(Binning(1.0, 0.5), InvariantError);
+}
+
+TEST(Binning, BinIsMonotonicInMz) {
+  const Binning b(0.01, 2000.0);
+  MzBin prev = 0;
+  for (double mz = 0.0; mz < 2000.0; mz += 13.37) {
+    const MzBin bin = b.bin(mz);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+TEST(Binning, NeighborsWithinResolutionShareBin) {
+  const Binning b(0.01, 2000.0);
+  EXPECT_EQ(b.bin(100.001), b.bin(100.009));
+  EXPECT_NE(b.bin(100.001), b.bin(100.011));
+}
+
+TEST(Binning, InRangeBoundaries) {
+  const Binning b(0.01, 2000.0);
+  EXPECT_TRUE(b.in_range(0.0));
+  EXPECT_TRUE(b.in_range(2000.0));
+  EXPECT_FALSE(b.in_range(2000.01));
+  EXPECT_FALSE(b.in_range(-0.01));
+}
+
+TEST(Binning, ToleranceBins) {
+  const Binning b(0.01, 2000.0);
+  EXPECT_EQ(b.tolerance_bins(0.05), 5u);   // the paper's ΔF
+  EXPECT_EQ(b.tolerance_bins(0.0), 0u);
+  EXPECT_EQ(b.tolerance_bins(-1.0), 0u);
+  EXPECT_EQ(b.tolerance_bins(0.004), 0u);  // rounds to nearest
+  EXPECT_EQ(b.tolerance_bins(0.006), 1u);
+}
+
+TEST(Binning, BinCenterInsideBin) {
+  const Binning b(0.5, 100.0);
+  for (MzBin bin = 0; bin < 10; ++bin) {
+    const Mz center = b.bin_center(bin);
+    EXPECT_EQ(b.bin(center), bin);
+  }
+}
+
+TEST(Binning, MaxMzFallsInLastValidBin) {
+  const Binning b(0.01, 2000.0);
+  EXPECT_LT(b.bin(2000.0), b.num_bins());
+}
+
+}  // namespace
+}  // namespace lbe::index

@@ -1,0 +1,150 @@
+#include "index/chunked_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::index {
+namespace {
+
+class ChunkedIndexTest : public ::testing::Test {
+ protected:
+  ChunkedIndexTest() {
+    params_.resolution = 0.01;
+    params_.max_fragment_mz = 3000.0;
+    params_.fragments.max_fragment_charge = 1;
+    query_.shared_peak_min = 1;
+  }
+
+  PeptideStore make_store(const std::vector<std::string>& seqs) {
+    PeptideStore store(&mods_);
+    for (const auto& s : seqs) store.add(chem::Peptide(s), mods_);
+    return store;
+  }
+
+  chem::Spectrum theo(const std::string& seq) {
+    return theospec::theoretical_spectrum(chem::Peptide(seq), mods_,
+                                          params_.fragments);
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  IndexParams params_;
+  QueryParams query_;
+};
+
+const std::vector<std::string> kPeptides = {
+    "GGGGGGK",       // light
+    "AAAAAAK",       //
+    "PEPTIDEK",      //
+    "MKWVTFISLLK",   //
+    "WWWWHHHHYYKK",  // heavy
+    "WWWWWWWWWWKK",  // heaviest
+};
+
+TEST_F(ChunkedIndexTest, SingleChunkWhenDisabled) {
+  ChunkingParams chunking;  // max_chunk_entries = 0
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_, chunking);
+  EXPECT_EQ(index.num_chunks(), 1u);
+  EXPECT_EQ(index.num_peptides(), kPeptides.size());
+}
+
+TEST_F(ChunkedIndexTest, ChunkCountMatchesCap) {
+  ChunkingParams chunking;
+  chunking.max_chunk_entries = 2;
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_, chunking);
+  EXPECT_EQ(index.num_chunks(), 3u);
+}
+
+TEST_F(ChunkedIndexTest, ChunksSortedByMassAndNonOverlapping) {
+  ChunkingParams chunking;
+  chunking.max_chunk_entries = 2;
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_, chunking);
+  for (std::size_t c = 0; c < index.num_chunks(); ++c) {
+    const auto [lo, hi] = index.chunk_mass_range(c);
+    EXPECT_LE(lo, hi);
+    if (c > 0) {
+      EXPECT_LE(index.chunk_mass_range(c - 1).second, lo);
+    }
+  }
+}
+
+TEST_F(ChunkedIndexTest, QueryResultsIdenticalToUnchunked) {
+  ChunkingParams single;
+  ChunkingParams split;
+  split.max_chunk_entries = 2;
+  const ChunkedIndex whole(make_store(kPeptides), mods_, params_, single);
+  const ChunkedIndex chunked(make_store(kPeptides), mods_, params_, split);
+
+  for (const auto& seq : kPeptides) {
+    std::vector<Candidate> a;
+    std::vector<Candidate> b;
+    QueryWork wa;
+    QueryWork wb;
+    whole.query(theo(seq), query_, a, wa);
+    chunked.query(theo(seq), query_, b, wb);
+    ASSERT_EQ(a.size(), b.size()) << seq;
+    // Order may differ across chunks; compare as sets of (id, count).
+    auto key = [](const Candidate& c) {
+      return std::pair<LocalPeptideId, std::uint32_t>(c.peptide,
+                                                      c.shared_peaks);
+    };
+    std::vector<std::pair<LocalPeptideId, std::uint32_t>> ka;
+    std::vector<std::pair<LocalPeptideId, std::uint32_t>> kb;
+    for (const auto& c : a) ka.push_back(key(c));
+    for (const auto& c : b) kb.push_back(key(c));
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+    EXPECT_EQ(ka, kb) << seq;
+  }
+}
+
+TEST_F(ChunkedIndexTest, NarrowWindowTouchesFewChunks) {
+  ChunkingParams split;
+  split.max_chunk_entries = 2;
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_, split);
+  const Mass light = chem::Peptide("GGGGGGK").mass(mods_);
+  EXPECT_EQ(index.chunks_for_window(light, 1.0), 1u);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(index.chunks_for_window(light, inf), index.num_chunks());
+}
+
+TEST_F(ChunkedIndexTest, NarrowQuerySkipsForeignChunks) {
+  ChunkingParams split;
+  split.max_chunk_entries = 2;
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_, split);
+  QueryParams narrow = query_;
+  narrow.precursor_tolerance = 1.0;
+  std::vector<Candidate> candidates;
+  QueryWork work;
+  index.query(theo("GGGGGGK"), narrow, candidates, work);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(index.store().view(candidates[0].peptide).sequence, "GGGGGGK");
+}
+
+TEST_F(ChunkedIndexTest, PostingsPreservedAcrossChunking) {
+  ChunkingParams single;
+  ChunkingParams split;
+  split.max_chunk_entries = 2;
+  const ChunkedIndex whole(make_store(kPeptides), mods_, params_, single);
+  const ChunkedIndex chunked(make_store(kPeptides), mods_, params_, split);
+  EXPECT_EQ(whole.num_postings(), chunked.num_postings());
+}
+
+TEST_F(ChunkedIndexTest, EmptyStoreProducesNoChunks) {
+  const ChunkedIndex index(PeptideStore(&mods_), mods_, params_,
+                           ChunkingParams{});
+  EXPECT_EQ(index.num_chunks(), 0u);
+  std::vector<Candidate> candidates;
+  QueryWork work;
+  index.query(theo("PEPTIDEK"), query_, candidates, work);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST_F(ChunkedIndexTest, MemoryIncludesStoreAndChunks) {
+  const ChunkedIndex index(make_store(kPeptides), mods_, params_,
+                           ChunkingParams{});
+  EXPECT_GT(index.memory_bytes(), index.store().memory_bytes());
+}
+
+}  // namespace
+}  // namespace lbe::index

@@ -1,0 +1,75 @@
+#include "index/mapping_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::index {
+namespace {
+
+TEST(MappingTable, RoundTripLookups) {
+  // 7 peptides over 3 ranks, cyclic-like assignment.
+  const std::vector<std::vector<GlobalPeptideId>> per_rank = {
+      {0, 3, 6}, {1, 4}, {2, 5}};
+  const MappingTable table(per_rank);
+  EXPECT_EQ(table.num_ranks(), 3);
+  EXPECT_EQ(table.total_peptides(), 7u);
+  EXPECT_EQ(table.rank_count(0), 3u);
+  EXPECT_EQ(table.rank_count(1), 2u);
+
+  for (RankId rank = 0; rank < 3; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    for (std::size_t local = 0; local < per_rank[r].size(); ++local) {
+      const GlobalPeptideId global =
+          table.to_global(rank, static_cast<LocalPeptideId>(local));
+      EXPECT_EQ(global, per_rank[r][local]);
+      EXPECT_EQ(table.rank_of(global), rank);
+      EXPECT_EQ(table.local_of(global), local);
+    }
+  }
+}
+
+TEST(MappingTable, RejectsDoubleAssignment) {
+  EXPECT_THROW(MappingTable({{0, 1}, {1, 2}}), InvariantError);
+}
+
+TEST(MappingTable, RejectsGapsInGlobalIds) {
+  // Global id 2 missing, id 3 present => out of range for total 3.
+  EXPECT_THROW(MappingTable({{0}, {1, 3}}), InvariantError);
+}
+
+TEST(MappingTable, RejectsOutOfRangeQueries) {
+  const MappingTable table({{0, 1}, {2}});
+  EXPECT_THROW(table.to_global(5, 0), InvariantError);
+  EXPECT_THROW(table.to_global(-1, 0), InvariantError);
+  EXPECT_THROW(table.to_global(0, 9), InvariantError);
+  EXPECT_THROW(table.rank_of(99), InvariantError);
+  EXPECT_THROW(table.rank_count(7), InvariantError);
+}
+
+TEST(MappingTable, EmptyRanksAllowed) {
+  const MappingTable table({{0, 1, 2}, {}});
+  EXPECT_EQ(table.rank_count(0), 3u);
+  EXPECT_EQ(table.rank_count(1), 0u);
+  EXPECT_EQ(table.rank_of(2), 0);
+}
+
+TEST(MappingTable, MemoryScalesWithPeptides) {
+  std::vector<std::vector<GlobalPeptideId>> small = {{0, 1}};
+  std::vector<std::vector<GlobalPeptideId>> large(1);
+  for (GlobalPeptideId i = 0; i < 10000; ++i) large[0].push_back(i);
+  const MappingTable a(small);
+  const MappingTable b(large);
+  EXPECT_GT(b.memory_bytes(), a.memory_bytes());
+  // Paper layout: ~one GlobalPeptideId per peptide plus inverse arrays.
+  EXPECT_GE(b.memory_bytes(), 10000u * sizeof(GlobalPeptideId));
+}
+
+TEST(MappingTable, DefaultConstructedIsEmpty) {
+  const MappingTable table;
+  EXPECT_EQ(table.total_peptides(), 0u);
+  EXPECT_EQ(table.num_ranks(), 0);
+}
+
+}  // namespace
+}  // namespace lbe::index

@@ -1,0 +1,97 @@
+#include "index/peptide_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::index {
+namespace {
+
+class PeptideStoreTest : public ::testing::Test {
+ protected:
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+};
+
+TEST_F(PeptideStoreTest, EmptyStore) {
+  const PeptideStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_THROW(store.view(0), InvariantError);
+}
+
+TEST_F(PeptideStoreTest, AddAssignsDenseIds) {
+  PeptideStore store;
+  EXPECT_EQ(store.add(chem::Peptide("PEPK"), mods_), 0u);
+  EXPECT_EQ(store.add(chem::Peptide("AAAK"), mods_), 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST_F(PeptideStoreTest, ViewRecoversSequenceAndMass) {
+  PeptideStore store;
+  const chem::Peptide p("PEPTIDEK");
+  store.add(p, mods_);
+  const PeptideView v = store.view(0);
+  EXPECT_EQ(v.sequence, "PEPTIDEK");
+  EXPECT_EQ(v.site_count, 0u);
+  EXPECT_NEAR(v.mass, p.mass(mods_), 1e-9);
+  EXPECT_NEAR(store.mass(0), p.mass(mods_), 1e-9);
+}
+
+TEST_F(PeptideStoreTest, ModifiedPeptideRoundTrips) {
+  PeptideStore store(&mods_);
+  const chem::Peptide p("MGGGK", {{0, 2}}, mods_);
+  store.add(p, mods_);
+  const PeptideView v = store.view(0);
+  EXPECT_TRUE(v.modified());
+  ASSERT_EQ(v.site_count, 1u);
+  EXPECT_EQ(v.sites[0].position, 0u);
+  EXPECT_EQ(v.sites[0].mod, 2);
+  const chem::Peptide back = store.materialize(0);
+  EXPECT_EQ(back, p);
+}
+
+TEST_F(PeptideStoreTest, ManyPeptidesContiguousViews) {
+  PeptideStore store(&mods_);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 100; ++i) {
+    seqs.push_back("PEP" + std::string(static_cast<std::size_t>(i % 7 + 1),
+                                       'G') + "K");
+    store.add(chem::Peptide(seqs.back()), mods_);
+  }
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(store.view(static_cast<LocalPeptideId>(i)).sequence, seqs[i]);
+  }
+}
+
+TEST_F(PeptideStoreTest, MemoryBytesGrowsWithContent) {
+  PeptideStore store(&mods_);
+  const auto empty_bytes = store.memory_bytes();
+  for (int i = 0; i < 1000; ++i) {
+    store.add(chem::Peptide("PEPTIDEGGGK"), mods_);
+  }
+  EXPECT_GT(store.memory_bytes(), empty_bytes + 1000 * 11);
+}
+
+TEST_F(PeptideStoreTest, IdsByMassSortsAscending) {
+  PeptideStore store(&mods_);
+  store.add(chem::Peptide("WWWWWW"), mods_);  // heavy
+  store.add(chem::Peptide("GGGGGG"), mods_);  // light
+  store.add(chem::Peptide("AAAAAA"), mods_);  // middle
+  const auto ids = store.ids_by_mass();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_EQ(ids[2], 0u);
+}
+
+TEST_F(PeptideStoreTest, IdsByMassStableForTies) {
+  PeptideStore store(&mods_);
+  store.add(chem::Peptide("GGG"), mods_);
+  store.add(chem::Peptide("GGG"), mods_);
+  const auto ids = store.ids_by_mass();
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+}
+
+}  // namespace
+}  // namespace lbe::index

@@ -1,0 +1,138 @@
+// Round-trip tests for the on-disk index format (the paper's disk-resident
+// chunks): store + chunked index survive save/load bit-exactly, queries
+// agree, and corrupted/mismatched files are rejected.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "index/chunked_index.hpp"
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::index {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest() {
+    params_.resolution = 0.01;
+    params_.max_fragment_mz = 2000.0;
+    params_.fragments.max_fragment_charge = 1;
+  }
+
+  PeptideStore make_store() {
+    PeptideStore store(&mods_);
+    store.add(chem::Peptide("PEPTIDEK"), mods_);
+    store.add(chem::Peptide("MKWVTFISLLK"), mods_);
+    store.add(chem::Peptide("MGGGK", {{0, 2}}, mods_), mods_);  // modified
+    store.add(chem::Peptide("GGGGGGK"), mods_);
+    return store;
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  IndexParams params_;
+};
+
+TEST_F(SerializeTest, StoreRoundTrip) {
+  const PeptideStore original = make_store();
+  std::stringstream buffer;
+  original.save(buffer);
+  const PeptideStore loaded = PeptideStore::load(buffer, &mods_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (LocalPeptideId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(loaded.materialize(id), original.materialize(id));
+    EXPECT_DOUBLE_EQ(loaded.mass(id), original.mass(id));
+  }
+}
+
+TEST_F(SerializeTest, EmptyStoreRoundTrip) {
+  const PeptideStore empty(&mods_);
+  std::stringstream buffer;
+  empty.save(buffer);
+  const PeptideStore loaded = PeptideStore::load(buffer, &mods_);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST_F(SerializeTest, StoreLoadRejectsTruncation) {
+  const PeptideStore original = make_store();
+  std::stringstream buffer;
+  original.save(buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream truncated(bytes);
+  EXPECT_THROW(PeptideStore::load(truncated, &mods_), IoError);
+}
+
+TEST_F(SerializeTest, ChunkedIndexRoundTripQueriesAgree) {
+  ChunkingParams chunking;
+  chunking.max_chunk_entries = 2;  // multiple chunks exercised
+  const ChunkedIndex original(make_store(), mods_, params_, chunking);
+  std::stringstream buffer;
+  original.save(buffer);
+  const auto loaded = ChunkedIndex::load(buffer, mods_, params_);
+
+  EXPECT_EQ(loaded->num_chunks(), original.num_chunks());
+  EXPECT_EQ(loaded->num_postings(), original.num_postings());
+  EXPECT_EQ(loaded->num_peptides(), original.num_peptides());
+
+  QueryParams filter;
+  filter.shared_peak_min = 1;
+  for (const char* seq : {"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK"}) {
+    const auto spectrum = theospec::theoretical_spectrum(
+        chem::Peptide(seq), mods_, params_.fragments);
+    std::vector<Candidate> a;
+    std::vector<Candidate> b;
+    QueryWork wa;
+    QueryWork wb;
+    original.query(spectrum, filter, a, wa);
+    loaded->query(spectrum, filter, b, wb);
+    ASSERT_EQ(a.size(), b.size()) << seq;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].peptide, b[i].peptide);
+      EXPECT_EQ(a[i].shared_peaks, b[i].shared_peaks);
+      EXPECT_FLOAT_EQ(a[i].matched_intensity, b[i].matched_intensity);
+    }
+    EXPECT_EQ(wa.postings_touched, wb.postings_touched);
+  }
+}
+
+TEST_F(SerializeTest, LoadRejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "definitely not an index";
+  EXPECT_THROW(ChunkedIndex::load(buffer, mods_, params_), IoError);
+}
+
+TEST_F(SerializeTest, LoadRejectsDifferentParams) {
+  const ChunkedIndex original(make_store(), mods_, params_,
+                              ChunkingParams{});
+  std::stringstream buffer;
+  original.save(buffer);
+  IndexParams other = params_;
+  other.resolution = 0.02;
+  EXPECT_THROW(ChunkedIndex::load(buffer, mods_, other), IoError);
+}
+
+TEST_F(SerializeTest, FileRoundTripAndMissingFile) {
+  const ChunkedIndex original(make_store(), mods_, params_,
+                              ChunkingParams{});
+  const std::string path = ::testing::TempDir() + "/lbe_index.bin";
+  original.save_file(path);
+  const auto loaded = ChunkedIndex::load_file(path, mods_, params_);
+  EXPECT_EQ(loaded->num_postings(), original.num_postings());
+  EXPECT_THROW(ChunkedIndex::load_file("/nonexistent/x.bin", mods_, params_),
+               IoError);
+}
+
+TEST_F(SerializeTest, LoadedIndexMemoryAccountingSane) {
+  const ChunkedIndex original(make_store(), mods_, params_,
+                              ChunkingParams{});
+  std::stringstream buffer;
+  original.save(buffer);
+  const auto loaded = ChunkedIndex::load(buffer, mods_, params_);
+  // Scorecards are lazily sized, so loaded <= original is possible; both
+  // must at least cover the postings.
+  EXPECT_GE(loaded->memory_bytes(),
+            loaded->num_postings() * sizeof(LocalPeptideId));
+}
+
+}  // namespace
+}  // namespace lbe::index

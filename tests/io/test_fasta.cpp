@@ -1,0 +1,105 @@
+#include "io/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbe::io {
+namespace {
+
+TEST(Fasta, ParsesSimpleRecords) {
+  std::istringstream in(">sp|P1|PROT1\nPEPTIDE\n>sp|P2|PROT2\nACDEFGH\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].header, "sp|P1|PROT1");
+  EXPECT_EQ(records[0].sequence, "PEPTIDE");
+  EXPECT_EQ(records[1].sequence, "ACDEFGH");
+}
+
+TEST(Fasta, JoinsWrappedLines) {
+  std::istringstream in(">p\nPEPT\nIDEK\nAAA\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "PEPTIDEKAAA");
+}
+
+TEST(Fasta, UppercasesAndStripsStopCodons) {
+  std::istringstream in(">p\npep*tide\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence, "PEPTIDE");
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  std::istringstream in(">p\r\n\r\nPEP\r\nTIDE\r\n\r\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence, "PEPTIDE");
+}
+
+TEST(Fasta, SkipsLegacyCommentLines) {
+  std::istringstream in(">p\n; comment\nPEP\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence, "PEP");
+}
+
+TEST(Fasta, RejectsSequenceBeforeHeader) {
+  std::istringstream in("PEPTIDE\n>p\nAAA\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, RejectsInvalidResidueWithContext) {
+  std::istringstream in(">prot1\nPEP1TIDE\n");
+  try {
+    read_fasta(in, "db.fasta");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "db.fasta");
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("prot1"), std::string::npos);
+  }
+}
+
+TEST(Fasta, RejectsEmptySequenceRecord) {
+  std::istringstream in(">only-header\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, EmptyStreamYieldsNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  const std::vector<FastaRecord> records = {
+      {"first", "PEPTIDEKAAA"},
+      {"second protein with spaces", "MKWVTFISLL"},
+  };
+  std::ostringstream out;
+  write_fasta(out, records, 4);  // tiny wrap width exercises wrapping
+  std::istringstream in(out.str());
+  const auto again = read_fasta(in);
+  ASSERT_EQ(again.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(again[i].header, records[i].header);
+    EXPECT_EQ(again[i].sequence, records[i].sequence);
+  }
+}
+
+TEST(Fasta, WriteUnwrappedWhenWidthZero) {
+  std::ostringstream out;
+  write_fasta(out, {{"p", "PEPTIDEKAAA"}}, 0);
+  EXPECT_EQ(out.str(), ">p\nPEPTIDEKAAA\n");
+}
+
+TEST(Fasta, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/lbe_fasta_test.fasta";
+  write_fasta_file(path, {{"p1", "PEPTIDEK"}});
+  const auto records = read_fasta_file(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "PEPTIDEK");
+  EXPECT_THROW(read_fasta_file("/nonexistent/dir/f.fasta"), IoError);
+}
+
+}  // namespace
+}  // namespace lbe::io

@@ -1,0 +1,149 @@
+#include "io/ms2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chem/mass.hpp"
+#include "common/error.hpp"
+
+namespace lbe::io {
+namespace {
+
+constexpr const char* kSample =
+    "H\tCreationDate\t2019-03-01\n"
+    "H\tExtractor\tmsconvert\n"
+    "S\t1\t1\t750.4000\n"
+    "Z\t2\t1499.7927\n"
+    "100.1 10.5\n"
+    "200.2 20.0\n"
+    "S\t2\t2\t500.2500\n"
+    "150.0 5.0\n";
+
+TEST(Ms2, ParsesHeadersScansAndPeaks) {
+  std::istringstream in(kSample);
+  const auto file = read_ms2(in);
+  EXPECT_EQ(file.headers.at("Extractor"), "msconvert");
+  ASSERT_EQ(file.spectra.size(), 2u);
+
+  const auto& first = file.spectra[0];
+  EXPECT_EQ(first.scan_id, 1u);
+  EXPECT_DOUBLE_EQ(first.precursor.mz, 750.4);
+  EXPECT_EQ(first.precursor.charge, 2);
+  // Z line stores (M+H)+; neutral = value - proton.
+  EXPECT_NEAR(first.precursor.neutral_mass, 1499.7927 - chem::kProton, 1e-6);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_DOUBLE_EQ(first.mz(0), 100.1);
+  EXPECT_FLOAT_EQ(first.intensity(1), 20.0f);
+
+  const auto& second = file.spectra[1];
+  EXPECT_EQ(second.scan_id, 2u);
+  EXPECT_EQ(second.precursor.charge, 0);  // no Z line
+  ASSERT_EQ(second.size(), 1u);
+}
+
+TEST(Ms2, AcceptsSpaceOrTabSeparators) {
+  std::istringstream in("S 3 3 400.0\n100.0\t1.0\n");
+  const auto file = read_ms2(in);
+  ASSERT_EQ(file.spectra.size(), 1u);
+  EXPECT_EQ(file.spectra[0].scan_id, 3u);
+  EXPECT_EQ(file.spectra[0].size(), 1u);
+}
+
+TEST(Ms2, PeaksSortedAfterParse) {
+  std::istringstream in("S 1 1 400.0\n300.0 1.0\n100.0 2.0\n200.0 3.0\n");
+  const auto file = read_ms2(in);
+  const auto& s = file.spectra[0];
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_LT(s.mz(0), s.mz(1));
+  EXPECT_LT(s.mz(1), s.mz(2));
+}
+
+TEST(Ms2, RejectsPeakOutsideScan) {
+  std::istringstream in("100.0 1.0\n");
+  EXPECT_THROW(read_ms2(in), ParseError);
+}
+
+TEST(Ms2, RejectsZOutsideScan) {
+  std::istringstream in("Z 2 1000.0\n");
+  EXPECT_THROW(read_ms2(in), ParseError);
+}
+
+TEST(Ms2, RejectsTruncatedSLine) {
+  std::istringstream in("S 1 1\n");
+  EXPECT_THROW(read_ms2(in), ParseError);
+}
+
+TEST(Ms2, RejectsNegativeValues) {
+  std::istringstream in("S 1 1 400.0\n-100.0 1.0\n");
+  EXPECT_THROW(read_ms2(in), ParseError);
+}
+
+TEST(Ms2, RejectsBadCharge) {
+  std::istringstream in("S 1 1 400.0\nZ 999 1000.0\n");
+  EXPECT_THROW(read_ms2(in), ParseError);
+}
+
+TEST(Ms2, ReportsLineNumbers) {
+  std::istringstream in("S 1 1 400.0\n100.0 1.0\njunk here x\n");
+  try {
+    read_ms2(in, "run.ms2");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "run.ms2");
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Ms2, IgnoresInfoLines) {
+  std::istringstream in("S 1 1 400.0\nI\tRTime\t12.3\n100.0 1.0\n");
+  const auto file = read_ms2(in);
+  EXPECT_EQ(file.spectra[0].size(), 1u);
+}
+
+TEST(Ms2, WriteReadRoundTrip) {
+  Ms2File original;
+  original.headers["Extractor"] = "lbe";
+  chem::Spectrum s;
+  s.scan_id = 7;
+  s.precursor.mz = 600.3;
+  s.precursor.charge = 2;
+  s.precursor.neutral_mass = 1198.58;
+  s.add_peak(100.1234, 11.0f);
+  s.add_peak(250.5678, 22.5f);
+  s.finalize();
+  original.spectra.push_back(std::move(s));
+
+  std::ostringstream out;
+  write_ms2(out, original);
+  std::istringstream in(out.str());
+  const auto parsed = read_ms2(in);
+
+  ASSERT_EQ(parsed.spectra.size(), 1u);
+  const auto& p = parsed.spectra[0];
+  EXPECT_EQ(p.scan_id, 7u);
+  EXPECT_EQ(p.precursor.charge, 2);
+  EXPECT_NEAR(p.precursor.neutral_mass, 1198.58, 1e-3);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p.mz(0), 100.1234, 1e-4);
+  EXPECT_NEAR(static_cast<double>(p.intensity(1)), 22.5, 0.1);
+}
+
+TEST(Ms2, FileRoundTripAndMissingFile) {
+  Ms2File file;
+  chem::Spectrum s;
+  s.scan_id = 1;
+  s.precursor.mz = 500.0;
+  s.add_peak(123.4, 1.0f);
+  s.finalize();
+  file.spectra.push_back(std::move(s));
+
+  const std::string path = ::testing::TempDir() + "/lbe_ms2_test.ms2";
+  write_ms2_file(path, file);
+  const auto parsed = read_ms2_file(path);
+  EXPECT_EQ(parsed.spectra.size(), 1u);
+  EXPECT_THROW(read_ms2_file("/nonexistent/x.ms2"), IoError);
+}
+
+}  // namespace
+}  // namespace lbe::io

@@ -1,0 +1,93 @@
+#include "perf/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lbe::perf {
+namespace {
+
+TEST(LoadStats, PaperWorkedExample) {
+  // §VI: 16 CPUs, Tavg = 100 s, ΔTmax = 80 s => LI = 0.8, Twst = 1280 s.
+  // Construct 16 rank times with mean 100 and max 180.
+  std::vector<double> times(16, 100.0);
+  times[7] = 180.0;
+  // Adjust the rest down so the mean stays 100: remove 80/15 from each.
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (i != 7) times[i] -= 80.0 / 15.0;
+  }
+  const LoadStats stats = load_stats(times);
+  EXPECT_NEAR(stats.t_avg, 100.0, 1e-9);
+  EXPECT_NEAR(stats.delta_t_max, 80.0, 1e-9);
+  EXPECT_NEAR(stats.imbalance, 0.8, 1e-9);
+  EXPECT_NEAR(stats.wasted_cpu, 1280.0, 1e-9);
+}
+
+TEST(LoadStats, PerfectBalanceIsZero) {
+  const std::vector<double> times(8, 42.0);
+  const LoadStats stats = load_stats(times);
+  EXPECT_DOUBLE_EQ(stats.imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.delta_t_max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.wasted_cpu, 0.0);
+}
+
+TEST(LoadStats, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0.0, 0.0}), 0.0);
+}
+
+TEST(LoadStats, SingleRankBalanced) {
+  EXPECT_DOUBLE_EQ(load_imbalance({5.0}), 0.0);
+}
+
+TEST(LoadStats, NegativeTimeRejected) {
+  EXPECT_THROW(load_stats({1.0, -2.0}), InvariantError);
+}
+
+TEST(LoadStats, ChunkLikeSkew) {
+  // One rank does all the work: LI = (T - T/p) / (T/p) = p - 1.
+  std::vector<double> times(16, 0.0);
+  times[0] = 16.0;
+  EXPECT_NEAR(load_imbalance(times), 15.0, 1e-9);
+}
+
+TEST(Speedup, BaseCaseConvention) {
+  // Fig. 8 convention: base is the smallest measured CPU count.
+  // S(p) = base_ranks * base_time / time(p).
+  EXPECT_DOUBLE_EQ(speedup_vs_base(100.0, 2, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(speedup_vs_base(100.0, 2, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(speedup_vs_base(100.0, 4, 25.0), 16.0);
+}
+
+TEST(Speedup, InvalidInputsRejected) {
+  EXPECT_THROW(speedup_vs_base(0.0, 2, 1.0), InvariantError);
+  EXPECT_THROW(speedup_vs_base(1.0, 2, 0.0), InvariantError);
+  EXPECT_THROW(speedup_vs_base(1.0, 0, 1.0), InvariantError);
+}
+
+TEST(Efficiency, Values) {
+  EXPECT_DOUBLE_EQ(efficiency(8.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency(4.0, 8), 0.5);
+  EXPECT_THROW(efficiency(1.0, 0), InvariantError);
+}
+
+TEST(CpuTimeSpeedup, BalancedVsImbalanced) {
+  // Baseline: chunk-like, one rank 16 s, rest idle => CPU cost 16 * 16.
+  std::vector<double> chunk(16, 0.0);
+  chunk[0] = 16.0;
+  // Improved: perfectly balanced 1 s each => CPU cost 16 * 1.
+  const std::vector<double> cyclic(16, 1.0);
+  EXPECT_NEAR(cpu_time_speedup(chunk, cyclic), 16.0, 1e-9);
+}
+
+TEST(CpuTimeSpeedup, EqualRunsGiveOne) {
+  const std::vector<double> times(4, 2.0);
+  EXPECT_DOUBLE_EQ(cpu_time_speedup(times, times), 1.0);
+}
+
+TEST(CpuTimeSpeedup, ZeroImprovedRejected) {
+  EXPECT_THROW(cpu_time_speedup({1.0}, {0.0}), InvariantError);
+}
+
+}  // namespace
+}  // namespace lbe::perf

@@ -1,0 +1,89 @@
+#include "search/fdr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lbe::search {
+namespace {
+
+TEST(Fdr, EmptyInput) {
+  EXPECT_TRUE(compute_qvalues({}).empty());
+}
+
+TEST(Fdr, AllTargetsZeroQ) {
+  const std::vector<FdrInput> psms = {{10.f, false}, {8.f, false},
+                                      {6.f, false}};
+  const auto q = compute_qvalues(psms);
+  for (const double v : q) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(accepted_at(psms, q, 0.01), 3u);
+}
+
+TEST(Fdr, KnownLadder) {
+  // Scores desc: T T D T D D. Walking FDR: 0, 0, 1/2, 1/3, 2/3, 3/3.
+  // q-values (monotone from bottom): 0, 0, 1/3, 1/3, 2/3, 1.
+  const std::vector<FdrInput> psms = {
+      {10.f, false}, {9.f, false}, {8.f, true},
+      {7.f, false},  {6.f, true},  {5.f, true},
+  };
+  const auto q = compute_qvalues(psms);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+  EXPECT_NEAR(q[2], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q[3], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q[4], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q[5], 1.0);
+}
+
+TEST(Fdr, QValuesAreMonotoneInScore) {
+  const std::vector<FdrInput> psms = {
+      {9.f, false}, {8.f, true}, {7.f, false}, {6.f, true},
+      {5.f, false}, {4.f, true}, {3.f, false},
+  };
+  const auto q = compute_qvalues(psms);
+  for (std::size_t i = 1; i < psms.size(); ++i) {
+    EXPECT_LE(q[i - 1], q[i]);  // input is already score-descending
+  }
+}
+
+TEST(Fdr, TiesCountDecoysFirst) {
+  // Equal scores: the decoy is ranked above the target (conservative), so
+  // the target at the same score already carries the decoy in its FDR.
+  const std::vector<FdrInput> psms = {{5.f, false}, {5.f, true}};
+  const auto q = compute_qvalues(psms);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);  // 1 decoy / 1 target
+  EXPECT_DOUBLE_EQ(q[1], 1.0);
+}
+
+TEST(Fdr, AcceptedAtThreshold) {
+  const std::vector<FdrInput> psms = {
+      {10.f, false}, {9.f, false}, {8.f, false}, {7.f, false},
+      {6.f, true},   {5.f, false},
+  };
+  const auto q = compute_qvalues(psms);
+  // First 4 targets have q = 0; the 5th target (score 5) sits below the
+  // decoy: q = 1/5.
+  EXPECT_EQ(accepted_at(psms, q, 0.01), 4u);
+  EXPECT_EQ(accepted_at(psms, q, 0.5), 5u);
+}
+
+TEST(Fdr, AllDecoys) {
+  const std::vector<FdrInput> psms = {{3.f, true}, {2.f, true}};
+  const auto q = compute_qvalues(psms);
+  // No targets: FDR denominators clamp at 1.
+  EXPECT_GE(q[0], 1.0);
+  EXPECT_EQ(accepted_at(psms, q, 1.0), 0u);
+}
+
+TEST(Fdr, InputOrderIrrelevant) {
+  const std::vector<FdrInput> sorted = {
+      {9.f, false}, {8.f, true}, {7.f, false}};
+  const std::vector<FdrInput> shuffled = {
+      {7.f, false}, {9.f, false}, {8.f, true}};
+  const auto qa = compute_qvalues(sorted);
+  const auto qb = compute_qvalues(shuffled);
+  EXPECT_DOUBLE_EQ(qa[0], qb[1]);
+  EXPECT_DOUBLE_EQ(qa[1], qb[2]);
+  EXPECT_DOUBLE_EQ(qa[2], qb[0]);
+}
+
+}  // namespace
+}  // namespace lbe::search

@@ -1,0 +1,85 @@
+#include "search/load_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::search {
+namespace {
+
+class LoadModelTest : public ::testing::Test {
+ protected:
+  LoadModelTest() {
+    params_.resolution = 0.01;
+    params_.max_fragment_mz = 2000.0;
+    params_.fragments.max_fragment_charge = 1;
+    filter_.fragment_tolerance = 0.05;
+    filter_.shared_peak_min = 1;
+  }
+
+  index::ChunkedIndex make_index(const std::vector<std::string>& seqs) {
+    index::PeptideStore store(&mods_);
+    for (const auto& s : seqs) store.add(chem::Peptide(s), mods_);
+    return index::ChunkedIndex(std::move(store), mods_, params_,
+                               index::ChunkingParams{});
+  }
+
+  chem::Spectrum theo(const std::string& seq) {
+    return theospec::theoretical_spectrum(chem::Peptide(seq), mods_,
+                                          params_.fragments);
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  index::IndexParams params_;
+  index::QueryParams filter_;
+  PreprocessParams preprocess_;
+};
+
+TEST_F(LoadModelTest, PredictionEqualsMeasuredPostings) {
+  const auto index =
+      make_index({"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK", "AAAAAAGK"});
+  const std::vector<chem::Spectrum> queries = {theo("PEPTIDEK"),
+                                               theo("GGGGGGK")};
+  const double predicted =
+      predict_query_cost(index, queries, filter_, preprocess_);
+
+  index::QueryWork work;
+  std::vector<index::Candidate> candidates;
+  for (const auto& query : queries) {
+    candidates.clear();
+    index.query(preprocess(query, preprocess_), filter_, candidates, work);
+  }
+  EXPECT_DOUBLE_EQ(predicted,
+                   static_cast<double>(work.postings_touched));
+}
+
+TEST_F(LoadModelTest, EmptyQueriesPredictZero) {
+  const auto index = make_index({"PEPTIDEK"});
+  EXPECT_DOUBLE_EQ(predict_query_cost(index, {}, filter_, preprocess_), 0.0);
+}
+
+TEST_F(LoadModelTest, BiggerPartitionPredictsMoreCost) {
+  const auto small = make_index({"PEPTIDEK"});
+  const auto large =
+      make_index({"PEPTIDEK", "PEPTIDER", "PEPTIDEG", "PEPTIDEA"});
+  const std::vector<chem::Spectrum> queries = {theo("PEPTIDEK")};
+  EXPECT_LT(predict_query_cost(small, queries, filter_, preprocess_),
+            predict_query_cost(large, queries, filter_, preprocess_));
+}
+
+TEST(PredictionCorrelation, PerfectAndInverse) {
+  EXPECT_DOUBLE_EQ(
+      prediction_correlation({1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      prediction_correlation({1.0, 2.0, 3.0}, {30.0, 20.0, 10.0}), -1.0);
+}
+
+TEST(PredictionCorrelation, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(prediction_correlation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(prediction_correlation({1.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(prediction_correlation({1.0, 2.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(prediction_correlation({5.0, 5.0}, {1.0, 2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lbe::search

@@ -1,0 +1,126 @@
+#include "search/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lbe::search {
+namespace {
+
+chem::Spectrum make_spectrum(std::size_t peaks, float base_intensity = 1.0f) {
+  chem::Spectrum s;
+  for (std::size_t i = 0; i < peaks; ++i) {
+    s.add_peak(100.0 + static_cast<double>(i),
+               base_intensity + static_cast<float>(i));
+  }
+  s.precursor.mz = 700.0;
+  s.precursor.charge = 2;
+  s.precursor.neutral_mass = 1398.0;
+  s.scan_id = 5;
+  s.title = "t";
+  s.finalize();
+  return s;
+}
+
+TEST(Preprocess, KeepsTopNPeaksByIntensity) {
+  PreprocessParams params;
+  params.top_peaks = 10;
+  params.normalize = false;
+  const auto out = preprocess(make_spectrum(50), params);
+  ASSERT_EQ(out.size(), 10u);
+  // The 10 most intense are the last 10 m/z values (intensity grows with i).
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out.mz(i), 140.0);
+  }
+}
+
+TEST(Preprocess, OutputSortedByMz) {
+  PreprocessParams params;
+  params.top_peaks = 25;
+  const auto out = preprocess(make_spectrum(100), params);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out.mz(i - 1), out.mz(i));
+  }
+}
+
+TEST(Preprocess, FewerPeaksThanNKeepsAll) {
+  PreprocessParams params;
+  params.top_peaks = 100;
+  const auto out = preprocess(make_spectrum(7), params);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(Preprocess, MzRangeFilterApplies) {
+  PreprocessParams params;
+  params.top_peaks = 100;
+  params.min_mz = 110.0;
+  params.max_mz = 120.0;
+  const auto out = preprocess(make_spectrum(50), params);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out.mz(i), 110.0);
+    EXPECT_LE(out.mz(i), 120.0);
+  }
+  EXPECT_EQ(out.size(), 11u);
+}
+
+TEST(Preprocess, NormalizationScalesMaxTo100) {
+  PreprocessParams params;
+  params.top_peaks = 10;
+  params.normalize = true;
+  const auto out = preprocess(make_spectrum(20, 5.0f), params);
+  float max_intensity = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    max_intensity = std::max(max_intensity, out.intensity(i));
+  }
+  EXPECT_FLOAT_EQ(max_intensity, 100.0f);
+}
+
+TEST(Preprocess, NoNormalizationPreservesIntensities) {
+  PreprocessParams params;
+  params.top_peaks = 3;
+  params.normalize = false;
+  const auto out = preprocess(make_spectrum(5, 1.0f), params);
+  // Top 3 intensities are 5, 4, 3 at m/z 104, 103, 102.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out.intensity(2), 5.0f);
+}
+
+TEST(Preprocess, PrecursorAndMetadataCopied) {
+  PreprocessParams params;
+  const auto out = preprocess(make_spectrum(30), params);
+  EXPECT_DOUBLE_EQ(out.precursor.mz, 700.0);
+  EXPECT_EQ(out.precursor.charge, 2);
+  EXPECT_DOUBLE_EQ(out.precursor.neutral_mass, 1398.0);
+  EXPECT_EQ(out.scan_id, 5u);
+  EXPECT_EQ(out.title, "t");
+}
+
+TEST(Preprocess, EmptySpectrumStaysEmpty) {
+  PreprocessParams params;
+  chem::Spectrum empty;
+  const auto out = preprocess(empty, params);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Preprocess, IntensityTiesBrokenByLowerMz) {
+  chem::Spectrum s;
+  s.add_peak(300.0, 5.0f);
+  s.add_peak(100.0, 5.0f);
+  s.add_peak(200.0, 5.0f);
+  s.finalize();
+  PreprocessParams params;
+  params.top_peaks = 2;
+  params.normalize = false;
+  const auto out = preprocess(s, params);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.mz(0), 100.0);
+  EXPECT_DOUBLE_EQ(out.mz(1), 200.0);
+}
+
+TEST(Preprocess, PaperDefaultIsTop100) {
+  const PreprocessParams params;
+  EXPECT_EQ(params.top_peaks, 100u);
+  const auto out = preprocess(make_spectrum(500), params);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+}  // namespace
+}  // namespace lbe::search

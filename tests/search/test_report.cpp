@@ -1,0 +1,125 @@
+#include "search/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "search/fdr.hpp"
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::search {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  // NOTE: mods_/variants_ are declared before plan_ below so they are
+  // initialized before the plan that references them.
+  ReportTest()
+      : plan_({"PEPTIDEK", "GGGGGGK", "MKWVTFISLLK"}, mods_, variants_,
+              lbe_params()) {}
+
+  static core::LbeParams lbe_params() {
+    core::LbeParams lbe;
+    lbe.partition.ranks = 2;
+    return lbe;
+  }
+
+  /// First global variant id whose base differs from variant 0's base
+  /// (variants of one base share its decoy/target identity).
+  GlobalPeptideId other_base_variant() const {
+    const auto base0 = plan_.locate_variant(0).base_id;
+    for (GlobalPeptideId g = 1; g < plan_.num_variants(); ++g) {
+      if (plan_.locate_variant(g).base_id != base0) return g;
+    }
+    return 0;
+  }
+
+  std::vector<GlobalQueryResult> sample_results() const {
+    GlobalQueryResult r0;
+    r0.query_id = 0;
+    r0.top.push_back(GlobalPsm{0, 12, 21.5f, 0});
+    r0.top.push_back(GlobalPsm{other_base_variant(), 5, 8.25f, 1});
+    GlobalQueryResult r1;
+    r1.query_id = 1;  // no PSMs
+    return {r0, r1};
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  digest::VariantParams variants_;
+  core::LbePlan plan_;  // keep last: references the members above
+};
+
+TEST_F(ReportTest, HeaderAndRowStructure) {
+  std::ostringstream out;
+  write_psm_report(out, plan_, sample_results());
+  const std::string text = out.str();
+  const auto lines = str::split(text, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(str::starts_with(lines[0], "query_id\tpsm_rank\tpeptide"));
+  // 2 PSMs total -> 2 data rows (+ trailing empty line from final \n).
+  EXPECT_EQ(lines.size(), 4u);
+  const auto fields = str::split(lines[1], '\t');
+  ASSERT_EQ(fields.size(), 9u);
+  EXPECT_EQ(fields[0], "0");  // query id
+  EXPECT_EQ(fields[1], "1");  // rank
+}
+
+TEST_F(ReportTest, PeptideColumnsAreAnnotated) {
+  std::ostringstream out;
+  write_psm_report(out, plan_, sample_results());
+  const std::string text = out.str();
+  // Global variant 0 is the first variant of the first clustered base.
+  const auto expected = plan_.variant_peptide(0).annotated(mods_);
+  EXPECT_NE(text.find(expected), std::string::npos);
+}
+
+TEST_F(ReportTest, DecoyFlagColumn) {
+  std::vector<bool> decoy_bases(plan_.num_bases(), false);
+  const auto loc = plan_.locate_variant(0);
+  decoy_bases[loc.base_id] = true;
+  std::ostringstream out;
+  write_psm_report(out, plan_, sample_results(), decoy_bases);
+  const std::string text = out.str();
+  const auto lines = str::split(text, '\n');
+  const auto first = str::split(lines[1], '\t');
+  const auto second = str::split(lines[2], '\t');
+  EXPECT_EQ(first[8], "1");
+  EXPECT_EQ(second[8], "0");
+}
+
+TEST_F(ReportTest, FileWriterRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lbe_report.tsv";
+  write_psm_report_file(path, plan_, sample_results());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_TRUE(str::starts_with(header, "query_id"));
+  EXPECT_THROW(
+      write_psm_report_file("/nonexistent/dir/r.tsv", plan_, {}),
+      IoError);
+}
+
+TEST_F(ReportTest, ReportFeedsFdrPipeline) {
+  // Typical postprocessing: report rows -> FdrInput -> q-values.
+  const auto results = sample_results();
+  std::vector<bool> decoy_bases(plan_.num_bases(), false);
+  decoy_bases[plan_.locate_variant(other_base_variant()).base_id] = true;
+  std::vector<FdrInput> fdr_input;
+  for (const auto& result : results) {
+    for (const auto& psm : result.top) {
+      fdr_input.push_back(FdrInput{
+          psm.score,
+          decoy_bases[plan_.locate_variant(psm.peptide).base_id]});
+    }
+  }
+  const auto q = compute_qvalues(fdr_input);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);  // target above the decoy
+  EXPECT_EQ(accepted_at(fdr_input, q, 0.01), 1u);
+}
+
+}  // namespace
+}  // namespace lbe::search

@@ -1,0 +1,130 @@
+#include "search/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::search {
+namespace {
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  ScoringTest() {
+    params_.fragment_tolerance = 0.05;
+    params_.fragments.max_fragment_charge = 1;
+  }
+
+  chem::Spectrum perfect_spectrum(const chem::Peptide& peptide) {
+    return theospec::theoretical_spectrum(peptide, mods_, params_.fragments);
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  ScoreParams params_;
+};
+
+TEST_F(ScoringTest, LogFactorialValues) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-6);
+}
+
+TEST_F(ScoringTest, PerfectMatchMatchesEveryIon) {
+  const chem::Peptide peptide("PEPTIDEK");
+  const auto query = perfect_spectrum(peptide);
+  const auto result = score_candidate(query, peptide, mods_, params_);
+  // 7 b-ions + 7 y-ions, every query peak matches.
+  EXPECT_EQ(result.matched_b, 7u);
+  EXPECT_EQ(result.matched_y, 7u);
+  EXPECT_GT(result.hyperscore, 0.0);
+}
+
+TEST_F(ScoringTest, UnrelatedPeptideScoresLower) {
+  const chem::Peptide truth("PEPTIDEK");
+  const chem::Peptide decoy("WWWWHHHH");
+  const auto query = perfect_spectrum(truth);
+  const auto good = score_candidate(query, truth, mods_, params_);
+  const auto bad = score_candidate(query, decoy, mods_, params_);
+  EXPECT_GT(good.hyperscore, bad.hyperscore);
+  EXPECT_GT(good.matched_total(), bad.matched_total());
+}
+
+TEST_F(ScoringTest, EmptyInputsScoreZero) {
+  const chem::Peptide peptide("PEPTIDEK");
+  chem::Spectrum empty;
+  const auto r1 = score_candidate(empty, peptide, mods_, params_);
+  EXPECT_EQ(r1.matched_total(), 0u);
+  EXPECT_DOUBLE_EQ(r1.hyperscore, 0.0);
+}
+
+TEST_F(ScoringTest, ToleranceWindowControlsMatching) {
+  const chem::Peptide peptide("PEPTIDEK");
+  auto query = perfect_spectrum(peptide);
+  // Shift every peak by 0.04 Da: inside 0.05 tolerance, outside 0.01.
+  chem::Spectrum shifted;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    shifted.add_peak(query.mz(i) + 0.04, query.intensity(i));
+  }
+  shifted.finalize();
+
+  const auto within = score_candidate(shifted, peptide, mods_, params_);
+  EXPECT_EQ(within.matched_total(), 14u);
+
+  ScoreParams tight = params_;
+  tight.fragment_tolerance = 0.01;
+  const auto outside = score_candidate(shifted, peptide, mods_, tight);
+  EXPECT_EQ(outside.matched_total(), 0u);
+}
+
+TEST_F(ScoringTest, IntensitySumsAccumulateMatchedPeaks) {
+  const chem::Peptide peptide("PEPTIDEK");
+  const auto query = perfect_spectrum(peptide);  // unit intensities
+  const auto result = score_candidate(query, peptide, mods_, params_);
+  EXPECT_NEAR(result.intensity_b, 7.0, 1e-6);
+  EXPECT_NEAR(result.intensity_y, 7.0, 1e-6);
+}
+
+TEST_F(ScoringTest, HyperscoreFormula) {
+  const chem::Peptide peptide("PEPTIDEK");
+  const auto query = perfect_spectrum(peptide);
+  const auto result = score_candidate(query, peptide, mods_, params_);
+  const double expected = log_factorial(result.matched_b) +
+                          log_factorial(result.matched_y) +
+                          std::log1p(result.intensity_b) +
+                          std::log1p(result.intensity_y);
+  EXPECT_NEAR(result.hyperscore, expected, 1e-12);
+}
+
+TEST_F(ScoringTest, NoisePeaksDoNotMatch) {
+  const chem::Peptide peptide("PEPTIDEK");
+  auto query = perfect_spectrum(peptide);
+  chem::Spectrum with_noise;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    with_noise.add_peak(query.mz(i), query.intensity(i));
+  }
+  // Noise far from any fragment.
+  with_noise.add_peak(23.0, 100.0f);
+  with_noise.add_peak(2900.0, 100.0f);
+  with_noise.finalize();
+  const auto result = score_candidate(with_noise, peptide, mods_, params_);
+  EXPECT_EQ(result.matched_total(), 14u);
+  EXPECT_NEAR(result.intensity_b + result.intensity_y, 14.0, 1e-6);
+}
+
+TEST_F(ScoringTest, ModifiedPeptideScoredAgainstItsOwnSpectrum) {
+  const chem::Peptide oxidized("MPEPTIDEK", {{0, 2}}, mods_);
+  const chem::Peptide plain("MPEPTIDEK");
+  const auto query = perfect_spectrum(oxidized);
+  const auto right = score_candidate(query, oxidized, mods_, params_);
+  const auto wrong = score_candidate(query, plain, mods_, params_);
+  // The unmodified form mismatches every b-ion (M is N-terminal), but the
+  // y-ladder (which excludes the modified residue) still matches.
+  EXPECT_GT(right.matched_b, wrong.matched_b);
+  EXPECT_EQ(right.matched_y, wrong.matched_y);
+  EXPECT_GT(right.hyperscore, wrong.hyperscore);
+}
+
+}  // namespace
+}  // namespace lbe::search

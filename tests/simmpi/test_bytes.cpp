@@ -1,0 +1,126 @@
+#include "simmpi/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbe::mpi {
+namespace {
+
+TEST(Bytes, PodRoundTrip) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.pod(std::uint32_t{42});
+  writer.pod(3.25);
+  writer.pod(std::int8_t{-7});
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.pod<std::uint32_t>(), 42u);
+  EXPECT_DOUBLE_EQ(reader.pod<double>(), 3.25);
+  EXPECT_EQ(reader.pod<std::int8_t>(), -7);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  const std::string with_nuls("with\0embedded\nnul\0", 18);
+  writer.string("PEPTIDEK");
+  writer.string("");
+  writer.string(with_nuls);
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.string(), "PEPTIDEK");
+  EXPECT_EQ(reader.string(), "");
+  const std::string third = reader.string();
+  EXPECT_EQ(third.size(), 18u);
+  EXPECT_EQ(third, with_nuls);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, VectorRoundTrip) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.vector(std::vector<std::uint32_t>{1, 2, 3});
+  writer.vector(std::vector<double>{});
+  writer.vector(std::vector<float>{1.5f, -2.5f});
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.vector<std::uint32_t>(),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.vector<double>().empty());
+  EXPECT_EQ(reader.vector<float>(), (std::vector<float>{1.5f, -2.5f}));
+}
+
+TEST(Bytes, MixedSequenceRoundTrip) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.pod(std::uint64_t{7});
+  writer.string("query");
+  writer.vector(std::vector<std::uint16_t>{9, 8});
+  writer.pod(false);
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.pod<std::uint64_t>(), 7u);
+  EXPECT_EQ(reader.string(), "query");
+  EXPECT_EQ(reader.vector<std::uint16_t>(),
+            (std::vector<std::uint16_t>{9, 8}));
+  EXPECT_FALSE(reader.pod<bool>());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, UnderrunThrows) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.pod(std::uint16_t{1});
+  ByteReader reader(buffer);
+  EXPECT_THROW(reader.pod<std::uint64_t>(), CommError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.string("hello");
+  buffer.resize(buffer.size() - 2);  // chop payload
+  ByteReader reader(buffer);
+  EXPECT_THROW(reader.string(), CommError);
+}
+
+TEST(Bytes, TruncatedVectorThrows) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.vector(std::vector<std::uint64_t>{1, 2, 3});
+  buffer.resize(buffer.size() - 1);
+  ByteReader reader(buffer);
+  EXPECT_THROW(reader.vector<std::uint64_t>(), CommError);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.pod(std::uint32_t{1});
+  writer.pod(std::uint32_t{2});
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.remaining(), 8u);
+  reader.pod<std::uint32_t>();
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+TEST(Bytes, TrivialStructRoundTrip) {
+  struct Record {
+    std::uint32_t id;
+    float score;
+    bool operator==(const Record&) const = default;
+  };
+  Bytes buffer;
+  ByteWriter writer(buffer);
+  writer.vector(std::vector<Record>{{1, 0.5f}, {2, -1.0f}});
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.vector<Record>(),
+            (std::vector<Record>{{1, 0.5f}, {2, -1.0f}}));
+}
+
+}  // namespace
+}  // namespace lbe::mpi

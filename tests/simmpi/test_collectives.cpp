@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmpi/cluster.hpp"
+
+namespace lbe::mpi {
+namespace {
+
+ClusterOptions deterministic(int ranks, Engine engine = Engine::kVirtual) {
+  ClusterOptions options;
+  options.ranks = ranks;
+  options.engine = engine;
+  options.measured_time = false;
+  return options;
+}
+
+class CollectiveEngines : public ::testing::TestWithParam<Engine> {};
+
+TEST_P(CollectiveEngines, BcastDeliversToAll) {
+  constexpr int kRanks = 6;
+  Cluster cluster(deterministic(kRanks, GetParam()));
+  std::vector<std::string> received(kRanks);
+  cluster.run([&](Comm& comm) {
+    Bytes data;
+    if (comm.rank() == 2) {
+      ByteWriter writer(data);
+      writer.string("clustered-db");
+    }
+    comm.bcast(data, 2);
+    ByteReader reader(data);
+    received[static_cast<std::size_t>(comm.rank())] = reader.string();
+  });
+  for (const auto& r : received) EXPECT_EQ(r, "clustered-db");
+}
+
+TEST_P(CollectiveEngines, GatherCollectsInRankOrder) {
+  constexpr int kRanks = 5;
+  Cluster cluster(deterministic(kRanks, GetParam()));
+  std::vector<std::uint64_t> collected;
+  cluster.run([&](Comm& comm) {
+    Bytes mine;
+    ByteWriter writer(mine);
+    writer.pod(static_cast<std::uint64_t>(comm.rank() * 11));
+    const auto all = comm.gather(std::move(mine), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+      for (const auto& bytes : all) {
+        ByteReader reader(bytes);
+        collected.push_back(reader.pod<std::uint64_t>());
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+  ASSERT_EQ(collected.size(), 5u);
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(collected[i], i * 11);
+  }
+}
+
+TEST_P(CollectiveEngines, GatherToNonZeroRoot) {
+  Cluster cluster(deterministic(3, GetParam()));
+  std::size_t got = 0;
+  cluster.run([&](Comm& comm) {
+    Bytes mine;
+    ByteWriter writer(mine);
+    writer.pod(comm.rank());
+    const auto all = comm.gather(std::move(mine), 2);
+    if (comm.rank() == 2) got = all.size();
+  });
+  EXPECT_EQ(got, 3u);
+}
+
+TEST_P(CollectiveEngines, AllreduceMax) {
+  constexpr int kRanks = 7;
+  Cluster cluster(deterministic(kRanks, GetParam()));
+  std::vector<double> results(kRanks, -1.0);
+  cluster.run([&](Comm& comm) {
+    const double mine = comm.rank() == 4 ? 99.5 : static_cast<double>(
+                                                       comm.rank());
+    results[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_max(mine);
+  });
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, 99.5);
+}
+
+TEST_P(CollectiveEngines, AllreduceSum) {
+  constexpr int kRanks = 4;
+  Cluster cluster(deterministic(kRanks, GetParam()));
+  std::vector<double> results(kRanks, 0.0);
+  cluster.run([&](Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+  });
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, 10.0);  // 1+2+3+4
+}
+
+TEST_P(CollectiveEngines, SingleRankCollectivesTrivial) {
+  Cluster cluster(deterministic(1, GetParam()));
+  cluster.run([&](Comm& comm) {
+    Bytes data;
+    ByteWriter writer(data);
+    writer.pod(5);
+    comm.bcast(data, 0);
+    const auto all = comm.gather(std::move(data), 0);
+    EXPECT_EQ(all.size(), 1u);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(3.0), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(3.0), 3.0);
+  });
+}
+
+TEST_P(CollectiveEngines, BackToBackCollectivesDoNotCrosstalk) {
+  constexpr int kRanks = 4;
+  Cluster cluster(deterministic(kRanks, GetParam()));
+  std::vector<double> sums(kRanks);
+  std::vector<double> maxes(kRanks);
+  cluster.run([&](Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    sums[r] = comm.allreduce_sum(1.0);
+    maxes[r] = comm.allreduce_max(static_cast<double>(comm.rank()));
+    sums[r] += comm.allreduce_sum(2.0);
+  });
+  for (const double s : sums) EXPECT_DOUBLE_EQ(s, 12.0);  // 4 + 8
+  for (const double m : maxes) EXPECT_DOUBLE_EQ(m, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CollectiveEngines,
+                         ::testing::Values(Engine::kVirtual,
+                                           Engine::kThreads),
+                         [](const auto& info) {
+                           return info.param == Engine::kVirtual ? "Virtual"
+                                                                 : "Threads";
+                         });
+
+}  // namespace
+}  // namespace lbe::mpi

@@ -1,0 +1,148 @@
+#include "synth/proteome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/amino_acid.hpp"
+#include "common/error.hpp"
+#include "core/edit_distance.hpp"
+
+namespace lbe::synth {
+namespace {
+
+TEST(Proteome, GeneratesRequestedCounts) {
+  ProteomeParams params;
+  params.num_families = 5;
+  params.proteins_per_family = 4;
+  const auto records = generate_proteome(params);
+  EXPECT_EQ(records.size(), 20u);
+}
+
+TEST(Proteome, AllSequencesValidResidues) {
+  ProteomeParams params;
+  params.num_families = 8;
+  const auto records = generate_proteome(params);
+  for (const auto& record : records) {
+    EXPECT_EQ(chem::find_invalid_residue(record.sequence),
+              std::string_view::npos)
+        << record.header;
+  }
+}
+
+TEST(Proteome, DeterministicForSeed) {
+  ProteomeParams params;
+  params.num_families = 4;
+  const auto a = generate_proteome(params);
+  const auto b = generate_proteome(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence, b[i].sequence);
+  }
+}
+
+TEST(Proteome, SeedsChangeOutput) {
+  ProteomeParams params;
+  params.num_families = 2;
+  const auto a = generate_proteome(params);
+  params.seed ^= 1;
+  const auto b = generate_proteome(params);
+  EXPECT_NE(a[0].sequence, b[0].sequence);
+}
+
+TEST(Proteome, FamilyPrefixStability) {
+  ProteomeParams small;
+  small.num_families = 3;
+  ProteomeParams large = small;
+  large.num_families = 6;
+  const auto a = generate_proteome(small);
+  const auto b = generate_proteome(large);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence, b[i].sequence) << i;
+  }
+  // generate_family agrees with the batch generator.
+  const auto fam2 = generate_family(large, 2);
+  for (std::size_t m = 0; m < fam2.size(); ++m) {
+    EXPECT_EQ(fam2[m].sequence, b[2 * large.proteins_per_family + m].sequence);
+  }
+}
+
+TEST(Proteome, FamilyMembersAreSimilarToBase) {
+  ProteomeParams params;
+  params.num_families = 3;
+  params.proteins_per_family = 5;
+  params.substitution_rate = 0.03;
+  params.indel_rate = 0.005;
+  const auto records = generate_proteome(params);
+  for (std::uint32_t f = 0; f < params.num_families; ++f) {
+    const auto& base =
+        records[f * params.proteins_per_family].sequence;
+    for (std::uint32_t m = 1; m < params.proteins_per_family; ++m) {
+      const auto& member =
+          records[f * params.proteins_per_family + m].sequence;
+      const auto dist = core::edit_distance(base, member);
+      // Expected edits ~ (0.03 + 0.005) * len; allow generous slack.
+      EXPECT_LT(dist, base.size() / 5) << "family " << f << " member " << m;
+      EXPECT_GT(dist, 0u);  // astronomically unlikely to be identical
+    }
+  }
+}
+
+TEST(Proteome, DifferentFamiliesAreDissimilar) {
+  ProteomeParams params;
+  params.num_families = 2;
+  params.proteins_per_family = 1;
+  const auto records = generate_proteome(params);
+  const auto& a = records[0].sequence;
+  const auto& b = records[1].sequence;
+  const auto dist = core::edit_distance(a, b);
+  EXPECT_GT(dist, std::min(a.size(), b.size()) / 2);
+}
+
+TEST(Proteome, LengthRespectsMinimum) {
+  ProteomeParams params;
+  params.num_families = 20;
+  params.proteins_per_family = 1;
+  params.protein_length_mean = 70;
+  params.protein_length_stddev = 50;  // would often dip below min
+  params.protein_length_min = 60;
+  const auto records = generate_proteome(params);
+  for (const auto& record : records) {
+    EXPECT_GE(record.sequence.size(), 50u);  // min minus indel slack
+  }
+}
+
+TEST(Proteome, HeadersEncodeFamilyAndMember) {
+  ProteomeParams params;
+  params.num_families = 2;
+  params.proteins_per_family = 2;
+  const auto records = generate_proteome(params);
+  EXPECT_EQ(records[0].header, "fam0|mem0");
+  EXPECT_EQ(records[3].header, "fam1|mem1");
+}
+
+TEST(Proteome, RejectsBadRates) {
+  ProteomeParams params;
+  params.substitution_rate = 1.5;
+  EXPECT_THROW(generate_proteome(params), ConfigError);
+  params.substitution_rate = 0.05;
+  params.indel_rate = -0.1;
+  EXPECT_THROW(generate_proteome(params), ConfigError);
+}
+
+TEST(Proteome, MutateProteinRatesScale) {
+  const std::string base = random_protein(500, 42);
+  const auto light = mutate_protein(base, 0.01, 0.0, 7);
+  const auto heavy = mutate_protein(base, 0.20, 0.0, 7);
+  EXPECT_LT(core::edit_distance(base, light),
+            core::edit_distance(base, heavy));
+}
+
+TEST(Proteome, RandomProteinUsesAllCommonResidues) {
+  const std::string protein = random_protein(5000, 1);
+  // Every canonical residue should appear in 5000 draws.
+  for (const char c : chem::kResidues) {
+    EXPECT_NE(protein.find(c), std::string::npos) << c;
+  }
+}
+
+}  // namespace
+}  // namespace lbe::synth

@@ -1,0 +1,157 @@
+#include "synth/spectra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "io/ms2.hpp"
+
+namespace lbe::synth {
+namespace {
+
+class SpectraTest : public ::testing::Test {
+ protected:
+  SpectraTest() {
+    params_.num_spectra = 50;
+    params_.fragments.max_fragment_charge = 1;
+  }
+
+  std::vector<std::string> peptides_ = {"PEPTIDEK", "MKWVTFISLLK",
+                                        "NMGGGKAA", "GGGGGGK"};
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  SpectraParams params_;
+};
+
+TEST_F(SpectraTest, GeneratesRequestedCount) {
+  const auto out = generate_spectra(peptides_, mods_, params_);
+  EXPECT_EQ(out.spectra.size(), 50u);
+  EXPECT_EQ(out.truth.size(), 50u);
+}
+
+TEST_F(SpectraTest, TruthIndicesValid) {
+  const auto out = generate_spectra(peptides_, mods_, params_);
+  for (const auto t : out.truth) {
+    EXPECT_LT(t, peptides_.size());
+  }
+}
+
+TEST_F(SpectraTest, DeterministicForSeed) {
+  const auto a = generate_spectra(peptides_, mods_, params_);
+  const auto b = generate_spectra(peptides_, mods_, params_);
+  ASSERT_EQ(a.spectra.size(), b.spectra.size());
+  EXPECT_EQ(a.truth, b.truth);
+  for (std::size_t i = 0; i < a.spectra.size(); ++i) {
+    ASSERT_EQ(a.spectra[i].size(), b.spectra[i].size());
+    for (std::size_t p = 0; p < a.spectra[i].size(); ++p) {
+      EXPECT_DOUBLE_EQ(a.spectra[i].mz(p), b.spectra[i].mz(p));
+    }
+  }
+}
+
+TEST_F(SpectraTest, PrecursorChargeInRange) {
+  const auto out = generate_spectra(peptides_, mods_, params_);
+  for (const auto& s : out.spectra) {
+    EXPECT_GE(s.precursor.charge, params_.precursor_charge_min);
+    EXPECT_LE(s.precursor.charge, params_.precursor_charge_max);
+    EXPECT_GT(s.precursor.neutral_mass, 0.0);
+    EXPECT_GT(s.precursor.mz, 0.0);
+  }
+}
+
+TEST_F(SpectraTest, UnmodifiedFractionMatchesPrecursorMass) {
+  SpectraParams no_mods = params_;
+  no_mods.modified_fraction = 0.0;
+  const auto out = generate_spectra(peptides_, mods_, no_mods);
+  for (std::size_t i = 0; i < out.spectra.size(); ++i) {
+    const chem::Peptide truth(peptides_[out.truth[i]]);
+    EXPECT_NEAR(out.spectra[i].precursor.neutral_mass, truth.mass(mods_),
+                1e-6);
+  }
+}
+
+TEST_F(SpectraTest, ModifiedFractionShiftsSomePrecursors) {
+  SpectraParams all_mods = params_;
+  all_mods.modified_fraction = 1.0;
+  all_mods.num_spectra = 100;
+  const auto out = generate_spectra(peptides_, mods_, all_mods);
+  std::size_t shifted = 0;
+  for (std::size_t i = 0; i < out.spectra.size(); ++i) {
+    const chem::Peptide base(peptides_[out.truth[i]]);
+    if (std::abs(out.spectra[i].precursor.neutral_mass - base.mass(mods_)) >
+        0.5) {
+      ++shifted;
+    }
+  }
+  // Every draw asked for a modified variant; peptides without eligible
+  // sites (GGGGGGK has K -> GlyGly applies) still shift. Expect most.
+  EXPECT_GT(shifted, 60u);
+}
+
+TEST_F(SpectraTest, NoisePeaksIncreaseSpectrumSize) {
+  SpectraParams no_noise = params_;
+  no_noise.noise_peaks = 0;
+  no_noise.peak_observe_prob = 1.0;
+  no_noise.mz_jitter_stddev = 0.0;
+  SpectraParams noisy = no_noise;
+  noisy.noise_peaks = 30;
+  const auto clean = generate_spectra(peptides_, mods_, no_noise);
+  const auto dirty = generate_spectra(peptides_, mods_, noisy);
+  double clean_avg = 0.0;
+  double dirty_avg = 0.0;
+  for (const auto& s : clean.spectra) clean_avg += static_cast<double>(s.size());
+  for (const auto& s : dirty.spectra) dirty_avg += static_cast<double>(s.size());
+  EXPECT_GT(dirty_avg, clean_avg + 25.0 * 50);
+}
+
+TEST_F(SpectraTest, DropoutReducesPeaks) {
+  SpectraParams full = params_;
+  full.peak_observe_prob = 1.0;
+  full.noise_peaks = 0;
+  SpectraParams half = full;
+  half.peak_observe_prob = 0.5;
+  const auto a = generate_spectra(peptides_, mods_, full);
+  const auto b = generate_spectra(peptides_, mods_, half);
+  double full_total = 0.0;
+  double half_total = 0.0;
+  for (const auto& s : a.spectra) full_total += static_cast<double>(s.size());
+  for (const auto& s : b.spectra) half_total += static_cast<double>(s.size());
+  EXPECT_LT(half_total, 0.7 * full_total);
+}
+
+TEST_F(SpectraTest, SpectraAreSortedAndFinalized) {
+  const auto out = generate_spectra(peptides_, mods_, params_);
+  for (const auto& s : out.spectra) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LE(s.mz(i - 1), s.mz(i));
+    }
+  }
+}
+
+TEST_F(SpectraTest, EmptyPeptideListRejected) {
+  EXPECT_THROW(generate_spectra({}, mods_, params_), ConfigError);
+}
+
+TEST_F(SpectraTest, BadChargeRangeRejected) {
+  SpectraParams bad = params_;
+  bad.precursor_charge_min = 3;
+  bad.precursor_charge_max = 2;
+  EXPECT_THROW(generate_spectra(peptides_, mods_, bad), ConfigError);
+}
+
+TEST_F(SpectraTest, Ms2ExportRoundTrips) {
+  params_.num_spectra = 5;
+  const auto out = generate_spectra(peptides_, mods_, params_);
+  const auto file = out.to_ms2();
+  EXPECT_EQ(file.spectra.size(), 5u);
+  const std::string path = ::testing::TempDir() + "/lbe_synth.ms2";
+  io::write_ms2_file(path, file);
+  const auto parsed = io::read_ms2_file(path);
+  ASSERT_EQ(parsed.spectra.size(), 5u);
+  for (std::size_t i = 0; i < parsed.spectra.size(); ++i) {
+    EXPECT_EQ(parsed.spectra[i].size(), out.spectra[i].size());
+    EXPECT_NEAR(parsed.spectra[i].precursor.neutral_mass,
+                out.spectra[i].precursor.neutral_mass, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace lbe::synth

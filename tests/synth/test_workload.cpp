@@ -1,0 +1,79 @@
+#include "synth/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "digest/variants.hpp"
+
+namespace lbe::synth {
+namespace {
+
+TEST(Workload, ReachesTargetEntries) {
+  const auto w = make_paper_workload(5000, 20);
+  EXPECT_GE(w.planned_entries, 5000u);
+  // Overshoot bounded by one peptide's variant cap.
+  EXPECT_LE(w.planned_entries,
+            5000u + w.variant_params.max_variants_per_peptide);
+  EXPECT_EQ(w.queries.size(), 20u);
+  EXPECT_EQ(w.query_truth.size(), 20u);
+}
+
+TEST(Workload, PlannedEntriesMatchRecount) {
+  const auto w = make_paper_workload(3000, 5);
+  std::uint64_t recount = 0;
+  for (const auto& p : w.base_peptides) {
+    recount += digest::count_variants(p, w.mods, w.variant_params);
+  }
+  EXPECT_EQ(recount, w.planned_entries);
+}
+
+TEST(Workload, BasePeptidesDeduplicated) {
+  const auto w = make_paper_workload(4000, 5);
+  std::unordered_set<std::string> unique(w.base_peptides.begin(),
+                                         w.base_peptides.end());
+  EXPECT_EQ(unique.size(), w.base_peptides.size());
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = make_paper_workload(2000, 10, 7);
+  const auto b = make_paper_workload(2000, 10, 7);
+  EXPECT_EQ(a.base_peptides, b.base_peptides);
+  EXPECT_EQ(a.query_truth, b.query_truth);
+  EXPECT_EQ(a.planned_entries, b.planned_entries);
+}
+
+TEST(Workload, LargerTargetExtendsSmaller) {
+  // Prefix stability: the peptides of a small workload are a prefix of a
+  // larger one at the same seed.
+  const auto small = make_paper_workload(1000, 5, 3);
+  const auto large = make_paper_workload(4000, 5, 3);
+  ASSERT_LE(small.base_peptides.size(), large.base_peptides.size());
+  for (std::size_t i = 0; i < small.base_peptides.size(); ++i) {
+    EXPECT_EQ(small.base_peptides[i], large.base_peptides[i]) << i;
+  }
+}
+
+TEST(Workload, QueriesDigestibleLengths) {
+  const auto w = make_paper_workload(2000, 10);
+  for (const auto& p : w.base_peptides) {
+    EXPECT_GE(p.size(), 6u);   // paper digestion window
+    EXPECT_LE(p.size(), 40u);
+  }
+}
+
+TEST(Workload, QueryTruthPointsAtRealPeptides) {
+  const auto w = make_paper_workload(2000, 25);
+  for (const auto t : w.query_truth) {
+    EXPECT_LT(t, w.base_peptides.size());
+  }
+}
+
+TEST(Workload, PaperVariantSettings) {
+  const auto w = make_paper_workload(1000, 1);
+  EXPECT_EQ(w.variant_params.max_mod_residues, 5u);
+  EXPECT_EQ(w.mods.size(), 3u);  // deamidation, GlyGly, oxidation
+}
+
+}  // namespace
+}  // namespace lbe::synth

@@ -1,0 +1,185 @@
+#include "theospec/fragmenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chem/amino_acid.hpp"
+#include "chem/mass.hpp"
+
+namespace lbe::theospec {
+namespace {
+
+class FragmenterTest : public ::testing::Test {
+ protected:
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  FragmentParams single_charge_ = [] {
+    FragmentParams p;
+    p.max_fragment_charge = 1;
+    return p;
+  }();
+};
+
+TEST_F(FragmenterTest, CountMatchesFormula) {
+  const chem::Peptide p("PEPTIDEK");
+  const auto fragments = fragment_peptide(p, mods_, single_charge_);
+  EXPECT_EQ(fragments.size(), fragment_count(8, single_charge_));
+  EXPECT_EQ(fragments.size(), 14u);  // (8-1) cuts * (b + y)
+}
+
+TEST_F(FragmenterTest, ChargeTwoDoublesCount) {
+  FragmentParams p2 = single_charge_;
+  p2.max_fragment_charge = 2;
+  const chem::Peptide p("PEPTIDEK");
+  EXPECT_EQ(fragment_peptide(p, mods_, p2).size(), 28u);
+  EXPECT_EQ(fragment_count(8, p2), 28u);
+}
+
+TEST_F(FragmenterTest, TooShortPeptideYieldsNothing) {
+  const chem::Peptide p("K");
+  EXPECT_TRUE(fragment_peptide(p, mods_, single_charge_).empty());
+  EXPECT_EQ(fragment_count(1, single_charge_), 0u);
+}
+
+TEST_F(FragmenterTest, SortedByMz) {
+  const chem::Peptide p("MKWVTFISLLK");
+  const auto fragments = fragment_peptide(p, mods_, single_charge_);
+  EXPECT_TRUE(std::is_sorted(
+      fragments.begin(), fragments.end(),
+      [](const Fragment& a, const Fragment& b) { return a.mz < b.mz; }));
+}
+
+TEST_F(FragmenterTest, B2IonOfKnownPeptide) {
+  // b2 of PEPTIDEK: P + E residues + proton, singly charged.
+  const chem::Peptide p("PEPTIDEK");
+  const auto fragments = fragment_peptide(p, mods_, single_charge_);
+  const double expected_b2 =
+      chem::residue_mass('P') + chem::residue_mass('E') + chem::kProton;
+  bool found = false;
+  for (const auto& f : fragments) {
+    if (f.series == IonSeries::kB && f.ordinal == 2 && f.charge == 1) {
+      EXPECT_NEAR(f.mz, expected_b2, 1e-6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FragmenterTest, Y1IonOfKnownPeptide) {
+  // y1 of PEPTIDEK: K residue + water + proton.
+  const chem::Peptide p("PEPTIDEK");
+  const auto fragments = fragment_peptide(p, mods_, single_charge_);
+  const double expected_y1 =
+      chem::residue_mass('K') + chem::kWater + chem::kProton;
+  bool found = false;
+  for (const auto& f : fragments) {
+    if (f.series == IonSeries::kY && f.ordinal == 1 && f.charge == 1) {
+      EXPECT_NEAR(f.mz, expected_y1, 1e-6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FragmenterTest, BYComplementarity) {
+  // Neutral(b_i) + Neutral(y_{n-i}) == peptide neutral mass, for every i.
+  const chem::Peptide p("MKWVTFISLLK");
+  const double total = p.mass(mods_);
+  const auto fragments = fragment_peptide(p, mods_, single_charge_);
+  const std::size_t n = p.length();
+  for (std::size_t i = 1; i < n; ++i) {
+    double b_neutral = -1.0;
+    double y_neutral = -1.0;
+    for (const auto& f : fragments) {
+      if (f.charge != 1) continue;
+      if (f.series == IonSeries::kB && f.ordinal == i) {
+        b_neutral = f.mz - chem::kProton;
+      }
+      if (f.series == IonSeries::kY && f.ordinal == n - i) {
+        y_neutral = f.mz - chem::kProton;
+      }
+    }
+    ASSERT_GE(b_neutral, 0.0);
+    ASSERT_GE(y_neutral, 0.0);
+    EXPECT_NEAR(b_neutral + y_neutral, total, 1e-6) << "cut " << i;
+  }
+}
+
+TEST_F(FragmenterTest, ModificationShiftsContainingFragments) {
+  // Oxidation (id 2) on M at position 0 of "MGGGK": every b ion shifts,
+  // y ions (which exclude position 0) do not.
+  const chem::Peptide plain("MGGGK");
+  const chem::Peptide oxidized("MGGGK", {{0, 2}}, mods_);
+  const auto f_plain = fragment_peptide(plain, mods_, single_charge_);
+  const auto f_ox = fragment_peptide(oxidized, mods_, single_charge_);
+  auto find = [](const std::vector<Fragment>& v, IonSeries s,
+                 std::uint16_t ordinal) {
+    for (const auto& f : v) {
+      if (f.series == s && f.ordinal == ordinal && f.charge == 1) return f.mz;
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(find(f_ox, IonSeries::kB, 1) - find(f_plain, IonSeries::kB, 1),
+              15.99491462, 1e-5);
+  EXPECT_NEAR(find(f_ox, IonSeries::kY, 4) - find(f_plain, IonSeries::kY, 4),
+              0.0, 1e-9);
+}
+
+TEST_F(FragmenterTest, AIonsAreBMinusCO) {
+  FragmentParams with_a = single_charge_;
+  with_a.a_ions = true;
+  const chem::Peptide p("PEPTIDEK");
+  const auto fragments = fragment_peptide(p, mods_, with_a);
+  double b3 = -1.0;
+  double a3 = -1.0;
+  for (const auto& f : fragments) {
+    if (f.ordinal == 3 && f.charge == 1) {
+      if (f.series == IonSeries::kB) b3 = f.mz;
+      if (f.series == IonSeries::kA) a3 = f.mz;
+    }
+  }
+  ASSERT_GT(b3, 0.0);
+  ASSERT_GT(a3, 0.0);
+  EXPECT_NEAR(b3 - a3, chem::kCarbonMonoxide, 1e-6);
+}
+
+TEST_F(FragmenterTest, NeutralLossesCounted) {
+  FragmentParams losses = single_charge_;
+  losses.neutral_loss_nh3 = true;
+  losses.neutral_loss_h2o = true;
+  EXPECT_EQ(fragment_count(8, losses), 7u * 6u);  // (b,y,±NH3,±H2O per cut)
+  const chem::Peptide p("PEPTIDEK");
+  EXPECT_EQ(fragment_peptide(p, mods_, losses).size(), 42u);
+}
+
+TEST_F(FragmenterTest, TheoreticalSpectrumHasPrecursorAndSortedPeaks) {
+  const chem::Peptide p("PEPTIDEK");
+  const auto spec = theoretical_spectrum(p, mods_, single_charge_);
+  EXPECT_EQ(spec.size(), 14u);
+  EXPECT_NEAR(spec.precursor.neutral_mass, p.mass(mods_), 1e-9);
+  EXPECT_EQ(spec.precursor.charge, 2);
+  for (std::size_t i = 1; i < spec.size(); ++i) {
+    EXPECT_LT(spec.mz(i - 1), spec.mz(i));
+  }
+}
+
+TEST_F(FragmenterTest, DoublyChargedIsHalfShifted) {
+  FragmentParams p2 = single_charge_;
+  p2.max_fragment_charge = 2;
+  const chem::Peptide p("PEPTIDEK");
+  const auto fragments = fragment_peptide(p, mods_, p2);
+  double b3_z1 = -1.0;
+  double b3_z2 = -1.0;
+  for (const auto& f : fragments) {
+    if (f.series == IonSeries::kB && f.ordinal == 3) {
+      if (f.charge == 1) b3_z1 = f.mz;
+      if (f.charge == 2) b3_z2 = f.mz;
+    }
+  }
+  // neutral = z1 - proton; z2 = (neutral + 2 protons) / 2.
+  const double neutral = b3_z1 - chem::kProton;
+  EXPECT_NEAR(b3_z2, (neutral + 2 * chem::kProton) / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lbe::theospec
