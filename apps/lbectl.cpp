@@ -1,0 +1,22 @@
+// lbectl — the end-to-end LBE search driver.
+//
+// Wires the whole reproduction into one binary: FASTA (or synthetic
+// proteome) -> digestion + decoys + dedup -> LBE grouping/partitioning ->
+// per-rank index build -> distributed query execution over a simulated MPI
+// cluster (optionally hybrid-threaded per rank) -> master-side merge ->
+// target-decoy FDR -> PSM/metrics reports. See `lbectl help`.
+#include <cstdio>
+
+#include "app/commands.hpp"
+#include "app/options.hpp"
+#include "common/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbe;
+  try {
+    return app::dispatch(app::parse_cli(argc, argv));
+  } catch (const Error& error) {
+    std::fprintf(stderr, "lbectl: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,198 @@
+#include "app/commands.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "app/pipeline.hpp"
+#include "common/error.hpp"
+#include "core/partition.hpp"
+#include "digest/variants.hpp"
+#include "index/chunked_index.hpp"
+#include "perf/metrics.hpp"
+
+namespace lbe::app {
+
+namespace {
+
+void print_database_summary(const DatabaseBundle& db) {
+  std::size_t decoys = 0;
+  for (const bool flag : db.is_decoy) decoys += flag ? 1 : 0;
+  std::printf("database: %zu peptides (%zu targets, %zu decoys), "
+              "%zu duplicates dropped, %zu decoy collisions dropped\n",
+              db.peptides.size(), db.peptides.size() - decoys, decoys,
+              db.duplicates_dropped, db.decoy_collisions_dropped);
+}
+
+void print_plan_summary(const PlanBundle& plan) {
+  const auto& p = *plan.plan;
+  std::printf("plan: %zu bases in %zu groups -> %llu index entries over %d "
+              "ranks (%s), prep %.1f ms\n",
+              p.num_bases(), p.grouping().num_groups(),
+              static_cast<unsigned long long>(p.num_variants()), p.ranks(),
+              core::policy_name(p.params().partition.policy),
+              plan.prep_seconds * 1e3);
+}
+
+std::string rank_index_path(const std::string& out_dir, int rank) {
+  return out_dir + "/rank" + std::to_string(rank) + ".idx";
+}
+
+}  // namespace
+
+int run_prepare(const AppOptions& opts) {
+  const DatabaseBundle db = build_database(opts);
+  print_database_summary(db);
+
+  const PlanBundle plan = build_plan(db, opts);
+  print_plan_summary(plan);
+
+  std::filesystem::create_directories(opts.out_dir);
+  const std::string plan_path = opts.out_dir + "/plan.lbe";
+  save_plan_file(plan_path, db, plan.plan->params());
+  std::printf("wrote %s (%ju bytes)\n", plan_path.c_str(),
+              static_cast<std::uintmax_t>(
+                  std::filesystem::file_size(plan_path)));
+
+  // The rank indexes are the paper's disk-resident chunk artifacts (and a
+  // serialization self-check); `search --plan` rebuilds its partials
+  // deterministically from the stored plan rather than reading these.
+  std::uint64_t total_bytes = 0;
+  for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
+    index::PeptideStore store = plan.plan->build_rank_store(rank);
+    const std::size_t entries = store.size();
+    const index::ChunkedIndex partial(std::move(store), plan.plan->mods(),
+                                      opts.search.index, opts.search.chunking);
+    const std::string path = rank_index_path(opts.out_dir, rank);
+    partial.save_file(path);
+    total_bytes += partial.memory_bytes();
+    std::printf("wrote %s: %zu entries, %llu postings\n", path.c_str(),
+                entries,
+                static_cast<unsigned long long>(partial.num_postings()));
+  }
+
+  // Round-trip one partition as a self-check: a plan that cannot be read
+  // back is worse than no plan.
+  const auto reloaded = index::ChunkedIndex::load_file(
+      rank_index_path(opts.out_dir, 0), plan.plan->mods(), opts.search.index);
+  LBE_CHECK(reloaded->num_peptides() ==
+                plan.plan->mapping().rank_count(0),
+            "rank 0 index failed its reload self-check");
+  std::printf("prepared %d rank indexes (%.1f MiB in-memory total)\n",
+              plan.plan->ranks(),
+              static_cast<double>(total_bytes) / (1024.0 * 1024.0));
+  return 0;
+}
+
+int run_search(const AppOptions& opts) {
+  const PipelineInputs inputs = prepare_inputs(opts);
+  print_database_summary(inputs.database);
+  std::printf("queries: %zu spectra from %s\n", inputs.queries.spectra.size(),
+              inputs.queries.origin.c_str());
+
+  const PlanBundle plan = build_plan(inputs.database, opts);
+  print_plan_summary(plan);
+
+  const SearchOutcome outcome =
+      run_search_pipeline(plan, inputs.queries, opts);
+
+  std::printf("search: %zu/%zu queries matched, %zu target PSMs at q <= %g\n",
+              outcome.queries_with_results,
+              outcome.report.results.size(), outcome.accepted,
+              opts.fdr_threshold);
+  std::printf("query-phase load imbalance (Eq. 1): %.1f%% by time, "
+              "%.1f%% by work units\n",
+              100.0 * outcome.time_stats.imbalance,
+              100.0 * outcome.work_stats.imbalance);
+  std::printf("makespan %.1f ms (threads/rank=%u, batch=%u)\n",
+              outcome.report.makespan * 1e3, opts.threads, opts.batch);
+
+  if (opts.write_report) {
+    write_reports(opts.out_dir, plan, outcome);
+    std::printf("reports: %s/psms.tsv, %s/fdr.csv, %s/metrics.csv\n",
+                opts.out_dir.c_str(), opts.out_dir.c_str(),
+                opts.out_dir.c_str());
+  }
+
+  if (opts.verify_baseline) {
+    const std::size_t mismatches =
+        compare_with_baseline(plan, inputs.queries, opts, outcome);
+    if (mismatches != 0) {
+      std::printf("VERIFY FAILED: %zu queries differ from the shared-memory "
+                  "baseline\n",
+                  mismatches);
+      return 1;
+    }
+    std::printf("verify: distributed results identical to the shared-memory "
+                "baseline\n");
+  }
+  return 0;
+}
+
+int run_stats(const AppOptions& opts) {
+  const DatabaseBundle db = build_database(opts);
+  print_database_summary(db);
+
+  const PlanBundle plan = build_plan(db, opts);
+  print_plan_summary(plan);
+  const auto& mapping = plan.plan->mapping();
+
+  std::printf("\n%5s %12s %10s\n", "rank", "entries", "share");
+  std::vector<double> entries_per_rank;
+  for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
+    const auto count = static_cast<double>(mapping.rank_count(rank));
+    entries_per_rank.push_back(count);
+    std::printf("%5d %12.0f %9.2f%%\n", rank, count,
+                100.0 * count /
+                    static_cast<double>(plan.plan->num_variants()));
+  }
+  const auto stats = perf::load_stats(entries_per_rank);
+  std::printf("\nentry-count load imbalance (Eq. 1): %.2f%% "
+              "(avg %.0f, max %.0f)\n",
+              100.0 * stats.imbalance, stats.t_avg, stats.t_max);
+  std::printf("mapping table: %llu bytes\n",
+              static_cast<unsigned long long>(mapping.memory_bytes()));
+
+  // Policy comparison over the same clustered database: reuse the grouping,
+  // re-partition per policy, and weigh each base by its variant count.
+  const auto& grouping = plan.plan->grouping();
+  std::vector<std::uint64_t> variant_counts;
+  variant_counts.reserve(grouping.sequences.size());
+  for (const auto& sequence : grouping.sequences) {
+    variant_counts.push_back(
+        digest::count_variants(sequence, db.mods, db.variants));
+  }
+  std::printf("\n%10s %28s\n", "policy", "entry LI at these ranks");
+  for (const core::Policy policy :
+       {core::Policy::kChunk, core::Policy::kCyclic, core::Policy::kRandom}) {
+    core::PartitionParams params = opts.lbe.partition;
+    params.policy = policy;
+    params.weights.clear();
+    const auto partition = core::partition(grouping.group_sizes, params);
+    std::vector<double> load(partition.per_rank.size(), 0.0);
+    for (std::size_t rank = 0; rank < partition.per_rank.size(); ++rank) {
+      for (const auto base : partition.per_rank[rank]) {
+        load[rank] += static_cast<double>(variant_counts[base]);
+      }
+    }
+    std::printf("%10s %27.2f%%\n", core::policy_name(policy),
+                100.0 * perf::load_imbalance(load));
+  }
+  return 0;
+}
+
+int dispatch(const CliInvocation& cli) {
+  if (cli.subcommand == "help") {
+    std::printf("%s", usage());
+    return 0;
+  }
+  const AppOptions opts = options_from_config(cli.config);
+  if (cli.subcommand == "prepare") return run_prepare(opts);
+  if (cli.subcommand == "search") return run_search(opts);
+  if (cli.subcommand == "stats") return run_stats(opts);
+  throw ConfigError("unknown subcommand: " + cli.subcommand +
+                    " (expected prepare|search|stats)");
+}
+
+}  // namespace lbe::app

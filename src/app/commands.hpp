@@ -1,0 +1,25 @@
+// lbectl subcommand entry points. Each returns a process exit code:
+// 0 = success, 1 = pipeline ran but a check failed (e.g. --verify found a
+// baseline mismatch); configuration/input errors throw lbe::Error and the
+// caller maps them to exit code 2.
+#pragma once
+
+#include "app/options.hpp"
+
+namespace lbe::app {
+
+/// Builds the LBE plan plus per-rank chunked indexes and serializes them
+/// under opts.out_dir (plan.lbe + rank<N>.idx).
+int run_prepare(const AppOptions& opts);
+
+/// Full pipeline: database -> plan -> distributed search -> FDR -> reports.
+int run_search(const AppOptions& opts);
+
+/// Prints partition load-balance statistics (per-rank entries, Eq. 1 LI)
+/// for the configured plan, plus a policy comparison table.
+int run_stats(const AppOptions& opts);
+
+/// Maps a parsed invocation to the matching subcommand (or prints usage).
+int dispatch(const CliInvocation& cli);
+
+}  // namespace lbe::app

@@ -1,0 +1,263 @@
+#include "app/options.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace lbe::app {
+
+namespace {
+
+// Every key the driver understands; parse_cli/options_from_config reject
+// anything else so a misspelled knob cannot silently fall back to a default.
+constexpr std::array<std::string_view, 36> kKnownKeys = {
+    "db",          "queries",       "plan",
+    "out",         "entries",       "num_queries",
+    "seed",        "enzyme",        "missed_cleavages",
+    "min_length",  "max_length",    "min_mass",
+    "max_mass",    "decoy",         "mods",
+    "max_mod_residues", "max_variants_per_peptide",
+    "policy",      "ranks",         "partition_seed",
+    "criterion",   "d",             "d_prime",
+    "gsize",       "resolution",    "max_fragment_mz",
+    "max_fragment_charge", "fragment_tolerance", "shared_peak_min",
+    "precursor_tolerance", "top_k", "fdr",
+    "threads",     "batch",         "report",
+    "verify",
+};
+
+bool known_key(std::string_view key) {
+  return std::find(kKnownKeys.begin(), kKnownKeys.end(), key) !=
+         kKnownKeys.end();
+}
+
+digest::DecoyMethod decoy_method_from_string(const std::string& name,
+                                             bool& enabled) {
+  const std::string s = str::to_upper(name);
+  enabled = true;
+  if (s == "NONE" || s == "OFF") {
+    enabled = false;
+    return digest::DecoyMethod::kPseudoReverse;
+  }
+  if (s == "REVERSE") return digest::DecoyMethod::kReverse;
+  if (s == "PSEUDO" || s == "PSEUDO-REVERSE" || s == "PSEUDO_REVERSE") {
+    return digest::DecoyMethod::kPseudoReverse;
+  }
+  if (s == "SHUFFLE") return digest::DecoyMethod::kShuffle;
+  throw ConfigError("unknown decoy method: " + name +
+                    " (expected none|reverse|pseudo|shuffle)");
+}
+
+std::uint32_t get_u32(const Config& config, const std::string& key,
+                      std::uint32_t fallback) {
+  const std::int64_t v = config.get_int(key, fallback);
+  if (v < 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError("config key '" + key + "' out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+void AppOptions::validate() const {
+  if (lbe.partition.ranks < 1) {
+    throw ConfigError("ranks must be >= 1");
+  }
+  if (threads < 1) {
+    throw ConfigError("threads must be >= 1");
+  }
+  if (batch < 1) {
+    throw ConfigError("batch must be >= 1");
+  }
+  if (fdr_threshold <= 0.0 || fdr_threshold > 1.0) {
+    throw ConfigError("fdr must be in (0, 1]");
+  }
+  if (!plan_path.empty() && !fasta_path.empty()) {
+    throw ConfigError("give either 'plan' or 'db', not both");
+  }
+  digestion.validate();
+  lbe.grouping.validate();
+  lbe.partition.validate();
+}
+
+AppOptions options_from_config(const Config& config) {
+  for (const auto& key : config.keys()) {
+    if (!known_key(key)) {
+      throw ConfigError("unknown config key: " + key);
+    }
+  }
+
+  AppOptions opts;
+  opts.fasta_path = config.get_string("db", "");
+  opts.ms2_path = config.get_string("queries", "");
+  opts.plan_path = config.get_string("plan", "");
+  opts.out_dir = config.get_string("out", ".");
+
+  opts.target_entries =
+      static_cast<std::uint64_t>(config.get_int("entries", 50000));
+  opts.num_queries = get_u32(config, "num_queries", 64);
+  opts.seed = static_cast<std::uint64_t>(config.get_int("seed", 2019));
+
+  opts.enzyme_name = config.get_string("enzyme", "trypsin");
+  opts.digestion.missed_cleavages = get_u32(config, "missed_cleavages", 2);
+  opts.digestion.min_length = get_u32(config, "min_length", 6);
+  opts.digestion.max_length = get_u32(config, "max_length", 40);
+  opts.digestion.min_mass = config.get_double("min_mass", 100.0);
+  opts.digestion.max_mass = config.get_double("max_mass", 5000.0);
+  opts.decoy_method = decoy_method_from_string(
+      config.get_string("decoy", "pseudo"), opts.add_decoys);
+  opts.mods_spec = config.get_string("mods", "paper");
+  opts.variants.max_mod_residues = get_u32(config, "max_mod_residues", 5);
+  opts.variants.max_variants_per_peptide = static_cast<std::uint64_t>(
+      config.get_int("max_variants_per_peptide", 0));
+
+  opts.lbe.partition.policy =
+      core::policy_from_string(config.get_string("policy", "cyclic"));
+  opts.lbe.partition.ranks =
+      static_cast<int>(config.get_int("ranks", 4));
+  opts.lbe.partition.seed =
+      static_cast<std::uint64_t>(config.get_int("partition_seed", 42));
+  const std::int64_t criterion = config.get_int("criterion", 2);
+  if (criterion != 1 && criterion != 2) {
+    throw ConfigError("criterion must be 1 or 2");
+  }
+  opts.lbe.grouping.criterion = criterion == 1
+                                    ? core::GroupingCriterion::kAbsolute
+                                    : core::GroupingCriterion::kNormalized;
+  opts.lbe.grouping.d = get_u32(config, "d", 2);
+  opts.lbe.grouping.d_prime = config.get_double("d_prime", 0.86);
+  opts.lbe.grouping.gsize = get_u32(config, "gsize", 20);
+
+  opts.search.index.resolution = config.get_double("resolution", 0.01);
+  opts.search.index.max_fragment_mz =
+      config.get_double("max_fragment_mz", 2000.0);
+  const std::uint32_t max_charge = get_u32(config, "max_fragment_charge", 1);
+  if (max_charge < 1 || max_charge > 255) {
+    throw ConfigError("max_fragment_charge must be in [1, 255]");
+  }
+  opts.search.index.fragments.max_fragment_charge =
+      static_cast<Charge>(max_charge);
+  opts.search.search.filter.fragment_tolerance =
+      config.get_double("fragment_tolerance", 0.05);
+  opts.search.search.filter.shared_peak_min =
+      get_u32(config, "shared_peak_min", 4);
+  opts.search.search.filter.precursor_tolerance = config.get_double(
+      "precursor_tolerance", std::numeric_limits<double>::infinity());
+  opts.search.search.score.fragments = opts.search.index.fragments;
+  opts.search.search.top_k = get_u32(config, "top_k", 5);
+  opts.fdr_threshold = config.get_double("fdr", 0.02);
+
+  opts.threads = get_u32(config, "threads", 1);
+  opts.batch = get_u32(config, "batch", 64);
+  opts.search.threads_per_rank = opts.threads;
+  opts.search.result_batch = opts.batch;
+
+  opts.write_report = config.get_bool("report", true);
+  opts.verify_baseline = config.get_bool("verify", false);
+  opts.source = config;
+
+  opts.validate();
+  return opts;
+}
+
+CliInvocation parse_cli(int argc, const char* const* argv) {
+  CliInvocation cli;
+  if (argc < 2) {
+    cli.subcommand = "help";
+    return cli;
+  }
+  cli.subcommand = argv[1];
+  if (cli.subcommand == "-h" || cli.subcommand == "--help") {
+    cli.subcommand = "help";
+    return cli;
+  }
+
+  Config overrides;
+  std::string config_path;
+  int i = 2;
+  while (i < argc) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw ConfigError("expected --key [value], got: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string key;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      ++i;
+    } else {
+      key = arg;
+      // `--flag` followed by another option (or end of line) means `true`.
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[i + 1];
+        i += 2;
+      } else {
+        value = "true";
+        ++i;
+      }
+    }
+    if (key == "config") {
+      config_path = value;
+    } else {
+      if (!known_key(key)) {
+        throw ConfigError("unknown option: --" + key);
+      }
+      overrides.set(key, value);
+    }
+  }
+
+  if (!config_path.empty()) {
+    cli.config = Config::from_file(config_path);
+  }
+  // CLI overrides beat the config file.
+  for (const auto& key : overrides.keys()) {
+    cli.config.set(key, overrides.get_string(key));
+  }
+  return cli;
+}
+
+const char* usage() {
+  return R"(lbectl — end-to-end LBE peptide-search driver
+
+Usage:
+  lbectl <prepare|search|stats> [--config FILE] [--key value]...
+
+Subcommands:
+  prepare   build the LBE plan and per-rank indexes, serialize to --out
+  search    run the full distributed pipeline and write PSM/metrics reports
+  stats     print partition load-balance statistics for the configured plan
+
+Common options (config-file keys and --key overrides are identical):
+  --db FILE            protein FASTA (omit for a synthetic proteome)
+  --queries FILE       query MS2 file (omit for synthetic spectra)
+  --plan FILE          plan file from `lbectl prepare` (instead of --db)
+  --out DIR            output directory (default .)
+  --entries N          synthetic index-entry target        (default 50000)
+  --num_queries N      synthetic query count               (default 64)
+  --seed N             synthetic workload seed             (default 2019)
+  --policy NAME        chunk|cyclic|random|weighted        (default cyclic)
+  --ranks N            simulated MPI ranks                 (default 4)
+  --threads N          threads per rank (hybrid mode)      (default 1)
+  --batch N            queries per result batch            (default 64)
+  --decoy NAME         none|reverse|pseudo|shuffle         (default pseudo)
+  --fdr Q              q-value acceptance threshold        (default 0.02)
+  --verify             also run the shared-memory baseline and compare
+  --report BOOL        write psms.tsv + metrics.csv        (default true)
+
+Examples:
+  lbectl search --ranks 4 --threads 4 --verify
+  lbectl prepare --db proteins.fasta --out run1
+  lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
+  lbectl stats --policy chunk --ranks 16
+)";
+}
+
+}  // namespace lbe::app

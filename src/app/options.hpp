@@ -1,0 +1,84 @@
+// lbectl option surface.
+//
+// One `AppOptions` struct carries every knob of the end-to-end pipeline
+// (database source, digestion, LBE plan, index/search parameters, runtime
+// parallelism, outputs). Options come from a `Config` (key = value file
+// and/or `--key value` CLI overrides), so a search is reproducible from a
+// single config file checked into an experiment directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "core/lbe_layer.hpp"
+#include "digest/decoy.hpp"
+#include "digest/digestor.hpp"
+#include "digest/variants.hpp"
+#include "search/distributed.hpp"
+
+namespace lbe::app {
+
+struct AppOptions {
+  // ---- inputs ----
+  std::string fasta_path;  ///< protein FASTA; empty = synthetic proteome
+  std::string ms2_path;    ///< query MS2 file; empty = synthetic spectra
+  std::string plan_path;   ///< serialized plan from `lbectl prepare`
+  std::string out_dir = ".";
+
+  // ---- synthetic workload (used when fasta_path is empty) ----
+  std::uint64_t target_entries = 50000;
+  std::uint32_t num_queries = 64;
+  std::uint64_t seed = 2019;
+
+  // ---- digestion / database prep ----
+  std::string enzyme_name = "trypsin";
+  digest::DigestionParams digestion;
+  bool add_decoys = true;
+  digest::DecoyMethod decoy_method = digest::DecoyMethod::kPseudoReverse;
+  std::string mods_spec = "paper";  ///< "paper" or a ModificationSet::parse spec
+  digest::VariantParams variants;
+
+  // ---- LBE grouping + partitioning ----
+  core::LbeParams lbe;
+
+  // ---- index + search ----
+  search::DistributedParams search;
+  double fdr_threshold = 0.02;
+
+  // ---- runtime ----
+  std::uint32_t threads = 1;  ///< threads per simulated rank
+  std::uint32_t batch = 64;   ///< queries per result batch on the wire
+
+  // ---- outputs / behaviour ----
+  bool write_report = true;      ///< psms.tsv + metrics.csv under out_dir
+  bool verify_baseline = false;  ///< re-run shared-memory engine and compare
+
+  /// The Config these options were built from. A prepared plan stores the
+  /// LbeParams it was built with; at load time a key present here overrides
+  /// the stored value, an absent key keeps it (see effective_lbe_params).
+  Config source;
+
+  /// Throws ConfigError on inconsistent values.
+  void validate() const;
+};
+
+/// Builds options from a parsed Config; throws ConfigError on unknown keys
+/// or unparseable values so typos fail loudly instead of silently defaulting.
+AppOptions options_from_config(const Config& config);
+
+/// Parsed command line: `lbectl <subcommand> [--config FILE] [--key value]...`
+struct CliInvocation {
+  std::string subcommand;  ///< "prepare" | "search" | "stats" | "help"
+  Config config;           ///< config file merged with CLI overrides
+};
+
+/// Parses argv. `--key value` and `--key=value` both work; a `--flag`
+/// followed by another option (or nothing) is treated as a boolean `true`.
+/// Throws ConfigError on malformed arguments.
+CliInvocation parse_cli(int argc, const char* const* argv);
+
+/// The usage/help text.
+const char* usage();
+
+}  // namespace lbe::app

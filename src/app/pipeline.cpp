@@ -1,0 +1,404 @@
+#include "app/pipeline.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/binary_io.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "digest/decoy.hpp"
+#include "digest/dedup.hpp"
+#include "digest/digestor.hpp"
+#include "digest/enzyme.hpp"
+#include "io/fasta.hpp"
+#include "io/ms2.hpp"
+#include "search/report.hpp"
+#include "synth/spectra.hpp"
+#include "synth/workload.hpp"
+
+namespace lbe::app {
+
+namespace {
+
+constexpr std::uint64_t kPlanMagic = 0x4C4245504C414E31ull;  // "LBEPLAN1"
+constexpr std::uint32_t kPlanVersion = 1;
+
+chem::ModificationSet mods_from_spec(const std::string& spec) {
+  if (spec == "paper") return chem::ModificationSet::paper_default();
+  return chem::ModificationSet::parse(spec);
+}
+
+/// Appends decoy peptides derived per target peptide (pseudo-reverse keeps
+/// tryptic mass/length statistics). Decoys colliding with a target sequence
+/// or another decoy are dropped — a collision would make the entry ambiguous
+/// for FDR.
+void append_peptide_decoys(DatabaseBundle& db, const AppOptions& opts) {
+  const digest::Enzyme& enzyme = digest::enzyme_by_name(opts.enzyme_name);
+  std::unordered_set<std::string> seen(db.peptides.begin(), db.peptides.end());
+  const std::size_t num_targets = db.peptides.size();
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    std::string decoy = digest::decoy_sequence(
+        db.peptides[i], opts.decoy_method, enzyme, opts.seed + i);
+    if (!seen.insert(decoy).second) {
+      ++db.decoy_collisions_dropped;
+      continue;
+    }
+    db.peptides.push_back(std::move(decoy));
+    db.is_decoy.push_back(true);
+  }
+}
+
+DatabaseBundle database_from_workload(const synth::Workload& workload,
+                                      const AppOptions& opts) {
+  DatabaseBundle db;
+  db.peptides = workload.base_peptides;
+  db.is_decoy.assign(db.peptides.size(), false);
+  db.mods = workload.mods;
+  db.mods_spec = "paper";
+  db.variants = workload.variant_params;
+  if (opts.add_decoys) append_peptide_decoys(db, opts);
+  return db;
+}
+
+DatabaseBundle database_from_fasta(const AppOptions& opts) {
+  DatabaseBundle db;
+  db.mods = mods_from_spec(opts.mods_spec);
+  db.mods_spec = opts.mods_spec;
+  db.variants = opts.variants;
+
+  const auto targets = io::read_fasta_file(opts.fasta_path);
+  const digest::Enzyme& enzyme = digest::enzyme_by_name(opts.enzyme_name);
+  db.num_target_proteins = targets.size();
+
+  std::vector<std::string> target_seqs;
+  for (const auto& peptide :
+       digest::digest_database(targets, enzyme, opts.digestion)) {
+    target_seqs.push_back(peptide.sequence);
+  }
+  db.duplicates_dropped = digest::deduplicate(target_seqs);
+
+  db.peptides = std::move(target_seqs);
+  db.is_decoy.assign(db.peptides.size(), false);
+
+  if (opts.add_decoys) {
+    const auto decoys =
+        digest::make_decoys(targets, opts.decoy_method, enzyme, opts.seed);
+    db.num_decoy_proteins = decoys.size();
+    std::vector<std::string> decoy_seqs;
+    for (const auto& peptide :
+         digest::digest_database(decoys, enzyme, opts.digestion)) {
+      decoy_seqs.push_back(peptide.sequence);
+    }
+    db.duplicates_dropped += digest::deduplicate(decoy_seqs);
+    std::unordered_set<std::string> seen(db.peptides.begin(),
+                                         db.peptides.end());
+    for (auto& decoy : decoy_seqs) {
+      if (!seen.insert(decoy).second) {
+        ++db.decoy_collisions_dropped;
+        continue;
+      }
+      db.peptides.push_back(std::move(decoy));
+      db.is_decoy.push_back(true);
+    }
+  }
+  return db;
+}
+
+synth::Workload synthetic_workload(const AppOptions& opts) {
+  return synth::make_paper_workload(opts.target_entries, opts.num_queries,
+                                    opts.seed);
+}
+
+QueryBundle queries_from_database(const DatabaseBundle& db,
+                                  const AppOptions& opts) {
+  std::vector<std::string> targets;
+  for (std::size_t i = 0; i < db.peptides.size(); ++i) {
+    if (!db.is_decoy[i]) targets.push_back(db.peptides[i]);
+  }
+  LBE_CHECK(!targets.empty(), "no target peptides to draw queries from");
+  synth::SpectraParams params;
+  params.num_spectra = opts.num_queries;
+  params.seed = opts.seed;
+  params.fragments = opts.search.index.fragments;
+  QueryBundle queries;
+  queries.spectra = synth::generate_spectra(targets, db.mods, params).spectra;
+  queries.origin = "<synthetic>";
+  return queries;
+}
+
+}  // namespace
+
+DatabaseBundle build_database(const AppOptions& opts) {
+  if (!opts.plan_path.empty()) return load_plan_file(opts.plan_path);
+  if (!opts.fasta_path.empty()) return database_from_fasta(opts);
+  return database_from_workload(synthetic_workload(opts), opts);
+}
+
+PipelineInputs prepare_inputs(const AppOptions& opts) {
+  PipelineInputs inputs;
+  const bool synthetic_db = opts.plan_path.empty() && opts.fasta_path.empty();
+  if (synthetic_db) {
+    // One workload generation feeds both the database and (absent an MS2
+    // file) the query set, so truth-linked spectra stay aligned.
+    const synth::Workload workload = synthetic_workload(opts);
+    inputs.database = database_from_workload(workload, opts);
+    if (opts.ms2_path.empty()) {
+      inputs.queries.spectra = workload.queries;
+      inputs.queries.origin = "<synthetic>";
+    }
+  } else {
+    inputs.database = build_database(opts);
+  }
+  if (!opts.ms2_path.empty()) {
+    inputs.queries.spectra = io::read_ms2_file(opts.ms2_path).spectra;
+    inputs.queries.origin = opts.ms2_path;
+  } else if (!synthetic_db) {
+    inputs.queries = queries_from_database(inputs.database, opts);
+  }
+  LBE_CHECK(!inputs.queries.spectra.empty(), "query set is empty");
+  return inputs;
+}
+
+core::LbeParams effective_lbe_params(const DatabaseBundle& db,
+                                     const AppOptions& opts) {
+  if (!db.stored_lbe) return opts.lbe;
+  core::LbeParams merged = *db.stored_lbe;
+  const Config& source = opts.source;
+  if (source.contains("policy")) {
+    merged.partition.policy = opts.lbe.partition.policy;
+  }
+  if (source.contains("ranks")) {
+    merged.partition.ranks = opts.lbe.partition.ranks;
+  }
+  if (source.contains("partition_seed")) {
+    merged.partition.seed = opts.lbe.partition.seed;
+  }
+  if (source.contains("criterion")) {
+    merged.grouping.criterion = opts.lbe.grouping.criterion;
+  }
+  if (source.contains("d")) merged.grouping.d = opts.lbe.grouping.d;
+  if (source.contains("d_prime")) {
+    merged.grouping.d_prime = opts.lbe.grouping.d_prime;
+  }
+  if (source.contains("gsize")) merged.grouping.gsize = opts.lbe.grouping.gsize;
+  merged.grouping.validate();
+  merged.partition.validate();
+  return merged;
+}
+
+PlanBundle build_plan(const DatabaseBundle& db, const AppOptions& opts) {
+  PlanBundle bundle;
+  Stopwatch prep;
+  bundle.plan = std::make_unique<core::LbePlan>(
+      db.peptides, db.mods, db.variants, effective_lbe_params(db, opts));
+  bundle.prep_seconds = prep.seconds();
+
+  // The plan's clustered order permutes the input; carry the decoy flags
+  // along so FDR can label clustered base ids directly.
+  const auto& permutation = bundle.plan->grouping().permutation;
+  bundle.decoy_bases.resize(permutation.size());
+  for (std::size_t i = 0; i < permutation.size(); ++i) {
+    bundle.decoy_bases[i] = db.is_decoy[permutation[i]];
+  }
+  return bundle;
+}
+
+void save_plan(std::ostream& out, const DatabaseBundle& db,
+               const core::LbeParams& lbe) {
+  bin::write_pod(out, kPlanMagic);
+  bin::write_pod(out, kPlanVersion);
+  bin::write_pod(out, static_cast<std::uint8_t>(lbe.grouping.criterion));
+  bin::write_pod(out, lbe.grouping.d);
+  bin::write_pod(out, lbe.grouping.d_prime);
+  bin::write_pod(out, lbe.grouping.gsize);
+  bin::write_pod(out, static_cast<std::uint8_t>(lbe.partition.policy));
+  bin::write_pod(out, static_cast<std::int32_t>(lbe.partition.ranks));
+  bin::write_pod(out, lbe.partition.seed);
+  bin::write_pod(out,
+                 static_cast<std::uint8_t>(lbe.partition.rotate_groups));
+  bin::write_string(out, db.mods_spec);
+  bin::write_pod(out, db.variants.max_mod_residues);
+  bin::write_pod(out, db.variants.max_variants_per_peptide);
+  bin::write_pod(out,
+                 static_cast<std::uint8_t>(db.variants.include_unmodified));
+  bin::write_pod(out, static_cast<std::uint64_t>(db.num_target_proteins));
+  bin::write_pod(out, static_cast<std::uint64_t>(db.num_decoy_proteins));
+  bin::write_pod(out, static_cast<std::uint64_t>(db.peptides.size()));
+  for (const auto& peptide : db.peptides) bin::write_string(out, peptide);
+  std::vector<std::uint8_t> decoy_bytes(db.is_decoy.begin(),
+                                        db.is_decoy.end());
+  bin::write_vector(out, decoy_bytes);
+}
+
+void save_plan_file(const std::string& path, const DatabaseBundle& db,
+                    const core::LbeParams& lbe) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write plan file: " + path);
+  save_plan(out, db, lbe);
+}
+
+DatabaseBundle load_plan(std::istream& in) {
+  if (bin::read_pod<std::uint64_t>(in) != kPlanMagic) {
+    throw IoError("not an lbectl plan file (bad magic)");
+  }
+  const auto version = bin::read_pod<std::uint32_t>(in);
+  if (version != kPlanVersion) {
+    throw IoError("unsupported plan file version");
+  }
+  DatabaseBundle db;
+  core::LbeParams lbe;
+  const auto criterion = bin::read_pod<std::uint8_t>(in);
+  if (criterion != 1 && criterion != 2) {
+    throw IoError("plan file corrupt: bad grouping criterion");
+  }
+  lbe.grouping.criterion = static_cast<core::GroupingCriterion>(criterion);
+  lbe.grouping.d = bin::read_pod<std::uint32_t>(in);
+  lbe.grouping.d_prime = bin::read_pod<double>(in);
+  lbe.grouping.gsize = bin::read_pod<std::uint32_t>(in);
+  const auto policy = bin::read_pod<std::uint8_t>(in);
+  if (policy > static_cast<std::uint8_t>(core::Policy::kWeighted)) {
+    throw IoError("plan file corrupt: bad partition policy");
+  }
+  lbe.partition.policy = static_cast<core::Policy>(policy);
+  lbe.partition.ranks = bin::read_pod<std::int32_t>(in);
+  lbe.partition.seed = bin::read_pod<std::uint64_t>(in);
+  lbe.partition.rotate_groups = bin::read_pod<std::uint8_t>(in) != 0;
+  db.stored_lbe = lbe;
+  db.mods_spec = bin::read_string(in);
+  db.mods = mods_from_spec(db.mods_spec);
+  db.variants.max_mod_residues = bin::read_pod<std::uint32_t>(in);
+  db.variants.max_variants_per_peptide = bin::read_pod<std::uint64_t>(in);
+  db.variants.include_unmodified = bin::read_pod<std::uint8_t>(in) != 0;
+  db.num_target_proteins =
+      static_cast<std::size_t>(bin::read_pod<std::uint64_t>(in));
+  db.num_decoy_proteins =
+      static_cast<std::size_t>(bin::read_pod<std::uint64_t>(in));
+  const auto count = bin::read_pod<std::uint64_t>(in);
+  if (count > bin::kMaxElements) {
+    throw IoError("plan file corrupt: implausible peptide count");
+  }
+  db.peptides.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    db.peptides.push_back(bin::read_string(in));
+  }
+  const auto decoy_bytes = bin::read_vector<std::uint8_t>(in);
+  if (decoy_bytes.size() != db.peptides.size()) {
+    throw IoError("plan file corrupt: decoy flags do not match peptides");
+  }
+  db.is_decoy.assign(decoy_bytes.begin(), decoy_bytes.end());
+  return db;
+}
+
+DatabaseBundle load_plan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open plan file: " + path);
+  return load_plan(in);
+}
+
+SearchOutcome run_search_pipeline(const PlanBundle& plan,
+                                  const QueryBundle& queries,
+                                  const AppOptions& opts) {
+  mpi::ClusterOptions cluster_options;
+  cluster_options.ranks = plan.plan->ranks();
+  cluster_options.engine = mpi::Engine::kVirtual;
+  mpi::Cluster cluster(cluster_options);
+
+  search::DistributedParams params = opts.search;
+  params.prep_seconds = plan.prep_seconds;
+
+  SearchOutcome outcome;
+  outcome.report = search::run_distributed_search(cluster, *plan.plan,
+                                                  queries.spectra, params);
+
+  for (const auto& result : outcome.report.results) {
+    if (result.top.empty()) continue;
+    ++outcome.queries_with_results;
+    const auto location = plan.plan->locate_variant(result.top[0].peptide);
+    outcome.fdr_inputs.push_back(search::FdrInput{
+        result.top[0].score, plan.decoy_bases[location.base_id]});
+  }
+  outcome.qvalues = search::compute_qvalues(outcome.fdr_inputs);
+  outcome.accepted = search::accepted_at(outcome.fdr_inputs, outcome.qvalues,
+                                         opts.fdr_threshold);
+
+  outcome.time_stats =
+      perf::load_stats(outcome.report.query_phase_seconds());
+  std::vector<double> work_units;
+  for (const auto& work : outcome.report.work) {
+    work_units.push_back(work.cost_units());
+  }
+  outcome.work_stats = perf::load_stats(work_units);
+  return outcome;
+}
+
+void write_reports(const std::string& out_dir, const PlanBundle& plan,
+                   const SearchOutcome& outcome) {
+  std::filesystem::create_directories(out_dir);
+
+  search::write_psm_report_file(out_dir + "/psms.tsv", *plan.plan,
+                                outcome.report.results, plan.decoy_bases);
+
+  {
+    std::ofstream out(out_dir + "/fdr.csv");
+    if (!out) throw IoError("cannot write " + out_dir + "/fdr.csv");
+    CsvWriter csv(out, {"query_id", "score", "is_decoy", "qvalue"});
+    std::size_t row = 0;
+    for (const auto& result : outcome.report.results) {
+      if (result.top.empty()) continue;
+      csv.row({CsvWriter::field(static_cast<std::uint64_t>(result.query_id)),
+               CsvWriter::field(
+                   static_cast<double>(outcome.fdr_inputs[row].score)),
+               outcome.fdr_inputs[row].is_decoy ? "1" : "0",
+               CsvWriter::field(outcome.qvalues[row])});
+      ++row;
+    }
+  }
+
+  {
+    std::ofstream out(out_dir + "/metrics.csv");
+    if (!out) throw IoError("cannot write " + out_dir + "/metrics.csv");
+    CsvWriter csv(out, {"rank", "entries", "index_bytes", "build_seconds",
+                        "query_seconds", "work_units"});
+    const auto& report = outcome.report;
+    for (std::size_t rank = 0; rank < report.times.size(); ++rank) {
+      csv.row({CsvWriter::field(static_cast<std::uint64_t>(rank)),
+               CsvWriter::field(report.index_entries[rank]),
+               CsvWriter::field(report.index_bytes[rank]),
+               CsvWriter::field(report.times[rank].build_seconds()),
+               CsvWriter::field(report.times[rank].query_seconds()),
+               CsvWriter::field(report.work[rank].cost_units())});
+    }
+  }
+}
+
+std::size_t compare_with_baseline(const PlanBundle& plan,
+                                  const QueryBundle& queries,
+                                  const AppOptions& opts,
+                                  const SearchOutcome& outcome) {
+  search::DistributedParams params = opts.search;
+  const auto baseline =
+      search::run_shared_baseline(*plan.plan, queries.spectra, params);
+  LBE_CHECK(baseline.results.size() == outcome.report.results.size(),
+            "baseline result count mismatch");
+  std::size_t mismatches = 0;
+  for (std::size_t q = 0; q < baseline.results.size(); ++q) {
+    const auto& distributed = outcome.report.results[q].top;
+    const auto& shared = baseline.results[q].top;
+    bool equal = distributed.size() == shared.size();
+    for (std::size_t k = 0; equal && k < distributed.size(); ++k) {
+      equal = distributed[k].peptide == shared[k].peptide &&
+              distributed[k].score == shared[k].score;
+    }
+    if (!equal) {
+      ++mismatches;
+      log::warn("baseline mismatch on query ", q);
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace lbe::app

@@ -120,6 +120,13 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   return get_bool(key);
 }
 
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
 std::string Config::to_string() const {
   std::ostringstream os;
   for (const auto& [key, value] : values_) {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lbe {
 
@@ -44,6 +45,10 @@ class Config {
 
   /// All keys in lexicographic order (deterministic serialization).
   std::string to_string() const;
+
+  /// Key names in lexicographic order (drivers validate against a known-key
+  /// whitelist so config typos fail loudly instead of silently defaulting).
+  std::vector<std::string> keys() const;
 
   std::size_t size() const { return values_.size(); }
 

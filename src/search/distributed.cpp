@@ -118,16 +118,17 @@ DistributedReport run_distributed_search(
     std::vector<QueryResult> local(num_queries);
     auto& work = report.work[slot];
     if (params.threads_per_rank > 1) {
-      // Hybrid mode: the whole query set fans out over an in-rank pool;
-      // result batches ship afterwards (no mid-loop overlap with sends).
+      // Hybrid batched runtime: each result batch fans its preprocessing +
+      // filtration out over an in-rank pool, then ships immediately, so
+      // batch b+1's compute overlaps batch b's (buffered, non-blocking)
+      // delivery. ThreadPool(n) has size n — the calling thread works one
+      // block alongside n-1 spawned workers.
       ThreadPool pool(params.threads_per_rank);
-      local = engine.search_all(queries, work, &pool);
-      if (rank != 0) {
-        for (std::size_t lo = 0; lo < num_queries; lo += batch) {
-          comm.send(0, kResultTag,
-                    encode_batch(local, lo,
-                                 std::min<std::size_t>(lo + batch,
-                                                       num_queries)));
+      for (std::size_t lo = 0; lo < num_queries; lo += batch) {
+        const std::size_t hi = std::min<std::size_t>(lo + batch, num_queries);
+        engine.search_range(queries, lo, hi, local, work, &pool);
+        if (rank != 0) {
+          comm.send(0, kResultTag, encode_batch(local, lo, hi));
         }
       }
     } else {

@@ -96,25 +96,34 @@ std::vector<QueryResult> QueryEngine::search_all(
     const std::vector<chem::Spectrum>& raw_queries, index::QueryWork& work,
     ThreadPool* pool) const {
   std::vector<QueryResult> results(raw_queries.size());
-  if (pool == nullptr || pool->size() == 1) {
-    for (std::size_t i = 0; i < raw_queries.size(); ++i) {
+  search_range(raw_queries, 0, raw_queries.size(), results, work, pool);
+  return results;
+}
+
+void QueryEngine::search_range(const std::vector<chem::Spectrum>& raw_queries,
+                               std::size_t lo, std::size_t hi,
+                               std::vector<QueryResult>& results,
+                               index::QueryWork& work, ThreadPool* pool) const {
+  LBE_CHECK(lo <= hi && hi <= raw_queries.size(), "bad query range");
+  LBE_CHECK(results.size() >= hi, "result buffer too small for range");
+  if (pool == nullptr || pool->size() == 1 || hi - lo < 2) {
+    for (std::size_t i = lo; i < hi; ++i) {
       results[i] =
           search(raw_queries[i], static_cast<std::uint32_t>(i), work);
     }
-    return results;
+    return;
   }
 
-  // Hybrid mode: split the query list over the pool. The SlmIndex scorecard
-  // is shared mutable state, so filtration+scoring stay serialized behind a
+  // Hybrid mode: split the range over the pool. The SlmIndex scorecard is
+  // shared mutable state, so filtration+scoring stay serialized behind a
   // mutex and only preprocessing overlaps across threads. Work counters are
   // per-block and merged at the end so totals stay exact.
   std::mutex index_mutex;
   std::vector<index::QueryWork> block_work(pool->size());
   std::atomic<std::size_t> block_counter{0};
-  pool->parallel_for(0, raw_queries.size(), [&](std::size_t lo,
-                                                std::size_t hi) {
+  pool->parallel_for(lo, hi, [&](std::size_t block_lo, std::size_t block_hi) {
     const std::size_t block = block_counter.fetch_add(1);
-    for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t i = block_lo; i < block_hi; ++i) {
       const chem::Spectrum query =
           preprocess(raw_queries[i], params_.preprocess);
       std::lock_guard<std::mutex> lock(index_mutex);
@@ -123,7 +132,6 @@ std::vector<QueryResult> QueryEngine::search_all(
     }
   });
   for (const auto& bw : block_work) work += bw;
-  return results;
 }
 
 }  // namespace lbe::search

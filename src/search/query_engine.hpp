@@ -68,6 +68,15 @@ class QueryEngine {
       const std::vector<chem::Spectrum>& raw_queries,
       index::QueryWork& work, ThreadPool* pool = nullptr) const;
 
+  /// Searches the sub-range [lo, hi) of `raw_queries` into results[lo..hi).
+  /// `results` must already span at least `hi` slots. The batched distributed
+  /// runtime drives this per result batch so filtration of one batch can
+  /// overlap delivery of the previous one.
+  void search_range(const std::vector<chem::Spectrum>& raw_queries,
+                    std::size_t lo, std::size_t hi,
+                    std::vector<QueryResult>& results, index::QueryWork& work,
+                    ThreadPool* pool = nullptr) const;
+
   const SearchParams& params() const noexcept { return params_; }
 
  private:

@@ -1,0 +1,185 @@
+// Integration tests for the lbectl driver layer: the full synthetic
+// workload (synth::proteome + synth::spectra) flows through the same
+// functions the binary runs, and the distributed result set must equal the
+// shared-memory baseline over build_global_store while FDR output stays
+// non-empty and deterministic.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/commands.hpp"
+#include "app/options.hpp"
+#include "app/pipeline.hpp"
+#include "common/error.hpp"
+#include "search/distributed.hpp"
+
+namespace lbe::app {
+namespace {
+
+AppOptions small_options(const std::string& extra = "") {
+  const std::string text =
+      "entries = 15000\n"
+      "num_queries = 24\n"
+      "ranks = 4\n"
+      "threads = 4\n"
+      "batch = 8\n"
+      "report = false\n" +
+      extra;
+  return options_from_config(Config::from_string(text));
+}
+
+AppOptions small_options_without_ranks() {
+  return options_from_config(
+      Config::from_string("entries = 15000\nreport = false\n"));
+}
+
+TEST(LbectlPipeline, DistributedMatchesSharedBaselineExactly) {
+  const AppOptions opts = small_options();
+  const PipelineInputs inputs = prepare_inputs(opts);
+  const PlanBundle plan = build_plan(inputs.database, opts);
+  const SearchOutcome outcome =
+      run_search_pipeline(plan, inputs.queries, opts);
+
+  // compare_with_baseline runs the identical engine over the global store
+  // (plan.build_global_store()) in one address space.
+  EXPECT_EQ(compare_with_baseline(plan, inputs.queries, opts, outcome), 0u);
+}
+
+TEST(LbectlPipeline, FdrOutputNonEmptyAndDeterministic) {
+  const AppOptions opts = small_options();
+
+  auto run_once = [&] {
+    const PipelineInputs inputs = prepare_inputs(opts);
+    const PlanBundle plan = build_plan(inputs.database, opts);
+    return run_search_pipeline(plan, inputs.queries, opts);
+  };
+  const SearchOutcome first = run_once();
+  const SearchOutcome second = run_once();
+
+  ASSERT_FALSE(first.fdr_inputs.empty());
+  ASSERT_EQ(first.fdr_inputs.size(), first.qvalues.size());
+  EXPECT_GT(first.accepted, 0u);
+
+  ASSERT_EQ(first.fdr_inputs.size(), second.fdr_inputs.size());
+  for (std::size_t i = 0; i < first.fdr_inputs.size(); ++i) {
+    EXPECT_EQ(first.fdr_inputs[i].score, second.fdr_inputs[i].score) << i;
+    EXPECT_EQ(first.fdr_inputs[i].is_decoy, second.fdr_inputs[i].is_decoy)
+        << i;
+    EXPECT_EQ(first.qvalues[i], second.qvalues[i]) << i;
+  }
+  EXPECT_EQ(first.accepted, second.accepted);
+}
+
+TEST(LbectlPipeline, HybridThreadsDoNotChangeResults) {
+  const AppOptions serial = small_options("threads = 1\n");
+  const AppOptions hybrid = small_options("threads = 4\nbatch = 5\n");
+
+  const PipelineInputs inputs = prepare_inputs(serial);
+  const PlanBundle plan = build_plan(inputs.database, serial);
+  const SearchOutcome a = run_search_pipeline(plan, inputs.queries, serial);
+  const SearchOutcome b = run_search_pipeline(plan, inputs.queries, hybrid);
+
+  ASSERT_EQ(a.report.results.size(), b.report.results.size());
+  for (std::size_t q = 0; q < a.report.results.size(); ++q) {
+    const auto& ta = a.report.results[q].top;
+    const auto& tb = b.report.results[q].top;
+    ASSERT_EQ(ta.size(), tb.size()) << q;
+    for (std::size_t k = 0; k < ta.size(); ++k) {
+      EXPECT_EQ(ta[k].peptide, tb[k].peptide) << q;
+      EXPECT_EQ(ta[k].score, tb[k].score) << q;
+    }
+  }
+}
+
+TEST(LbectlPipeline, DatabaseCarriesDecoysForFdr) {
+  const AppOptions opts = small_options();
+  const DatabaseBundle db = build_database(opts);
+  std::size_t decoys = 0;
+  for (const bool flag : db.is_decoy) decoys += flag ? 1 : 0;
+  EXPECT_GT(decoys, 0u);
+  EXPECT_LT(decoys, db.peptides.size());
+
+  // Decoy flags must survive the clustered permutation.
+  const PlanBundle plan = build_plan(db, opts);
+  ASSERT_EQ(plan.decoy_bases.size(), db.peptides.size());
+  std::size_t clustered_decoys = 0;
+  for (const bool flag : plan.decoy_bases) clustered_decoys += flag ? 1 : 0;
+  EXPECT_EQ(clustered_decoys, decoys);
+}
+
+TEST(LbectlPipeline, PlanFileRoundTrips) {
+  const AppOptions opts =
+      small_options("policy = chunk\nranks = 6\ngsize = 12\n");
+  const DatabaseBundle db = build_database(opts);
+
+  std::stringstream buffer;
+  save_plan(buffer, db, opts.lbe);
+  const DatabaseBundle loaded = load_plan(buffer);
+
+  EXPECT_EQ(loaded.peptides, db.peptides);
+  EXPECT_EQ(loaded.is_decoy, db.is_decoy);
+  EXPECT_EQ(loaded.mods_spec, db.mods_spec);
+  EXPECT_EQ(loaded.variants.max_mod_residues, db.variants.max_mod_residues);
+  EXPECT_EQ(loaded.mods.size(), db.mods.size());
+  ASSERT_TRUE(loaded.stored_lbe.has_value());
+  EXPECT_EQ(loaded.stored_lbe->partition.policy, core::Policy::kChunk);
+  EXPECT_EQ(loaded.stored_lbe->partition.ranks, 6);
+  EXPECT_EQ(loaded.stored_lbe->grouping.gsize, 12u);
+}
+
+TEST(LbectlPipeline, StoredPlanParamsUsedUnlessOverridden) {
+  const AppOptions prepare_opts =
+      small_options("policy = chunk\nranks = 6\n");
+  DatabaseBundle db = build_database(prepare_opts);
+  db.stored_lbe = prepare_opts.lbe;
+
+  // No policy/ranks in this invocation: the prepared values win.
+  const AppOptions plain = small_options_without_ranks();
+  const core::LbeParams reused = effective_lbe_params(db, plain);
+  EXPECT_EQ(reused.partition.policy, core::Policy::kChunk);
+  EXPECT_EQ(reused.partition.ranks, 6);
+
+  // An explicit --ranks overrides only that key.
+  const AppOptions override_ranks = small_options();  // sets ranks = 4
+  const core::LbeParams merged = effective_lbe_params(db, override_ranks);
+  EXPECT_EQ(merged.partition.policy, core::Policy::kChunk);
+  EXPECT_EQ(merged.partition.ranks, 4);
+}
+
+TEST(LbectlPipeline, PlanLoadRejectsGarbage) {
+  std::stringstream buffer("definitely not a plan file");
+  EXPECT_THROW(load_plan(buffer), Error);
+}
+
+TEST(LbectlCli, ParsesOverridesAndFlags) {
+  const char* argv[] = {"lbectl", "search",    "--ranks", "8",
+                        "--policy=chunk",      "--verify"};
+  const CliInvocation cli = parse_cli(6, argv);
+  EXPECT_EQ(cli.subcommand, "search");
+  const AppOptions opts = options_from_config(cli.config);
+  EXPECT_EQ(opts.lbe.partition.ranks, 8);
+  EXPECT_EQ(opts.lbe.partition.policy, core::Policy::kChunk);
+  EXPECT_TRUE(opts.verify_baseline);
+}
+
+TEST(LbectlCli, RejectsUnknownKeys) {
+  const char* argv[] = {"lbectl", "search", "--rankz", "8"};
+  EXPECT_THROW(parse_cli(4, argv), ConfigError);
+  EXPECT_THROW(options_from_config(
+                   Config::from_string("definitely_unknown = 1\n")),
+               ConfigError);
+}
+
+TEST(LbectlCli, RejectsInvalidValues) {
+  EXPECT_THROW(options_from_config(Config::from_string("ranks = 0\n")),
+               ConfigError);
+  EXPECT_THROW(options_from_config(Config::from_string("batch = 0\n")),
+               ConfigError);
+  EXPECT_THROW(options_from_config(Config::from_string("decoy = bogus\n")),
+               ConfigError);
+  EXPECT_THROW(options_from_config(Config::from_string("fdr = 0\n")),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace lbe::app

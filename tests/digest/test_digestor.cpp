@@ -53,9 +53,15 @@ TEST(Digestor, MissedCleavageCountRecorded) {
   const auto peptides =
       digest_protein("GGGKGGGRGGG", 0, trypsin(), params);
   for (const auto& p : peptides) {
-    if (p.sequence == "GGGKGGGRGGG") EXPECT_EQ(p.missed_cleavages, 2u);
-    if (p.sequence == "GGGK") EXPECT_EQ(p.missed_cleavages, 0u);
-    if (p.sequence == "GGGKGGGR") EXPECT_EQ(p.missed_cleavages, 1u);
+    if (p.sequence == "GGGKGGGRGGG") {
+      EXPECT_EQ(p.missed_cleavages, 2u);
+    }
+    if (p.sequence == "GGGK") {
+      EXPECT_EQ(p.missed_cleavages, 0u);
+    }
+    if (p.sequence == "GGGKGGGR") {
+      EXPECT_EQ(p.missed_cleavages, 1u);
+    }
   }
 }
 

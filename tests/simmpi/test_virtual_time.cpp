@@ -126,7 +126,7 @@ TEST(VirtualTime, SlowdownScalesMeasuredTime) {
   options.cost = CostModel::zero();
   options.slowdown = {1.0, 3.0};
   Cluster cluster(options);
-  cluster.run([&](Comm& comm) {
+  cluster.run([&](Comm& /*comm*/) {
     volatile double sink = 0.0;
     for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
   });
