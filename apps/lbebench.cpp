@@ -1,0 +1,102 @@
+// lbebench — unified benchmark driver.
+//
+//   lbebench --suite smoke|micro|figures|ablation [--filter SUBSTR]
+//            [--repeat N] [--out DIR]
+//            [--baseline FILE --max-regress FRAC] [--no-json] [--list]
+//
+// Runs the registered suite, prints each benchmark's figure/CSV output and
+// shape checks, and writes DIR/BENCH_<suite>.json (schema-versioned; see
+// src/perf/bench_report.hpp). With --baseline, exits 2 if any benchmark's
+// median-derived "queries_per_sec" falls more than --max-regress below the
+// baseline file — the CI perf-smoke gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: lbebench [--suite smoke|micro|figures|ablation] [--list]\n"
+    "                [--filter SUBSTR] [--repeat N] [--out DIR]\n"
+    "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
+    "\n"
+    "Runs a registered benchmark suite and writes BENCH_<suite>.json\n"
+    "(schema v1: wall time min/median/stddev per benchmark, queries/sec,\n"
+    "cPSMs/sec, Eq. 1 load imbalance, peak RSS, git/compiler provenance).\n"
+    "With --baseline, exits 2 when median queries/sec regresses more than\n"
+    "--max-regress (default 0.25) against the baseline file.\n";
+
+int list_benches() {
+  lbe::perf::register_all_benches();
+  std::printf("%-28s %-10s %s\n", "name", "suite", "description");
+  for (const auto& bench : lbe::perf::BenchRegistry::instance().all()) {
+    std::printf("%-28s %-10s %s\n", bench.name.c_str(), bench.suite.c_str(),
+                bench.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  lbe::perf::BenchRunOptions options;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lbebench: %s needs a value\n%s", arg.c_str(),
+                     kUsage);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      options.suite = value();
+    } else if (arg == "--filter") {
+      options.filter = value();
+    } else if (arg == "--repeat") {
+      options.repeat = std::atoi(value().c_str());
+      if (options.repeat < 1) {
+        std::fprintf(stderr, "lbebench: --repeat must be >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--out") {
+      options.out_dir = value();
+    } else if (arg == "--baseline") {
+      options.baseline_path = value();
+    } else if (arg == "--max-regress") {
+      options.max_regress = std::atof(value().c_str());
+      if (options.max_regress < 0.0 || options.max_regress >= 1.0) {
+        std::fprintf(stderr, "lbebench: --max-regress must be in [0, 1)\n");
+        return 1;
+      }
+    } else if (arg == "--no-json") {
+      options.write_json = false;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      std::fprintf(stderr, "lbebench: unknown option %s\n%s", arg.c_str(),
+                   kUsage);
+      return 1;
+    }
+  }
+
+  try {
+    if (list) return list_benches();
+    return lbe::perf::run_suite(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lbebench: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,86 +1,11 @@
-// Ablation — communication-cost sensitivity (DESIGN.md §6).
-//
-// The paper argues LBE keeps communication minimal: peptide data never
-// moves (every rank reads the clustered database itself), only compact
-// result batches (virtual ids + scores) travel to the master. This
-// ablation quantifies that: makespan under three network models (free,
-// LAN-like default, WAN-like slow) crossed with result-batch sizes. If the
-// protocol is communication-light, even a 200x slower network should move
-// the makespan only modestly, and batching should absorb most of the
-// latency cost.
-#include "bench_common.hpp"
+// Ablation (comm cost) — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Ablation: comm cost",
-      "makespan under network cost models x result batch size",
-      "the LBE protocol is communication-light: results-only traffic keeps "
-      "slow-network penalties small; batching absorbs latency",
-      {"network", "result_batch", "makespan_seconds", "bytes_to_master"});
-
-  bench::WorkloadCache cache;
-  constexpr std::uint64_t kEntries = 120000;
-  constexpr std::uint32_t kQueries = 96;
-  const auto& workload = cache.at(kEntries, kQueries);
-  constexpr int kRanks = 8;
-
-  struct Network {
-    const char* name;
-    mpi::CostModel cost;
-  };
-  const std::vector<Network> networks = {
-      {"free", mpi::CostModel::zero()},
-      {"lan", mpi::CostModel{50e-6, 1e-8}},    // 50 us, ~100 MB/s
-      {"wan", mpi::CostModel{10e-3, 2e-6}},    // 10 ms, ~0.5 MB/s
-  };
-
-  core::LbeParams lbe;
-  lbe.partition.policy = core::Policy::kCyclic;
-  lbe.partition.ranks = kRanks;
-  const core::LbePlan plan(workload.base_peptides, workload.mods,
-                           workload.variant_params, lbe);
-
-  std::map<std::string, double> makespan_by_key;
-  for (const Network& network : networks) {
-    for (const std::uint32_t batch : {8u, 64u, 1024u}) {
-      auto params = bench::paper_params();
-      params.result_batch = batch;
-      // Best-of-3: single-core timing noise in the (dominant) build phase
-      // would otherwise drown the network signal.
-      double makespan = 0.0;
-      std::uint64_t bytes = 0;
-      for (int rep = 0; rep < 3; ++rep) {
-        mpi::ClusterOptions options;
-        options.ranks = kRanks;
-        options.engine = mpi::Engine::kVirtual;
-        options.measured_time = true;
-        options.cost = network.cost;
-        mpi::Cluster cluster(options);
-        const auto report = search::run_distributed_search(
-            cluster, plan, workload.queries, params);
-        bytes = 0;
-        for (const auto& rank_report : cluster.reports()) {
-          bytes += rank_report.bytes_sent;
-        }
-        makespan = rep == 0 ? report.makespan
-                            : std::min(makespan, report.makespan);
-      }
-      makespan_by_key[std::string(network.name) + "/" +
-                      std::to_string(batch)] = makespan;
-      fig.row({network.name, bench::fmt(std::uint64_t{batch}),
-               bench::fmt(makespan), bench::fmt(bytes)});
-    }
-  }
-
-  fig.check("LAN penalty over free network is < 25% (batch 64)",
-            makespan_by_key["lan/64"] < makespan_by_key["free/64"] * 1.25);
-  fig.check("batching absorbs WAN latency (batch 1024 beats batch 8 on WAN)",
-            makespan_by_key["wan/1024"] < makespan_by_key["wan/8"]);
-  fig.check("batch size irrelevant on a free network (within noise)",
-            makespan_by_key["free/1024"] <
-                makespan_by_key["free/8"] * 1.35 + 0.05);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("ablation_commcost");
 }

@@ -1,94 +1,11 @@
-// Ablation — how the grouping/partitioning design choices affect load
-// balance (DESIGN.md §6). Sweeps, at one index size and 16 ranks:
-//
-//   * grouping criterion 1 (absolute, d = 2) vs 2 (normalized, d' = 0.86),
-//   * group-size cap gsize in {5, 20, 80},
-//   * Random policy with and without per-group rank rotation.
-//
-// Note an instructive structural fact this ablation exposes: Chunk and
-// Cyclic depend only on the sorted (clustered) order, so criterion/gsize
-// choices move ONLY the Random policy (whose splits honour group
-// boundaries). Chunk's imbalance comes from the sort itself — similar
-// peptides are adjacent — not from where the group boundaries fall.
-#include "bench_common.hpp"
+// Ablation (grouping) — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Ablation: grouping",
-      "LI sensitivity to grouping criterion, gsize, and random rotation",
-      "clustering creates chunk's imbalance; LBE policies stay balanced "
-      "across all grouping settings",
-      {"config", "policy", "li_work_pct"});
-
-  bench::WorkloadCache cache;
-  const auto base_params = bench::paper_params();
-  constexpr std::uint64_t kEntries = 120000;
-  constexpr std::uint32_t kQueries = 96;
-  const auto& workload = cache.at(kEntries, kQueries);
-
-  struct Run {
-    std::string config;
-    core::Policy policy;
-    core::GroupingParams grouping;
-    bool rotate = true;
-  };
-  std::vector<Run> runs;
-  for (const core::Policy policy :
-       {core::Policy::kChunk, core::Policy::kCyclic, core::Policy::kRandom}) {
-    core::GroupingParams criterion1;
-    criterion1.criterion = core::GroupingCriterion::kAbsolute;
-    runs.push_back({"criterion1_d2", policy, criterion1, true});
-    runs.push_back({"criterion2_d0.86", policy, core::GroupingParams{}, true});
-    for (const std::uint32_t gsize : {5u, 80u}) {
-      core::GroupingParams sized;
-      sized.gsize = gsize;
-      runs.push_back({"gsize" + std::to_string(gsize), policy, sized, true});
-    }
-  }
-  core::GroupingParams defaults;
-  runs.push_back({"no_rotation", core::Policy::kRandom, defaults, false});
-
-  std::map<std::string, double> li_by_key;
-  for (const Run& run : runs) {
-    core::LbeParams lbe;
-    lbe.grouping = run.grouping;
-    lbe.partition.policy = run.policy;
-    lbe.partition.ranks = bench::kPaperRanks;
-    lbe.partition.rotate_groups = run.rotate;
-    const core::LbePlan plan(workload.base_peptides, workload.mods,
-                             workload.variant_params, lbe);
-    mpi::ClusterOptions options;
-    options.ranks = bench::kPaperRanks;
-    options.engine = mpi::Engine::kVirtual;
-    options.measured_time = false;
-    mpi::Cluster cluster(options);
-    const auto report = search::run_distributed_search(
-        cluster, plan, workload.queries, base_params);
-    const double li = perf::load_imbalance(bench::work_units(report));
-    li_by_key[run.config + "/" + core::policy_name(run.policy)] = li;
-    fig.row({run.config, core::policy_name(run.policy),
-             bench::fmt(100.0 * li)});
-  }
-
-  // LBE policies stay balanced across every grouping configuration. The
-  // no_rotation config is the known pathology (checked separately below).
-  for (const auto& [key, li] : li_by_key) {
-    if (key.find("chunk") == std::string::npos &&
-        key.find("no_rotation") == std::string::npos) {
-      fig.check("balanced (<35%): " + key, li < 0.35);
-    }
-  }
-  // Chunk's imbalance persists across grouping configurations.
-  for (const std::string config :
-       {"criterion1_d2", "criterion2_d0.86", "gsize5", "gsize80"}) {
-    fig.check("chunk imbalanced (>40%): " + config,
-              li_by_key[config + "/chunk"] > 0.40);
-  }
-  fig.check("rotation helps random policy",
-            li_by_key["no_rotation/random"] >
-                li_by_key["criterion2_d0.86/random"]);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("ablation_grouping");
 }

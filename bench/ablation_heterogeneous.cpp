@@ -1,145 +1,11 @@
-// Ablation — heterogeneous clusters and the load-prediction model
-// (the paper's §VIII future work, DESIGN.md §6).
-//
-// Setup: 8 simulated ranks where half run 3x slower (per-rank slowdown
-// factors in the virtual-time engine). Uniform Cyclic partitioning — ideal
-// on symmetric hardware — leaves the slow ranks straggling; the Weighted
-// policy with weights = 1/slowdown restores balance and cuts the query
-// makespan. Separately, the load-prediction model's per-rank cost estimates
-// are validated against measured work units.
-#include "bench_common.hpp"
-
-#include "search/load_model.hpp"
+// Ablation (heterogeneous) — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Ablation: heterogeneous",
-      "weighted partitioning + load prediction on a heterogeneous cluster",
-      "weights = 1/slowdown rebalances a heterogeneous cluster; predicted "
-      "per-rank load tracks measured work",
-      {"config", "metric", "value"});
-
-  bench::WorkloadCache cache;
-  constexpr std::uint64_t kEntries = 120000;
-  constexpr std::uint32_t kQueries = 96;
-  const auto& workload = cache.at(kEntries, kQueries);
-  const auto params = bench::paper_params();
-
-  constexpr int kRanks = 8;
-  const std::vector<double> slowdown = {1.0, 1.0, 1.0, 1.0,
-                                        3.0, 3.0, 3.0, 3.0};
-
-  struct HeteroRun {
-    search::DistributedReport report;      ///< first repeat (counters)
-    std::vector<double> query_seconds;     ///< per-rank min over repeats
-    double wall = 0.0;
-  };
-  // Best-of-3 per rank: single-core timing noise is strictly additive.
-  auto run_with = [&](core::Policy policy,
-                      const std::vector<double>& weights) {
-    core::LbeParams lbe;
-    lbe.partition.policy = policy;
-    lbe.partition.ranks = kRanks;
-    lbe.partition.weights = weights;
-    const core::LbePlan plan(workload.base_peptides, workload.mods,
-                             workload.variant_params, lbe);
-    HeteroRun out;
-    for (int rep = 0; rep < 3; ++rep) {
-      mpi::ClusterOptions options;
-      options.ranks = kRanks;
-      options.engine = mpi::Engine::kVirtual;
-      options.measured_time = true;
-      options.slowdown = slowdown;
-      mpi::Cluster cluster(options);
-      auto report = search::run_distributed_search(cluster, plan,
-                                                   workload.queries, params);
-      const auto seconds = report.query_phase_seconds();
-      if (rep == 0) {
-        out.query_seconds = seconds;
-        out.report = std::move(report);
-      } else {
-        for (std::size_t r = 0; r < seconds.size(); ++r) {
-          out.query_seconds[r] = std::min(out.query_seconds[r], seconds[r]);
-        }
-      }
-    }
-    for (const double t : out.query_seconds) out.wall = std::max(out.wall, t);
-    return out;
-  };
-
-  // Uniform cyclic on heterogeneous hardware.
-  const auto uniform = run_with(core::Policy::kCyclic, {});
-  const double uniform_li = perf::load_imbalance(uniform.query_seconds);
-  const double uniform_wall = uniform.wall;
-
-  // Weighted by inverse slowdown.
-  std::vector<double> weights;
-  for (const double s : slowdown) weights.push_back(1.0 / s);
-  const auto weighted = run_with(core::Policy::kWeighted, weights);
-  const double weighted_li = perf::load_imbalance(weighted.query_seconds);
-  const double weighted_wall = weighted.wall;
-
-  fig.row({"uniform_cyclic", "time_li_pct", bench::fmt(100.0 * uniform_li)});
-  fig.row({"weighted", "time_li_pct", bench::fmt(100.0 * weighted_li)});
-  fig.row({"uniform_cyclic", "query_wall_s", bench::fmt(uniform_wall)});
-  fig.row({"weighted", "query_wall_s", bench::fmt(weighted_wall)});
-  for (int rank = 0; rank < kRanks; ++rank) {
-    const auto r = static_cast<std::size_t>(rank);
-    fig.row({"uniform_rank" + std::to_string(rank), "query_s",
-             bench::fmt(uniform.query_seconds[r])});
-    fig.row({"weighted_rank" + std::to_string(rank), "query_s",
-             bench::fmt(weighted.query_seconds[r])});
-    fig.row({"weighted_rank" + std::to_string(rank), "entries",
-             bench::fmt(weighted.report.index_entries[r])});
-  }
-
-  // Load model: predicted per-rank cost vs measured work units on the
-  // uniform plan (deterministic counters; rebuilt outside the cluster).
-  {
-    core::LbeParams lbe;
-    lbe.partition.policy = core::Policy::kCyclic;
-    lbe.partition.ranks = kRanks;
-    const core::LbePlan plan(workload.base_peptides, workload.mods,
-                             workload.variant_params, lbe);
-    std::vector<double> predicted;
-    for (int rank = 0; rank < kRanks; ++rank) {
-      const index::ChunkedIndex partial(plan.build_rank_store(rank),
-                                        plan.mods(), params.index,
-                                        params.chunking);
-      predicted.push_back(search::predict_query_cost(
-          partial, workload.queries, params.search.filter,
-          params.search.preprocess));
-    }
-    std::vector<double> measured;
-    for (const auto& work : uniform.report.work) {
-      measured.push_back(static_cast<double>(work.postings_touched));
-    }
-    const double exact_r =
-        search::prediction_correlation(predicted, measured);
-    std::vector<double> cost_units = bench::work_units(uniform.report);
-    const double cost_r =
-        search::prediction_correlation(predicted, cost_units);
-    fig.row({"load_model", "corr_vs_postings", bench::fmt(exact_r)});
-    fig.row({"load_model", "corr_vs_cost_units", bench::fmt(cost_r)});
-    fig.check("prediction matches postings traffic (r > 0.999)",
-              exact_r > 0.999);
-    fig.check("prediction tracks total cost (r > 0.9)", cost_r > 0.9);
-  }
-
-  // Residual imbalance remains by design: every rank pays a fixed per-query
-  // cost (preprocessing + bin scans) that entry-count weighting cannot move,
-  // and on slow ranks that fixed cost is multiplied by the slowdown. The
-  // paper-scale regime (work >> fixed cost) would push weighted LI further
-  // down; at this scale we demand a halving plus a meaningful makespan cut.
-  fig.check("uniform cyclic is imbalanced on heterogeneous ranks (LI > 40%)",
-            uniform_li > 0.40);
-  fig.check("weighted partitioning at least halves the LI",
-            weighted_li < 0.5 * uniform_li);
-  fig.check("weighted LI below 30%", weighted_li < 0.30);
-  fig.check("weighted cuts the query makespan by > 15%",
-            weighted_wall < 0.85 * uniform_wall);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("ablation_heterogeneous");
 }

@@ -1,59 +1,11 @@
-// Fig. 10 — Total-execution speedup vs number of MPI processes.
-//
-// Paper claim: the speedup is bounded by Amdahl's law (the serial part of
-// the pipeline saturates it), and scalability improves as the index grows
-// because the parallel query phase becomes a larger fraction of the total.
-#include "bench_common.hpp"
-
-#include <algorithm>
+// Fig. 10 — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Fig. 10", "Execution speedup vs MPI processes (cyclic policy)",
-      "speedup saturates (Amdahl); scalability improves with index size",
-      {"ranks", "index_entries", "speedup", "efficiency"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 96;
-  const auto& sweep = bench::rank_sweep();
-
-  std::map<std::uint64_t, std::map<int, double>> speedups;
-  for (std::size_t s = 0; s < bench::index_sizes().size(); ++s) {
-    const std::uint64_t entries = bench::index_sizes()[s];
-    const auto& workload = cache.at(entries, kQueries);
-    const int base_ranks = s == 0 ? 2 : 4;  // paper's Fig. 8/10 convention
-
-    std::map<int, double> wall;
-    for (const int ranks : sweep) {
-      const auto run = bench::run_distributed_repeated(
-          workload, core::Policy::kCyclic, ranks, params);
-      wall[ranks] = run.makespan_min;
-    }
-    for (const int ranks : sweep) {
-      const double speedup =
-          perf::speedup_vs_base(wall[base_ranks], base_ranks, wall[ranks]);
-      speedups[entries][ranks] = speedup;
-      fig.row({bench::fmt(ranks), bench::fmt(entries), bench::fmt(speedup),
-               bench::fmt(perf::efficiency(speedup, ranks))});
-    }
-  }
-
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    fig.check("speedup still improves 4 -> 16 CPUs, size " +
-                  std::to_string(entries),
-              speedups[entries][16] > speedups[entries][4]);
-    fig.check("speedup is sub-linear at p=16 (Amdahl), size " +
-                  std::to_string(entries),
-              speedups[entries][16] < 16.0);
-  }
-  // Query time grows with index size while the serial prep grows slower, so
-  // the parallel fraction — and with it the speedup at p=16 — increases.
-  fig.check("largest index scales better than smallest at p=16",
-            speedups[bench::index_sizes().back()][16] >
-                speedups[bench::index_sizes().front()][16]);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("fig10_execution_speedup");
 }

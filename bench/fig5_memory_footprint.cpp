@@ -1,78 +1,11 @@
-// Fig. 5 — Memory footprint: distributed SLM index vs the shared-memory
-// implementation, for increasing index size.
-//
-// Paper claim: the distributed implementation averages 0.366 GB per million
-// spectra against 0.346 GB/M for shared memory — only ~6.4% overhead — and
-// the overhead varies inversely with the partition size per MPI process.
-#include "bench_common.hpp"
-
-#include <iostream>
-
-#include "common/strings.hpp"
+// Fig. 5 — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Fig. 5", "Memory footprint of distributed vs shared-memory SLM index",
-      "distributed ~= shared + small overhead; overhead shrinks as the "
-      "per-rank partition grows",
-      {"index_entries", "series", "bytes", "bytes_per_entry"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 16;  // memory bench: queries irrelevant
-
-  std::vector<double> overhead_percent;
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& workload = cache.at(entries, kQueries);
-
-    // Shared-memory baseline: one global index in one address space.
-    core::LbeParams lbe;
-    lbe.partition.ranks = bench::kPaperRanks;
-    lbe.partition.policy = core::Policy::kCyclic;
-    const core::LbePlan plan(workload.base_peptides, workload.mods,
-                             workload.variant_params, lbe);
-    const auto shared =
-        search::run_shared_baseline(plan, workload.queries, params);
-
-    // Distributed: 16 partial indexes plus the master's mapping table.
-    const auto run = bench::run_distributed(workload, core::Policy::kCyclic,
-                                            bench::kPaperRanks, params,
-                                            /*measured_time=*/false);
-    std::uint64_t distributed = run.report.mapping_bytes;
-    for (const auto bytes : run.report.index_bytes) distributed += bytes;
-
-    const double n = static_cast<double>(plan.num_variants());
-    fig.row({bench::fmt(plan.num_variants()), "shared",
-             bench::fmt(shared.index_bytes),
-             bench::fmt(static_cast<double>(shared.index_bytes) / n)});
-    fig.row({bench::fmt(plan.num_variants()), "distributed",
-             bench::fmt(distributed),
-             bench::fmt(static_cast<double>(distributed) / n)});
-
-    const double overhead =
-        100.0 * (static_cast<double>(distributed) -
-                 static_cast<double>(shared.index_bytes)) /
-        static_cast<double>(shared.index_bytes);
-    overhead_percent.push_back(overhead);
-    fig.note("entries=" + std::to_string(plan.num_variants()) +
-             " shared=" + str::human_bytes(shared.index_bytes) +
-             " distributed=" + str::human_bytes(distributed) +
-             " overhead=" + bench::fmt(overhead) + "%");
-  }
-
-  // Shape checks.
-  for (std::size_t i = 0; i < overhead_percent.size(); ++i) {
-    fig.check("distributed costs more than shared (per-rank fixed parts), "
-              "size " + std::to_string(bench::index_sizes()[i]),
-              overhead_percent[i] > 0.0);
-  }
-  fig.check(
-      "overhead shrinks as partitions grow (paper: inverse relation)",
-      overhead_percent.back() < overhead_percent.front());
-  fig.check("overhead at the largest size is modest (< 60%)",
-            overhead_percent.back() < 60.0);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("fig5_memory_footprint");
 }

@@ -1,70 +1,11 @@
-// Fig. 6 — Normalized load imbalance (Eq. 1) for 16 MPI processes with
-// increasing index size, per distribution policy.
-//
-// Paper claim: LI stays <= 20% for Cyclic and Random partitioning versus
-// ~120% for conventional Chunk partitioning.
-//
-// Two LI columns are reported: `li_work_pct` from deterministic work units
-// (postings/candidates touched — machine-independent) and `li_time_pct`
-// from the virtual-time clocks (what the paper measured). Shape checks use
-// the deterministic series.
-#include "bench_common.hpp"
+// Fig. 6 — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Fig. 6", "Load imbalance vs index size, 16 ranks",
-      "LI <= 20% for cyclic/random vs ~120% for chunk partitioning",
-      {"index_entries", "policy", "li_work_pct", "li_time_pct"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 96;
-
-  const std::vector<core::Policy> policies = {
-      core::Policy::kChunk, core::Policy::kCyclic, core::Policy::kRandom};
-
-  std::map<core::Policy, std::vector<double>> li_work;
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& workload = cache.at(entries, kQueries);
-    for (const core::Policy policy : policies) {
-      const auto run = bench::run_distributed(workload, policy,
-                                              bench::kPaperRanks, params);
-      const double work_li =
-          perf::load_imbalance(bench::work_units(run.report));
-      const double time_li =
-          perf::load_imbalance(run.report.query_phase_seconds());
-      li_work[policy].push_back(work_li);
-      fig.row({bench::fmt(entries), core::policy_name(policy),
-               bench::fmt(100.0 * work_li), bench::fmt(100.0 * time_li)});
-    }
-  }
-
-  // Per-size bounds carry slack at the smallest size: a 16th of 30k entries
-  // is under 2k peptides per rank, a regime the paper (18M+) never touches.
-  for (std::size_t i = 0; i < bench::index_sizes().size(); ++i) {
-    const std::string size = std::to_string(bench::index_sizes()[i]);
-    const double balanced_cap = i == 0 ? 0.30 : 0.25;
-    fig.check("cyclic LI small at " + size,
-              li_work[core::Policy::kCyclic][i] <= balanced_cap);
-    fig.check("random LI small at " + size,
-              li_work[core::Policy::kRandom][i] <= balanced_cap);
-    fig.check("chunk LI at least 3x cyclic LI at " + size,
-              li_work[core::Policy::kChunk][i] >=
-                  3.0 * li_work[core::Policy::kCyclic][i]);
-    fig.check("chunk LI exceeds 40% at " + size,
-              li_work[core::Policy::kChunk][i] > 0.40);
-  }
-  auto mean = [](const std::vector<double>& v) {
-    double sum = 0.0;
-    for (const double x : v) sum += x;
-    return sum / static_cast<double>(v.size());
-  };
-  fig.check("mean cyclic LI <= 20% (the paper's headline bound)",
-            mean(li_work[core::Policy::kCyclic]) <= 0.20);
-  fig.check("mean random LI <= 20% (the paper's headline bound)",
-            mean(li_work[core::Policy::kRandom]) <= 0.20);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("fig6_load_imbalance");
 }

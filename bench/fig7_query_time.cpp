@@ -1,55 +1,11 @@
-// Fig. 7 — Query time vs number of MPI processes (cyclic partitioning),
-// one series per index size.
-//
-// Paper claim: query time falls roughly as 1/p as CPUs are added, for every
-// index size. Query time here is the simulated wall clock of the query
-// phase: max over ranks of (query_done - query_start) on virtual clocks.
-#include "bench_common.hpp"
-
-#include <algorithm>
+// Fig. 7 — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Fig. 7", "Query time vs MPI processes (cyclic policy)",
-      "query time decreases ~1/p with more CPUs at every index size",
-      {"ranks", "index_entries", "query_seconds"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 96;
-
-  std::map<std::uint64_t, std::vector<double>> series;  // size -> t(p)
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& workload = cache.at(entries, kQueries);
-    for (const int ranks : bench::rank_sweep()) {
-      const auto run = bench::run_distributed_repeated(
-          workload, core::Policy::kCyclic, ranks, params);
-      series[entries].push_back(run.query_wall_min);
-      fig.row({bench::fmt(ranks), bench::fmt(entries),
-               bench::fmt(run.query_wall_min)});
-    }
-  }
-
-  const auto& sweep = bench::rank_sweep();
-  const std::size_t i16 = static_cast<std::size_t>(
-      std::find(sweep.begin(), sweep.end(), 16) - sweep.begin());
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& times = series[entries];
-    // p = 2 -> 16 is an 8x resource increase; demand at least 2.5x less
-    // wall time (ideal 8x) to absorb single-core timing noise.
-    fig.check("query time at p=16 well below p=2, size " +
-                  std::to_string(entries),
-              times[i16] < times[0] / 2.5);
-  }
-  for (std::size_t i = 0; i + 1 < bench::index_sizes().size(); ++i) {
-    fig.check("bigger index costs more at p=16 (" +
-                  std::to_string(bench::index_sizes()[i]) + " vs " +
-                  std::to_string(bench::index_sizes()[i + 1]) + ")",
-              series[bench::index_sizes()[i]][i16] <
-                  series[bench::index_sizes()[i + 1]][i16] * 1.15);
-  }
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("fig7_query_time");
 }

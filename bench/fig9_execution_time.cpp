@@ -1,48 +1,11 @@
-// Fig. 9 — Total execution time vs number of MPI processes (cyclic policy).
-//
-// Total execution covers the whole pipeline: serial master prep (grouping +
-// partition planning, charged to rank 0), parallel index construction, the
-// query phase, and the result merge at the master — i.e. the cluster
-// makespan. Paper claim: total time falls with CPUs but flattens (the
-// serial fraction stops scaling).
-#include "bench_common.hpp"
-
-#include <algorithm>
+// Fig. 9 — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "Fig. 9", "Total execution time vs MPI processes (cyclic policy)",
-      "execution time decreases with CPUs but flattens (serial fraction)",
-      {"ranks", "index_entries", "execution_seconds", "prep_seconds"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 96;
-  const auto& sweep = bench::rank_sweep();
-
-  std::map<std::uint64_t, std::vector<double>> series;
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& workload = cache.at(entries, kQueries);
-    for (const int ranks : sweep) {
-      const auto run = bench::run_distributed_repeated(
-          workload, core::Policy::kCyclic, ranks, params);
-      series[entries].push_back(run.makespan_min);
-      fig.row({bench::fmt(ranks), bench::fmt(entries),
-               bench::fmt(run.makespan_min), bench::fmt(run.prep_seconds)});
-    }
-  }
-
-  const std::size_t i2 = 0;
-  const std::size_t i16 = static_cast<std::size_t>(
-      std::find(sweep.begin(), sweep.end(), 16) - sweep.begin());
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& times = series[entries];
-    fig.check("total time falls from p=2 to p=16, size " +
-                  std::to_string(entries),
-              times[i16] < times[i2]);
-  }
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("fig9_execution_time");
 }

@@ -1,160 +1,16 @@
-// Microbenchmarks (google-benchmark) for the kernels the paper's pipeline
-// spends its time in: banded edit distance (grouping), Algorithm 1 itself,
-// partitioning policies, index construction, and scorecard querying.
-#include <benchmark/benchmark.h>
+// Micro-kernel driver — runs the whole "micro" suite (edit distance,
+// grouping, partitioning, index build, preprocessing, and the batched-vs-
+// reference filtration gate). The kernels live in
+// src/perf/bench_suites_micro.cpp; `lbebench --suite micro` runs the same
+// set and additionally writes BENCH_micro.json.
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
-#include "chem/amino_acid.hpp"
-#include "core/edit_distance.hpp"
-#include "core/grouping.hpp"
-#include "core/partition.hpp"
-#include "common/rng.hpp"
-#include "index/chunked_index.hpp"
-#include "search/preprocess.hpp"
-#include "search/query_engine.hpp"
-#include "synth/workload.hpp"
-#include "theospec/fragmenter.hpp"
-
-namespace {
-
-using namespace lbe;
-
-std::vector<std::string> random_peptides(std::size_t count,
-                                         std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  const std::string_view alphabet = chem::kResidues;
-  std::vector<std::string> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    std::string s;
-    const std::size_t len = 8 + rng.below(20);
-    for (std::size_t j = 0; j < len; ++j) {
-      s += alphabet[rng.below(alphabet.size())];
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
+int main() {
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  lbe::perf::BenchRunOptions options;
+  options.suite = "micro";
+  options.repeat = 3;
+  options.write_json = false;
+  return lbe::perf::run_suite(options);
 }
-
-void BM_EditDistanceFull(benchmark::State& state) {
-  const auto peptides = random_peptides(256, 1);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& a = peptides[i % peptides.size()];
-    const auto& b = peptides[(i + 1) % peptides.size()];
-    benchmark::DoNotOptimize(core::edit_distance(a, b));
-    ++i;
-  }
-}
-BENCHMARK(BM_EditDistanceFull);
-
-void BM_EditDistanceBanded(benchmark::State& state) {
-  const auto limit = static_cast<std::uint32_t>(state.range(0));
-  const auto peptides = random_peptides(256, 1);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& a = peptides[i % peptides.size()];
-    const auto& b = peptides[(i + 1) % peptides.size()];
-    benchmark::DoNotOptimize(core::bounded_edit_distance(a, b, limit));
-    ++i;
-  }
-}
-BENCHMARK(BM_EditDistanceBanded)->Arg(2)->Arg(8);
-
-void BM_GroupingAlgorithm1(benchmark::State& state) {
-  const auto peptides =
-      random_peptides(static_cast<std::size_t>(state.range(0)), 2);
-  for (auto _ : state) {
-    auto copy = peptides;
-    benchmark::DoNotOptimize(
-        core::group_peptides(std::move(copy), core::GroupingParams{}));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_GroupingAlgorithm1)->Arg(1000)->Arg(10000);
-
-void BM_PartitionPolicy(benchmark::State& state) {
-  const auto policy = static_cast<core::Policy>(state.range(0));
-  const std::vector<std::uint32_t> groups(5000, 20);  // 100k entries
-  core::PartitionParams params;
-  params.policy = policy;
-  params.ranks = 16;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::partition(groups, params));
-  }
-  state.SetItemsProcessed(state.iterations() * 100000);
-}
-BENCHMARK(BM_PartitionPolicy)
-    ->Arg(static_cast<int>(core::Policy::kChunk))
-    ->Arg(static_cast<int>(core::Policy::kCyclic))
-    ->Arg(static_cast<int>(core::Policy::kRandom));
-
-void BM_FragmentPeptide(benchmark::State& state) {
-  const chem::ModificationSet mods = chem::ModificationSet::paper_default();
-  const chem::Peptide peptide("MKWVTFISLLLLFSSAYSRGVFRR");
-  theospec::FragmentParams params;
-  params.max_fragment_charge = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        theospec::fragment_peptide(peptide, mods, params));
-  }
-}
-BENCHMARK(BM_FragmentPeptide);
-
-struct IndexFixtureData {
-  chem::ModificationSet mods = chem::ModificationSet::paper_default();
-  index::PeptideStore store{&mods};
-  index::IndexParams params;
-
-  explicit IndexFixtureData(std::size_t peptides) {
-    params.fragments.max_fragment_charge = 1;
-    for (auto& seq : random_peptides(peptides, 3)) {
-      store.add(chem::Peptide(std::move(seq)), mods);
-    }
-  }
-};
-
-void BM_IndexBuild(benchmark::State& state) {
-  IndexFixtureData data(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    const index::SlmIndex index(data.store, data.mods, data.params);
-    benchmark::DoNotOptimize(index.num_postings());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(10000);
-
-void BM_IndexQuery(benchmark::State& state) {
-  IndexFixtureData data(static_cast<std::size_t>(state.range(0)));
-  const index::SlmIndex index(data.store, data.mods, data.params);
-  const auto spectrum = theospec::theoretical_spectrum(
-      data.store.materialize(0), data.mods, data.params.fragments);
-  index::QueryParams query;
-  query.shared_peak_min = 4;
-  std::vector<index::Candidate> candidates;
-  index::QueryWork work;
-  for (auto _ : state) {
-    candidates.clear();
-    index.query(spectrum, query, candidates, work);
-    benchmark::DoNotOptimize(candidates.size());
-  }
-}
-BENCHMARK(BM_IndexQuery)->Arg(1000)->Arg(10000)->Arg(50000);
-
-void BM_Preprocess(benchmark::State& state) {
-  Xoshiro256 rng(4);
-  chem::Spectrum spectrum;
-  for (int i = 0; i < 500; ++i) {
-    spectrum.add_peak(rng.uniform(100.0, 2000.0),
-                      static_cast<float>(rng.uniform(1.0, 1000.0)));
-  }
-  spectrum.finalize();
-  const search::PreprocessParams params;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(search::preprocess(spectrum, params));
-  }
-}
-BENCHMARK(BM_Preprocess);
-
-}  // namespace
-
-BENCHMARK_MAIN();

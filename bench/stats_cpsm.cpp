@@ -1,57 +1,11 @@
-// §V-A search statistics — candidate PSM volume under open-search settings.
-//
-// Paper: searching 23,264 spectra of PXD009072 against the 49.45M-entry
-// index yielded 22,517,426,929 cPSMs, i.e. ~73,723 cPSMs per query — about
-// 1,490 cPSMs per query per million index entries. The density (cPSMs per
-// query per entry) is the scale-free quantity our synthetic analogue can
-// reproduce; we report it alongside raw counts.
-#include "bench_common.hpp"
+// §V-A stats — thin driver. The benchmark body lives in src/perf/ (registered
+// on the lbebench harness); this binary preserves the standalone
+// reproduce-one-figure workflow and its exit-code contract (0 = all shape
+// checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
 
 int main() {
-  using namespace lbe;
-  log::set_level(log::Level::kWarn);
-
-  perf::Figure fig(
-      "§V-A stats", "Candidate PSM volume under open-search settings",
-      "open search yields tens of thousands of cPSMs per query at paper "
-      "scale; density per million entries is scale-free",
-      {"index_entries", "queries", "total_cpsms", "cpsms_per_query",
-       "cpsms_per_query_per_Mentry"});
-
-  bench::WorkloadCache cache;
-  const auto params = bench::paper_params();
-  constexpr std::uint32_t kQueries = 128;
-
-  std::vector<double> densities;
-  for (const std::uint64_t entries : bench::index_sizes()) {
-    const auto& workload = cache.at(entries, kQueries);
-    const auto run = bench::run_distributed(workload, core::Policy::kCyclic,
-                                            bench::kPaperRanks, params,
-                                            /*measured_time=*/false);
-    std::uint64_t cpsms = 0;
-    for (const auto& work : run.report.work) cpsms += work.candidates;
-    const double per_query =
-        static_cast<double>(cpsms) / static_cast<double>(kQueries);
-    const double density =
-        per_query / (static_cast<double>(entries) / 1e6);
-    densities.push_back(density);
-    fig.row({bench::fmt(entries), bench::fmt(std::uint64_t{kQueries}),
-             bench::fmt(cpsms), bench::fmt(per_query),
-             bench::fmt(density)});
-  }
-
-  fig.note("paper: 73,723 cPSMs/query at 49.45M entries = 1,491 "
-           "cPSMs/query/Mentry");
-  // Small synthetic databases are denser in near-duplicate peptides than
-  // the human proteome, so density falls toward the paper's value as the
-  // index grows; check the trend plus the largest point.
-  for (std::size_t i = 1; i < densities.size(); ++i) {
-    fig.check("cPSM density falls toward paper scale (" +
-                  std::to_string(bench::index_sizes()[i - 1]) + " -> " +
-                  std::to_string(bench::index_sizes()[i]) + ")",
-              densities[i] < densities[i - 1]);
-  }
-  fig.check("largest-size density within 1 order of magnitude of the paper",
-            densities.back() > 149.0 && densities.back() < 14910.0);
-  return fig.finish();
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("stats_cpsm");
 }

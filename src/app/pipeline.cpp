@@ -327,11 +327,7 @@ SearchOutcome run_search_pipeline(const PlanBundle& plan,
 
   outcome.time_stats =
       perf::load_stats(outcome.report.query_phase_seconds());
-  std::vector<double> work_units;
-  for (const auto& work : outcome.report.work) {
-    work_units.push_back(work.cost_units());
-  }
-  outcome.work_stats = perf::load_stats(work_units);
+  outcome.work_stats = perf::load_stats_from_work(outcome.report.work);
   return outcome;
 }
 

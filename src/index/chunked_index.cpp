@@ -63,10 +63,16 @@ std::size_t ChunkedIndex::chunks_for_window(Mass query_mass,
 
 void ChunkedIndex::query(const chem::Spectrum& spectrum,
                          const QueryParams& params,
-                         std::vector<Candidate>& out, QueryWork& work) const {
+                         std::vector<Candidate>& out, QueryWork& work,
+                         QueryArena& arena) const {
   const bool open =
       !(params.precursor_tolerance < std::numeric_limits<double>::infinity());
   const Mass query_mass = spectrum.precursor.neutral_mass;
+  // Spans depend only on the spectrum, the tolerance, and the binning —
+  // identical for every chunk (all share index_params_) — so the first
+  // intersecting chunk builds them and the rest reuse (the per-chunk
+  // epoch bump in query_impl leaves arena.spans untouched).
+  bool spans_built = false;
   for (const auto& chunk : chunks_) {
     if (!open) {
       if (chunk.mass_lo - params.precursor_tolerance > query_mass ||
@@ -74,12 +80,20 @@ void ChunkedIndex::query(const chem::Spectrum& spectrum,
         continue;
       }
     }
-    chunk.index->query(spectrum, params, out, work);
+    chunk.index->query_impl(spectrum, params, out, work, arena,
+                            /*rebuild_spans=*/!spans_built);
+    spans_built = true;
   }
 }
 
+void ChunkedIndex::query(const chem::Spectrum& spectrum,
+                         const QueryParams& params,
+                         std::vector<Candidate>& out, QueryWork& work) const {
+  query(spectrum, params, out, work, internal_arena_);
+}
+
 std::uint64_t ChunkedIndex::memory_bytes() const noexcept {
-  std::uint64_t total = store_.memory_bytes();
+  std::uint64_t total = store_.memory_bytes() + internal_arena_.memory_bytes();
   for (const auto& chunk : chunks_) total += chunk.index->memory_bytes();
   return total;
 }

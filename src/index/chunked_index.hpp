@@ -49,6 +49,15 @@ class ChunkedIndex {
   std::size_t chunks_for_window(Mass query_mass, double tolerance) const;
 
   /// Runs shared-peak filtration, routing to intersecting chunks only.
+  /// Thread-safe: all mutable query state lives in `arena` (one per
+  /// thread). Chunks own disjoint peptide-id subsets, so one arena serves
+  /// every chunk — each chunk's query opens a fresh scorecard epoch and
+  /// emits its candidates before the next chunk runs.
+  void query(const chem::Spectrum& spectrum, const QueryParams& params,
+             std::vector<Candidate>& out, QueryWork& work,
+             QueryArena& arena) const;
+
+  /// Convenience overload using an internal arena. NOT thread-safe.
   void query(const chem::Spectrum& spectrum, const QueryParams& params,
              std::vector<Candidate>& out, QueryWork& work) const;
 
@@ -90,6 +99,9 @@ class ChunkedIndex {
   const chem::ModificationSet* mods_;
   IndexParams index_params_;
   std::vector<Chunk> chunks_;
+  // Backs the no-arena convenience overload only (shared across chunks so
+  // a chunked index pays for one scorecard, not one per chunk).
+  mutable QueryArena internal_arena_;
 };
 
 }  // namespace lbe::index

@@ -1,0 +1,36 @@
+// Deterministic filtration work counters — the machine-independent load
+// measure used alongside wall time by the perf layer. Kept in its own tiny
+// header so perf/metrics.hpp can consume per-rank work without dragging in
+// the whole index/theospec header tree.
+#pragma once
+
+#include <cstdint>
+
+namespace lbe::index {
+
+/// Counters accumulate across queries; the batched span walk accounts
+/// identically to a per-peak walk (a bin covered by k peaks still counts k
+/// visits and k× its postings), so values are comparable across engines.
+struct QueryWork {
+  std::uint64_t peaks_processed = 0;
+  std::uint64_t bins_visited = 0;
+  std::uint64_t postings_touched = 0;
+  std::uint64_t candidates = 0;
+
+  QueryWork& operator+=(const QueryWork& other) {
+    peaks_processed += other.peaks_processed;
+    bins_visited += other.bins_visited;
+    postings_touched += other.postings_touched;
+    candidates += other.candidates;
+    return *this;
+  }
+
+  /// Scalar cost proxy: dominated by postings traffic, like the real engine.
+  double cost_units() const {
+    return static_cast<double>(postings_touched) +
+           0.25 * static_cast<double>(bins_visited) +
+           8.0 * static_cast<double>(candidates);
+  }
+};
+
+}  // namespace lbe::index

@@ -92,28 +92,193 @@ SlmIndex::SlmIndex(const PeptideStore& store,
   }
 }
 
-void SlmIndex::query(const chem::Spectrum& spectrum,
-                     const QueryParams& params, std::vector<Candidate>& out,
-                     QueryWork& work) const {
-  const std::size_t n = store_->size();
-  if (stamp_.size() != n) {
-    stamp_.assign(n, 0);
-    count_.assign(n, 0);
-    intensity_.assign(n, 0.0f);
-    epoch_ = 0;
-  }
-  if (++epoch_ == 0) {  // 32-bit wrap: restamp and continue
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    epoch_ = 1;
-  }
-
-  const std::uint16_t threshold =
-      static_cast<std::uint16_t>(std::max<std::uint32_t>(
-          1, params.shared_peak_min));
+void SlmIndex::build_spans(const chem::Spectrum& spectrum,
+                           const QueryParams& params, QueryWork& work,
+                           QueryArena& arena) const {
   const MzBin tol_bins = binning_.tolerance_bins(params.fragment_tolerance);
   const MzBin last_bin = binning_.num_bins() - 1;
 
-  std::vector<LocalPeptideId> reached;  // crossed the threshold
+  // Per-peak tolerance windows. The close bin may be last_bin + 1 ==
+  // num_bins, which is a valid sentinel index into bin_offsets_. Finalized
+  // spectra arrive m/z-sorted and the window width is constant (modulo
+  // edge clamping, which preserves order), so both the open and the close
+  // sequences are already non-decreasing; an unfinalized caller is
+  // detected below and pays one sort instead of getting wrong counts.
+  arena.windows.clear();
+  bool sorted = true;
+  MzBin prev_open = 0;
+  MzBin prev_close = 0;
+  for (std::size_t peak = 0; peak < spectrum.size(); ++peak) {
+    const Mz mz = spectrum.mz(peak);
+    if (!binning_.in_range(mz)) continue;
+    ++work.peaks_processed;
+    const MzBin center = binning_.bin(mz);
+    const MzBin lo = center > tol_bins ? center - tol_bins : 0;
+    const MzBin hi = std::min<MzBin>(center + tol_bins, last_bin);
+    // The sweep needs BOTH boundary sequences non-decreasing; opens alone
+    // are not enough when several out-of-order peaks clamp their open to
+    // bin 0 but keep distinct closes.
+    sorted = sorted && lo >= prev_open && hi + 1 >= prev_close;
+    prev_open = lo;
+    prev_close = hi + 1;
+    arena.windows.push_back(
+        QueryArena::Window{lo, hi + 1, spectrum.intensity(peak)});
+  }
+  arena.spans.clear();
+  if (arena.windows.empty()) return;
+  if (!sorted) {
+    // (open, close) order restores both sequences: for distinct opens the
+    // closes follow (both monotone in the center bin; clamps preserve
+    // order), and ties — e.g. several opens clamped to 0 — are broken by
+    // close directly.
+    std::sort(arena.windows.begin(), arena.windows.end(),
+              [](const QueryArena::Window& a, const QueryArena::Window& b) {
+                if (a.open != b.open) return a.open < b.open;
+                return a.close < b.close;
+              });
+  }
+
+  // Linear two-pointer sweep: merge the sorted open/close boundaries into
+  // maximal runs of constant coverage. Intensity runs in double so a
+  // peak's open/close contributions cancel exactly for any value that is
+  // exact in float (e.g. integer-valued intensities).
+  const std::size_t n = arena.windows.size();
+  std::size_t oi = 0;  // next window to open
+  std::size_t ci = 0;  // next window to close
+  std::uint32_t multiplicity = 0;
+  double intensity = 0.0;
+  MzBin prev = arena.windows.front().open;
+  while (ci < n) {
+    const MzBin next_open =
+        oi < n ? arena.windows[oi].open : std::numeric_limits<MzBin>::max();
+    const MzBin next_close = arena.windows[ci].close;
+    const MzBin boundary = std::min(next_open, next_close);
+    if (multiplicity > 0 && boundary > prev) {
+      arena.spans.push_back(BinSpan{prev, boundary, multiplicity,
+                                    static_cast<float>(intensity)});
+    }
+    prev = boundary;
+    while (oi < n && arena.windows[oi].open == boundary) {
+      ++multiplicity;
+      intensity += static_cast<double>(arena.windows[oi].intensity);
+      ++oi;
+    }
+    while (ci < n && arena.windows[ci].close == boundary) {
+      --multiplicity;
+      intensity -= static_cast<double>(arena.windows[ci].intensity);
+      ++ci;
+    }
+  }
+}
+
+void SlmIndex::emit_candidates(const chem::Spectrum& spectrum,
+                               const QueryParams& params,
+                               std::vector<Candidate>& out, QueryWork& work,
+                               QueryArena& arena) const {
+  const bool filter_precursor =
+      params.precursor_tolerance < std::numeric_limits<double>::infinity();
+  const Mass query_mass = spectrum.precursor.neutral_mass;
+  for (const LocalPeptideId pep : arena.reached) {
+    if (filter_precursor) {
+      if (std::abs(store_->mass(pep) - query_mass) >
+          params.precursor_tolerance) {
+        continue;
+      }
+    }
+    const QueryArena::Slot& slot = arena.slot(pep);
+    out.push_back(Candidate{pep, slot.count, slot.intensity});
+    ++work.candidates;
+  }
+}
+
+void SlmIndex::query(const chem::Spectrum& spectrum,
+                     const QueryParams& params, std::vector<Candidate>& out,
+                     QueryWork& work, QueryArena& arena) const {
+  query_impl(spectrum, params, out, work, arena, /*rebuild_spans=*/true);
+}
+
+void SlmIndex::query_impl(const chem::Spectrum& spectrum,
+                          const QueryParams& params,
+                          std::vector<Candidate>& out, QueryWork& work,
+                          QueryArena& arena, bool rebuild_spans) const {
+  arena.begin_query(store_->size());
+  if (rebuild_spans) build_spans(spectrum, params, work, arena);
+
+  const std::uint32_t threshold = std::max<std::uint32_t>(
+      1, params.shared_peak_min);
+  const std::uint32_t epoch = arena.epoch();
+  // Raw restrict pointers: posting loads cannot alias scorecard stores, so
+  // the compiler keeps loop state in registers across slot writes.
+  const LocalPeptideId* __restrict postings = postings_.data();
+  QueryArena::Slot* __restrict slots = arena.slots_data();
+  for (const BinSpan& span : arena.spans) {
+    const std::uint32_t begin = bin_offsets_[span.lo];
+    const std::uint32_t end = bin_offsets_[span.hi];
+    // Account as the per-peak walk would: a bin covered by k peaks counts
+    // k visits and k× its postings, keeping cost_units() comparable —
+    // but hoisted out of the posting loop instead of bumped per touch.
+    work.bins_visited +=
+        static_cast<std::uint64_t>(span.multiplicity) * (span.hi - span.lo);
+    work.postings_touched +=
+        static_cast<std::uint64_t>(span.multiplicity) * (end - begin);
+    if (span.multiplicity == 1) {
+      // Non-overlapping windows (the common case at ΔF = 0.05 / r = 0.01):
+      // identical per-posting arithmetic to the reference walk, but one
+      // contiguous slice instead of a loop per bin and one interleaved
+      // scorecard slot instead of three parallel arrays.
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const LocalPeptideId pep = postings[i];
+        QueryArena::Slot& slot = slots[pep];
+        if (slot.stamp != epoch) {
+          slot.stamp = epoch;
+          slot.count = 0;
+          slot.intensity = 0.0f;
+        }
+        slot.intensity += span.intensity;
+        if (++slot.count == threshold) arena.reached.push_back(pep);
+      }
+      continue;
+    }
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const LocalPeptideId pep = postings[i];
+      QueryArena::Slot& slot = slots[pep];
+      if (slot.stamp != epoch) {
+        slot.stamp = epoch;
+        slot.count = 0;
+        slot.intensity = 0.0f;
+      }
+      slot.intensity += span.intensity;
+      const std::uint32_t before = slot.count;
+      slot.count = before + span.multiplicity;
+      if (before < threshold && slot.count >= threshold) {
+        arena.reached.push_back(pep);
+      }
+    }
+  }
+  emit_candidates(spectrum, params, out, work, arena);
+}
+
+void SlmIndex::query(const chem::Spectrum& spectrum,
+                     const QueryParams& params, std::vector<Candidate>& out,
+                     QueryWork& work) const {
+  query(spectrum, params, out, work, internal_arena_);
+}
+
+void SlmIndex::query_reference(const chem::Spectrum& spectrum,
+                               const QueryParams& params,
+                               std::vector<Candidate>& out, QueryWork& work,
+                               QueryArena& arena) const {
+  arena.begin_query(store_->size());
+  arena.ensure_reference();
+  const auto threshold = static_cast<std::uint16_t>(
+      std::max<std::uint32_t>(1, params.shared_peak_min));
+  const MzBin tol_bins = binning_.tolerance_bins(params.fragment_tolerance);
+  const MzBin last_bin = binning_.num_bins() - 1;
+
+  // Faithful to the pre-refactor engine, including its freshly allocated
+  // per-query crossing list (the arena only supplies the scorecard, which
+  // the old engine kept inside the index).
+  std::vector<LocalPeptideId> reached;
   for (std::size_t peak = 0; peak < spectrum.size(); ++peak) {
     const Mz mz = spectrum.mz(peak);
     if (!binning_.in_range(mz)) continue;
@@ -129,18 +294,13 @@ void SlmIndex::query(const chem::Spectrum& spectrum,
       for (std::uint32_t i = begin; i < end; ++i) {
         const LocalPeptideId pep = postings_[i];
         ++work.postings_touched;
-        if (stamp_[pep] != epoch_) {
-          stamp_[pep] = epoch_;
-          count_[pep] = 0;
-          intensity_[pep] = 0.0f;
-        }
-        intensity_[pep] += peak_intensity;
-        if (++count_[pep] == threshold) reached.push_back(pep);
+        if (!arena.ref_stamped(pep)) arena.ref_stamp(pep);
+        arena.ref_intensity(pep) += peak_intensity;
+        if (++arena.ref_count(pep) == threshold) reached.push_back(pep);
       }
     }
   }
 
-  // Finalize candidates; apply the precursor window unless open search.
   const bool filter_precursor =
       params.precursor_tolerance < std::numeric_limits<double>::infinity();
   const Mass query_mass = spectrum.precursor.neutral_mass;
@@ -151,7 +311,8 @@ void SlmIndex::query(const chem::Spectrum& spectrum,
         continue;
       }
     }
-    out.push_back(Candidate{pep, count_[pep], intensity_[pep]});
+    out.push_back(
+        Candidate{pep, arena.ref_count(pep), arena.ref_intensity(pep)});
     ++work.candidates;
   }
 }
@@ -159,9 +320,7 @@ void SlmIndex::query(const chem::Spectrum& spectrum,
 std::uint64_t SlmIndex::memory_bytes() const noexcept {
   return bin_offsets_.capacity() * sizeof(std::uint32_t) +
          postings_.capacity() * sizeof(LocalPeptideId) +
-         stamp_.capacity() * sizeof(std::uint32_t) +
-         count_.capacity() * sizeof(std::uint16_t) +
-         intensity_.capacity() * sizeof(float);
+         internal_arena_.memory_bytes();
 }
 
 SlmIndex::SlmIndex(const PeptideStore& store,

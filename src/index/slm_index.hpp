@@ -6,10 +6,13 @@
 // then id — the secondary sort the paper's Fig. 1 describes, which makes
 // precursor-window scans over a bin contiguous.
 //
-// Query: for each (preprocessed) query peak, visit bins within the fragment
-// tolerance and bump a per-peptide counter ("scorecard"). Peptides reaching
-// the shared-peak threshold become candidate PSMs (cPSMs). The scorecard is
-// epoch-stamped so it never needs clearing between queries.
+// Query: the query's peak tolerance windows are swept into coalesced bin
+// spans (each span = a run of consecutive bins covered by the same peaks),
+// and every span's contiguous postings slice is walked exactly once,
+// bumping the epoch-stamped per-peptide scorecard by the span's peak
+// multiplicity. Peptides reaching the shared-peak threshold become
+// candidate PSMs (cPSMs). All mutable query state lives in a caller-owned
+// QueryArena, so one index serves any number of threads concurrently.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,8 @@
 #include "chem/spectrum.hpp"
 #include "index/binning.hpp"
 #include "index/peptide_store.hpp"
+#include "index/query_arena.hpp"
+#include "index/query_work.hpp"
 #include "theospec/fragmenter.hpp"
 
 namespace lbe::index {
@@ -57,30 +62,6 @@ struct Candidate {
   float matched_intensity;
 };
 
-/// Deterministic work counters — the machine-independent load measure used
-/// alongside wall time by the perf layer.
-struct QueryWork {
-  std::uint64_t peaks_processed = 0;
-  std::uint64_t bins_visited = 0;
-  std::uint64_t postings_touched = 0;
-  std::uint64_t candidates = 0;
-
-  QueryWork& operator+=(const QueryWork& other) {
-    peaks_processed += other.peaks_processed;
-    bins_visited += other.bins_visited;
-    postings_touched += other.postings_touched;
-    candidates += other.candidates;
-    return *this;
-  }
-
-  /// Scalar cost proxy: dominated by postings traffic, like the real engine.
-  double cost_units() const {
-    return static_cast<double>(postings_touched) +
-           0.25 * static_cast<double>(bins_visited) +
-           8.0 * static_cast<double>(candidates);
-  }
-};
-
 class SlmIndex {
  public:
   /// Builds over all entries of `store` (which must outlive the index).
@@ -100,12 +81,32 @@ class SlmIndex {
 
   /// Shared-peak filtration of one query spectrum. Appends candidates with
   /// shared_peaks >= params.shared_peak_min (and, unless open search, with
-  /// precursor mass within tolerance of the query's).
+  /// precursor mass within tolerance of the query's). Thread-safe: all
+  /// mutable state lives in `arena` (one per thread).
+  void query(const chem::Spectrum& spectrum, const QueryParams& params,
+             std::vector<Candidate>& out, QueryWork& work,
+             QueryArena& arena) const;
+
+  /// Convenience overload using an internal arena. NOT thread-safe; the
+  /// hot paths (QueryEngine, benches) pass an explicit arena instead.
   void query(const chem::Spectrum& spectrum, const QueryParams& params,
              std::vector<Candidate>& out, QueryWork& work) const;
 
-  /// Exact heap bytes: postings + offsets + scorecard (store counted
-  /// separately so shared/distributed accounting can split them).
+  /// The pre-batching filtration walk (one pass per peak per bin), kept as
+  /// the equivalence oracle for the batched path and as the baseline the
+  /// micro_kernels filtration speedup is measured against. Candidate order
+  /// may differ from `query` (threshold-crossing order is walk-dependent).
+  /// The (peptide, shared_peaks) multisets are always identical;
+  /// matched_intensity is bit-identical whenever the accumulated values
+  /// are exact in float (e.g. integer intensities, as the equivalence
+  /// tests pin) and may differ in the last ulp otherwise — the two walks
+  /// associate the same float sums differently.
+  void query_reference(const chem::Spectrum& spectrum,
+                       const QueryParams& params, std::vector<Candidate>& out,
+                       QueryWork& work, QueryArena& arena) const;
+
+  /// Exact heap bytes: postings + offsets (+ the lazily-grown internal
+  /// arena, when the convenience overload has been used).
   std::uint64_t memory_bytes() const noexcept;
 
   /// Postings-per-bin histogram feeding the load-prediction model.
@@ -120,8 +121,28 @@ class SlmIndex {
                        const IndexParams& params);
 
  private:
+  // ChunkedIndex drives query_impl directly so one span build serves every
+  // chunk (chunks share IndexParams, hence binning; spans depend only on
+  // the spectrum, the tolerance and the binning).
+  friend class ChunkedIndex;
+
   SlmIndex(const PeptideStore& store, const chem::ModificationSet& mods,
            const IndexParams& params, std::nullptr_t /*load tag*/);
+
+  /// `query` with span reuse: when `rebuild_spans` is false the walk runs
+  /// over arena.spans as-is (they must stem from this spectrum/params and
+  /// an identically-binned index).
+  void query_impl(const chem::Spectrum& spectrum, const QueryParams& params,
+                  std::vector<Candidate>& out, QueryWork& work,
+                  QueryArena& arena, bool rebuild_spans) const;
+
+  /// Peak windows -> coalesced spans, in arena scratch.
+  void build_spans(const chem::Spectrum& spectrum, const QueryParams& params,
+                   QueryWork& work, QueryArena& arena) const;
+
+  void emit_candidates(const chem::Spectrum& spectrum,
+                       const QueryParams& params, std::vector<Candidate>& out,
+                       QueryWork& work, QueryArena& arena) const;
 
   const PeptideStore* store_;
   const chem::ModificationSet* mods_;
@@ -134,11 +155,9 @@ class SlmIndex {
   std::vector<std::uint32_t> bin_offsets_;     ///< size num_bins+1
   std::vector<LocalPeptideId> postings_;
 
-  // Epoch-stamped scorecard (mutable: query is logically const).
-  mutable std::vector<std::uint32_t> stamp_;
-  mutable std::vector<std::uint16_t> count_;
-  mutable std::vector<float> intensity_;
-  mutable std::uint32_t epoch_ = 0;
+  // Backs the no-arena convenience overload only (mutable: query is
+  // logically const). Untouched by the arena-passing hot paths.
+  mutable QueryArena internal_arena_;
 };
 
 }  // namespace lbe::index

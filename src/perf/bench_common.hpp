@@ -1,4 +1,4 @@
-// Shared scaffolding for the figure-reproduction benches.
+// Shared scaffolding for the figure-reproduction benchmark suites.
 //
 // Scaling note: the paper sweeps 18M-49.45M index entries on a 4-node/16-core
 // cluster with 32 GB RAM; these benches sweep tens to hundreds of thousands
@@ -8,11 +8,10 @@
 #pragma once
 
 #include <algorithm>
-#include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/csv.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "core/lbe_layer.hpp"
@@ -56,28 +55,6 @@ inline search::DistributedParams paper_params() {
   return params;
 }
 
-/// Caches workloads by size so multi-series benches pay generation once.
-class WorkloadCache {
- public:
-  const synth::Workload& at(std::uint64_t entries, std::uint32_t queries) {
-    const auto key = std::make_pair(entries, queries);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      Stopwatch timer;
-      it = cache_.emplace(key,
-                          synth::make_paper_workload(entries, queries))
-               .first;
-      std::fprintf(stderr, "# workload %llu entries: %.2fs\n",
-                   static_cast<unsigned long long>(entries),
-                   timer.seconds());
-    }
-    return it->second;
-  }
-
- private:
-  std::map<std::pair<std::uint64_t, std::uint32_t>, synth::Workload> cache_;
-};
-
 struct RunResult {
   search::DistributedReport report;
   double prep_seconds = 0.0;  ///< measured LbePlan construction time
@@ -110,14 +87,6 @@ inline RunResult run_distributed(const synth::Workload& workload,
   result.report = search::run_distributed_search(cluster, plan,
                                                  workload.queries, params);
   return result;
-}
-
-/// Work-unit (deterministic) per-rank loads of the query phase.
-inline std::vector<double> work_units(const search::DistributedReport& r) {
-  std::vector<double> units;
-  units.reserve(r.work.size());
-  for (const auto& work : r.work) units.push_back(work.cost_units());
-  return units;
 }
 
 /// Timing-stabilized sweep point: repeats the run and keeps, per rank, the
@@ -162,5 +131,9 @@ inline RepeatedRun run_distributed_repeated(
 inline std::string fmt(double v) { return CsvWriter::field(v); }
 inline std::string fmt(std::uint64_t v) { return CsvWriter::field(v); }
 inline std::string fmt(int v) { return CsvWriter::field(v); }
+
+inline double mean(const std::vector<double>& v) {
+  return perf::summarize(v).mean;
+}
 
 }  // namespace lbe::bench

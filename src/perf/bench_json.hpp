@@ -1,0 +1,90 @@
+// Minimal JSON value type for the benchmark harness.
+//
+// BENCH_<suite>.json must be writable without third-party dependencies and
+// re-parseable by the regression gate, so this implements exactly the JSON
+// subset the harness emits: null, bool, finite doubles, strings, arrays and
+// insertion-ordered objects. Numbers round-trip via %.17g (shortest exact
+// double), strings escape the mandatory set. Not a general-purpose parser —
+// it rejects anything outside RFC 8259 rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lbe::perf {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}          // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                 // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}        // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                 // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw InvariantError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Array append (must be an array).
+  void push_back(Json value);
+
+  /// Object insert/overwrite preserving first-insertion order.
+  void set(const std::string& key, Json value);
+
+  /// Object lookup; nullptr when absent (must be an object).
+  const Json* find(const std::string& key) const;
+
+  /// `find` that throws with a path-aware message when absent.
+  const Json& at(const std::string& key) const;
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; throws IoError on any syntax error
+  /// or trailing garbage.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace lbe::perf

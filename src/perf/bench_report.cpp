@@ -1,0 +1,245 @@
+#include "perf/bench_report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include <sys/resource.h>
+
+#include "common/error.hpp"
+
+namespace lbe::perf {
+
+std::optional<double> BenchResult::metric(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+namespace {
+
+Json stats_to_json(const SampleStats& stats,
+                   const std::vector<double>& samples) {
+  Json out = Json::object();
+  Json sample_array = Json::array();
+  for (const double s : samples) sample_array.push_back(Json(s));
+  out.set("samples", std::move(sample_array));
+  out.set("min", Json(stats.min));
+  out.set("median", Json(stats.median));
+  out.set("mean", Json(stats.mean));
+  out.set("stddev", Json(stats.stddev));
+  return out;
+}
+
+double require_number(const Json& object, const std::string& key,
+                      const std::string& where) {
+  const Json* value = object.find(key);
+  if (value == nullptr || !value->is_number()) {
+    throw IoError("bench report: " + where + "." + key +
+                  " missing or not a number");
+  }
+  return value->as_number();
+}
+
+std::string require_string(const Json& object, const std::string& key,
+                           const std::string& where) {
+  const Json* value = object.find(key);
+  if (value == nullptr || !value->is_string()) {
+    throw IoError("bench report: " + where + "." + key +
+                  " missing or not a string");
+  }
+  return value->as_string();
+}
+
+}  // namespace
+
+Json report_to_json(const BenchReport& report) {
+  Json root = Json::object();
+  root.set("schema_version", Json(kBenchSchemaVersion));
+  root.set("suite", Json(report.suite));
+  root.set("repeat", Json(report.repeat));
+
+  Json provenance = Json::object();
+  provenance.set("git_sha", Json(report.provenance.git_sha));
+  provenance.set("compiler", Json(report.provenance.compiler));
+  provenance.set("compiler_version",
+                 Json(report.provenance.compiler_version));
+  provenance.set("flags", Json(report.provenance.flags));
+  provenance.set("build_type", Json(report.provenance.build_type));
+  provenance.set("hostname", Json(report.provenance.hostname));
+  root.set("provenance", std::move(provenance));
+
+  root.set("peak_rss_bytes", Json(report.peak_rss_bytes));
+
+  Json benchmarks = Json::array();
+  for (const BenchResult& result : report.benchmarks) {
+    Json entry = Json::object();
+    entry.set("name", Json(result.name));
+    entry.set("wall_seconds",
+              stats_to_json(result.wall_seconds, result.wall_samples));
+    Json metrics = Json::object();
+    for (const auto& [key, value] : result.metrics) {
+      metrics.set(key, Json(value));
+    }
+    entry.set("metrics", std::move(metrics));
+    entry.set("checks_total", Json(result.checks_total));
+    entry.set("checks_failed", Json(result.checks_failed));
+    benchmarks.push_back(std::move(entry));
+  }
+  root.set("benchmarks", std::move(benchmarks));
+  return root;
+}
+
+BenchReport report_from_json(const Json& json) {
+  if (!json.is_object()) throw IoError("bench report: root is not an object");
+  const double version = require_number(json, "schema_version", "root");
+  if (version != kBenchSchemaVersion) {
+    throw IoError("bench report: unsupported schema_version " +
+                  std::to_string(version));
+  }
+
+  BenchReport report;
+  report.suite = require_string(json, "suite", "root");
+  report.repeat = static_cast<int>(require_number(json, "repeat", "root"));
+  if (report.repeat < 1) throw IoError("bench report: repeat must be >= 1");
+
+  const Json& provenance = json.at("provenance");
+  if (!provenance.is_object()) {
+    throw IoError("bench report: provenance is not an object");
+  }
+  report.provenance.git_sha =
+      require_string(provenance, "git_sha", "provenance");
+  report.provenance.compiler =
+      require_string(provenance, "compiler", "provenance");
+  report.provenance.compiler_version =
+      require_string(provenance, "compiler_version", "provenance");
+  report.provenance.flags = require_string(provenance, "flags", "provenance");
+  report.provenance.build_type =
+      require_string(provenance, "build_type", "provenance");
+  report.provenance.hostname =
+      require_string(provenance, "hostname", "provenance");
+
+  report.peak_rss_bytes = static_cast<std::uint64_t>(
+      require_number(json, "peak_rss_bytes", "root"));
+
+  const Json& benchmarks = json.at("benchmarks");
+  if (!benchmarks.is_array()) {
+    throw IoError("bench report: benchmarks is not an array");
+  }
+  for (const Json& entry : benchmarks.items()) {
+    if (!entry.is_object()) {
+      throw IoError("bench report: benchmark entry is not an object");
+    }
+    BenchResult result;
+    result.name = require_string(entry, "name", "benchmark");
+    const Json& wall = entry.at("wall_seconds");
+    if (!wall.is_object()) {
+      throw IoError("bench report: wall_seconds is not an object");
+    }
+    const Json& samples = wall.at("samples");
+    if (!samples.is_array()) {
+      throw IoError("bench report: wall_seconds.samples is not an array");
+    }
+    for (const Json& sample : samples.items()) {
+      if (!sample.is_number()) {
+        throw IoError("bench report: wall sample is not a number");
+      }
+      result.wall_samples.push_back(sample.as_number());
+    }
+    result.wall_seconds = summarize(result.wall_samples);
+    // Cross-check the stored order statistics against the samples they
+    // claim to summarize; a mismatch means the file was hand-edited.
+    const double stored_median =
+        require_number(wall, "median", "wall_seconds");
+    if (!result.wall_samples.empty() &&
+        std::abs(stored_median - result.wall_seconds.median) >
+            1e-9 * (1.0 + std::abs(stored_median))) {
+      throw IoError("bench report: wall_seconds.median does not match "
+                    "samples for '" + result.name + "'");
+    }
+    const Json& metrics = entry.at("metrics");
+    if (!metrics.is_object()) {
+      throw IoError("bench report: metrics is not an object");
+    }
+    for (const auto& [key, value] : metrics.members()) {
+      if (!value.is_number()) {
+        throw IoError("bench report: metric '" + key + "' is not a number");
+      }
+      result.add_metric(key, value.as_number());
+    }
+    result.checks_total =
+        static_cast<int>(require_number(entry, "checks_total", "benchmark"));
+    result.checks_failed =
+        static_cast<int>(require_number(entry, "checks_failed", "benchmark"));
+    report.benchmarks.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string validate_report_json(const Json& json) {
+  try {
+    report_from_json(json);
+    return {};
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+}
+
+void save_report_file(const std::string& path, const BenchReport& report) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write bench report: " + path);
+  out << report_to_json(report).dump(2);
+  if (!out) throw IoError("bench report write failed: " + path);
+}
+
+BenchReport load_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open bench report: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return report_from_json(Json::parse(buffer.str()));
+}
+
+std::vector<RegressionFinding> find_regressions(const BenchReport& baseline,
+                                                const BenchReport& current,
+                                                double max_regress,
+                                                const std::string& metric,
+                                                bool flag_missing) {
+  LBE_CHECK(max_regress >= 0.0 && max_regress < 1.0,
+            "max_regress must be in [0, 1)");
+  std::vector<RegressionFinding> findings;
+  for (const BenchResult& base : baseline.benchmarks) {
+    const auto base_value = base.metric(metric);
+    if (!base_value || *base_value <= 0.0) continue;
+    // A gated baseline benchmark whose name or metric vanished from the
+    // current report is itself a finding (current = ratio = 0): otherwise
+    // renaming or dropping a benchmark would pass the gate vacuously.
+    bool measured = false;
+    for (const BenchResult& now : current.benchmarks) {
+      if (now.name != base.name) continue;
+      const auto now_value = now.metric(metric);
+      if (!now_value) continue;
+      measured = true;
+      if (*now_value < (1.0 - max_regress) * *base_value) {
+        findings.push_back(RegressionFinding{base.name, metric, *base_value,
+                                             *now_value,
+                                             *now_value / *base_value});
+      }
+    }
+    if (!measured && flag_missing) {
+      findings.push_back(
+          RegressionFinding{base.name, metric, *base_value, 0.0, 0.0});
+    }
+  }
+  return findings;
+}
+
+}  // namespace lbe::perf

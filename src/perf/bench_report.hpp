@@ -1,0 +1,117 @@
+// Machine-readable benchmark results: the BENCH_<suite>.json format.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "suite": "<suite name>",
+//     "repeat": <int >= 1>,
+//     "provenance": { "git_sha", "compiler", "compiler_version", "flags",
+//                     "build_type", "hostname" },        (all strings)
+//     "peak_rss_bytes": <int>,
+//     "benchmarks": [
+//       {
+//         "name": "<benchmark name>",
+//         "wall_seconds": { "samples": [..], "min", "median",
+//                           "mean", "stddev" },
+//         "metrics": { "<metric>": <number>, ... },
+//         "checks_total": <int>, "checks_failed": <int>
+//       }, ...
+//     ]
+//   }
+//
+// "metrics" keys the regression gate understands are throughput-style
+// (higher is better): the CI perf-smoke job gates on "queries_per_sec".
+// The writer, parser, validator and gate all live here so a schema change
+// cannot drift between them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/bench_json.hpp"
+#include "perf/metrics.hpp"
+
+namespace lbe::perf {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Build/run provenance stamped into every report. `current_provenance()`
+/// is generated at CMake configure time (see bench_provenance.cpp.in).
+struct BenchProvenance {
+  std::string git_sha;
+  std::string compiler;
+  std::string compiler_version;
+  std::string flags;
+  std::string build_type;
+  std::string hostname;
+};
+
+BenchProvenance current_provenance();
+
+/// One benchmark's results: repeated wall timings plus named scalar
+/// metrics (throughputs, ratios, Eq. 1 imbalance, ...).
+struct BenchResult {
+  std::string name;
+  SampleStats wall_seconds;
+  std::vector<double> wall_samples;
+  std::vector<std::pair<std::string, double>> metrics;
+  int checks_total = 0;
+  int checks_failed = 0;
+
+  void add_metric(const std::string& key, double value) {
+    metrics.emplace_back(key, value);
+  }
+  std::optional<double> metric(const std::string& key) const;
+};
+
+struct BenchReport {
+  std::string suite;
+  int repeat = 1;
+  BenchProvenance provenance;
+  std::uint64_t peak_rss_bytes = 0;
+  std::vector<BenchResult> benchmarks;
+};
+
+/// Current process peak RSS in bytes (getrusage; 0 if unavailable).
+std::uint64_t peak_rss_bytes();
+
+Json report_to_json(const BenchReport& report);
+
+/// Parses + validates; throws IoError with a field-level message on any
+/// schema violation (wrong type, missing key, bad version, negative
+/// repeat, non-array benchmarks, ...).
+BenchReport report_from_json(const Json& json);
+
+/// Validation without conversion; returns the first violation or empty.
+std::string validate_report_json(const Json& json);
+
+void save_report_file(const std::string& path, const BenchReport& report);
+BenchReport load_report_file(const std::string& path);
+
+/// One gate decision of the CI perf job.
+struct RegressionFinding {
+  std::string benchmark;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline
+};
+
+/// Compares `current` against `baseline` on the given higher-is-better
+/// metric (default: the gate metric "queries_per_sec"). A benchmark
+/// regresses when current < (1 - max_regress) * baseline. With
+/// `flag_missing` (the full-suite default), a gated baseline benchmark
+/// with no matching (name, metric) in `current` is reported with
+/// current = ratio = 0 — renames and drops must refresh the baseline,
+/// they cannot pass the gate vacuously. Pass flag_missing = false when
+/// `current` is deliberately partial (lbebench --filter). Extra
+/// benchmarks only in `current` are ignored (they have no baseline yet).
+std::vector<RegressionFinding> find_regressions(
+    const BenchReport& baseline, const BenchReport& current,
+    double max_regress, const std::string& metric = "queries_per_sec",
+    bool flag_missing = true);
+
+}  // namespace lbe::perf

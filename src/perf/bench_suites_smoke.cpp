@@ -1,0 +1,154 @@
+// Suite "smoke" — the CI perf gate. Small enough to finish with
+// --repeat 3 in well under two minutes on one core, yet it exercises the
+// three hot paths that matter: shared-memory query throughput (the
+// filtration engine), end-to-end distributed search balance (Eq. 1), and
+// index construction. The perf-smoke CI job gates the median
+// "queries_per_sec" of these benchmarks against bench/baseline/
+// BENCH_smoke.json (see README "Benchmarking").
+#include <vector>
+
+#include "perf/bench_common.hpp"
+#include "perf/bench_registry.hpp"
+#include "search/distributed.hpp"
+
+namespace lbe::perf {
+
+namespace {
+
+constexpr std::uint64_t kSmokeEntries = 20000;
+constexpr std::uint32_t kSmokeQueries = 48;
+constexpr int kSmokeRanks = 8;
+
+// Shared-memory engine throughput: the filtration hot path, end to end
+// (preprocess + scorecard + top-k), over the global index.
+void smoke_query_throughput(BenchContext& ctx) {
+  using namespace lbe;
+  Figure fig("smoke: query throughput",
+             "shared-memory engine queries/sec on the smoke workload",
+             "the filtration hot path sustains its baseline throughput",
+             {"metric", "value"});
+
+  const auto& workload = ctx.workload(kSmokeEntries, kSmokeQueries);
+  const auto params = bench::paper_params();
+
+  core::LbeParams lbe;
+  lbe.partition.ranks = kSmokeRanks;
+  lbe.partition.policy = core::Policy::kCyclic;
+  const core::LbePlan plan(workload.base_peptides, workload.mods,
+                           workload.variant_params, lbe);
+  const index::ChunkedIndex global(plan.build_global_store(), plan.mods(),
+                                   params.index, params.chunking);
+  const search::QueryEngine engine(global, plan.mods(), params.search);
+
+  index::QueryArena arena;
+  std::uint64_t cpsms = 0;
+  const auto run_queries = [&] {
+    index::QueryWork work;
+    for (std::size_t q = 0; q < workload.queries.size(); ++q) {
+      const auto result = engine.search(
+          workload.queries[q], static_cast<std::uint32_t>(q), work, arena);
+      cpsms += result.candidates;
+    }
+  };
+  run_queries();  // warm-up
+  cpsms = 0;
+  const SampleStats stats = ctx.time_hot(run_queries);
+  const std::uint64_t cpsms_per_rep = cpsms / ctx.repeat();
+
+  const double qps = workload.queries.size() / stats.median;
+  const double cpsms_per_sec =
+      static_cast<double>(cpsms_per_rep) / stats.median;
+  fig.row({"queries_per_sec", bench::fmt(qps)});
+  fig.row({"cpsms_per_sec", bench::fmt(cpsms_per_sec)});
+  fig.check("engine produced candidates", cpsms_per_rep > 0);
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("queries_per_sec", qps);
+  ctx.result.add_metric("cpsms_per_sec", cpsms_per_sec);
+  ctx.result.add_metric("cpsms_per_query",
+                        static_cast<double>(cpsms_per_rep) /
+                            workload.queries.size());
+}
+
+// Distributed end-to-end: 8-rank cyclic search with Eq. 1 balance, the
+// quantity the paper is about, measured per run (not just once).
+void smoke_distributed_balance(BenchContext& ctx) {
+  using namespace lbe;
+  Figure fig("smoke: distributed",
+             "8-rank cyclic distributed search on the smoke workload",
+             "distributed search stays balanced and fast",
+             {"metric", "value"});
+
+  const auto& workload = ctx.workload(kSmokeEntries, kSmokeQueries);
+  const auto params = bench::paper_params();
+
+  double makespan = 0.0;
+  double work_li = 0.0;
+  const SampleStats stats = ctx.time_hot([&] {
+    const auto run = bench::run_distributed(
+        workload, core::Policy::kCyclic, kSmokeRanks, params);
+    makespan = run.report.makespan;
+    work_li = load_stats_from_work(run.report.work).imbalance;
+  });
+
+  const double qps = workload.queries.size() / stats.median;
+  fig.row({"queries_per_sec", bench::fmt(qps)});
+  fig.row({"makespan_seconds", bench::fmt(makespan)});
+  fig.row({"li_work_pct", bench::fmt(100.0 * work_li)});
+  fig.check("cyclic partitioning stays balanced (work LI < 35%)",
+            work_li < 0.35);
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("queries_per_sec", qps);
+  ctx.result.add_metric("load_imbalance", work_li);
+  ctx.result.add_metric("makespan_seconds", makespan);
+}
+
+// Index construction throughput over the smoke database.
+void smoke_index_build(BenchContext& ctx) {
+  using namespace lbe;
+  Figure fig("smoke: index build",
+             "global SLM index construction on the smoke workload",
+             "index construction sustains its baseline throughput",
+             {"metric", "value"});
+
+  const auto& workload = ctx.workload(kSmokeEntries, kSmokeQueries);
+  const auto params = bench::paper_params();
+
+  core::LbeParams lbe;
+  lbe.partition.ranks = kSmokeRanks;
+  lbe.partition.policy = core::Policy::kCyclic;
+  const core::LbePlan plan(workload.base_peptides, workload.mods,
+                           workload.variant_params, lbe);
+
+  std::uint64_t entries = 0;
+  const SampleStats stats = ctx.time_hot([&] {
+    const index::ChunkedIndex global(plan.build_global_store(), plan.mods(),
+                                     params.index, params.chunking);
+    entries = global.num_peptides();
+  });
+  const double eps = static_cast<double>(entries) / stats.median;
+  fig.row({"entries_per_sec", bench::fmt(eps)});
+  fig.row({"entries", bench::fmt(entries)});
+  fig.check("index built", entries > 0);
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("entries_per_sec", eps);
+  ctx.result.add_metric("index_entries", static_cast<double>(entries));
+}
+
+}  // namespace
+
+void register_smoke_benches(BenchRegistry& registry) {
+  registry.add(BenchmarkDef{"smoke_query_throughput", "smoke",
+                            "shared-memory engine throughput",
+                            smoke_query_throughput});
+  registry.add(BenchmarkDef{"smoke_distributed_balance", "smoke",
+                            "8-rank distributed search balance",
+                            smoke_distributed_balance});
+  registry.add(BenchmarkDef{"smoke_index_build", "smoke",
+                            "index construction throughput",
+                            smoke_index_build});
+}
+
+}  // namespace lbe::perf

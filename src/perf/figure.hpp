@@ -36,6 +36,8 @@ class Figure {
   int finish();
 
   bool all_passed() const { return failures_ == 0; }
+  int checks() const { return checks_; }
+  int failures() const { return failures_; }
 
  private:
   std::string id_;

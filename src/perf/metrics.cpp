@@ -1,6 +1,7 @@
 #include "perf/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -25,6 +26,40 @@ LoadStats load_stats(const std::vector<double>& rank_times) {
 
 double load_imbalance(const std::vector<double>& rank_times) {
   return load_stats(rank_times).imbalance;
+}
+
+std::vector<double> work_unit_loads(
+    const std::vector<index::QueryWork>& per_rank_work) {
+  std::vector<double> units;
+  units.reserve(per_rank_work.size());
+  for (const auto& work : per_rank_work) units.push_back(work.cost_units());
+  return units;
+}
+
+LoadStats load_stats_from_work(
+    const std::vector<index::QueryWork>& per_rank_work) {
+  return load_stats(work_unit_loads(per_rank_work));
+}
+
+SampleStats summarize(std::vector<double> samples) {
+  SampleStats stats;
+  stats.samples = samples.size();
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  const std::size_t n = samples.size();
+  stats.median = n % 2 == 1 ? samples[n / 2]
+                            : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  stats.mean = sum / static_cast<double>(n);
+  if (n >= 2) {
+    double sq = 0.0;
+    for (const double s : samples) sq += (s - stats.mean) * (s - stats.mean);
+    stats.stddev = std::sqrt(sq / static_cast<double>(n));
+  }
+  return stats;
 }
 
 double speedup_vs_base(double base_time, int base_ranks, double time) {

@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "index/query_work.hpp"
+
 namespace lbe::perf {
 
 struct LoadStats {
@@ -32,6 +34,30 @@ LoadStats load_stats(const std::vector<double>& rank_times);
 
 /// LI alone (Eq. 1).
 double load_imbalance(const std::vector<double>& rank_times);
+
+/// Per-rank deterministic loads (QueryWork::cost_units) — the single
+/// conversion both `lbectl` and the bench harness feed into Eq. 1, so the
+/// two never disagree on what "work" means.
+std::vector<double> work_unit_loads(
+    const std::vector<index::QueryWork>& per_rank_work);
+
+/// Eq. 1 over deterministic work units; equivalent to
+/// `load_stats(work_unit_loads(w))`.
+LoadStats load_stats_from_work(
+    const std::vector<index::QueryWork>& per_rank_work);
+
+/// Order statistics over repeated measurements (lbebench --repeat N).
+struct SampleStats {
+  std::size_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< population stddev; 0 for < 2 samples
+};
+
+/// Summarizes a sample vector; all-zero stats for empty input.
+SampleStats summarize(std::vector<double> samples);
 
 /// Speedup of `time` relative to a measured base point, extrapolated from
 /// ideal efficiency at the base: S(p) = base_ranks * base_time / time.

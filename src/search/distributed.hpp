@@ -34,8 +34,9 @@ struct DistributedParams {
   /// Seconds of serial master prep to charge rank 0 (measured by caller,
   /// e.g. the LbePlan construction time). Models the Amdahl serial term.
   double prep_seconds = 0.0;
-  /// Hybrid MPI+threads mode (§VIII future work): threads per rank used to
-  /// overlap query preprocessing within each rank's query loop. 1 = off.
+  /// Hybrid MPI+threads mode (§VIII future work): threads per rank fanning
+  /// the whole per-query pipeline — preprocessing, filtration, scoring —
+  /// over per-thread arenas within each rank's query loop. 1 = off.
   /// Results are identical either way; only timing changes.
   std::uint32_t threads_per_rank = 1;
 };

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 
 #include "common/error.hpp"
 
@@ -28,20 +27,28 @@ QueryEngine::QueryEngine(const index::ChunkedIndex& index,
 
 QueryResult QueryEngine::search(const chem::Spectrum& raw,
                                 std::uint32_t query_id,
-                                index::QueryWork& work) const {
+                                index::QueryWork& work,
+                                index::QueryArena& arena) const {
   const chem::Spectrum query = preprocess(raw, params_.preprocess);
-  return search_preprocessed(query, query_id, work);
+  return search_preprocessed(query, query_id, work, arena);
+}
+
+QueryResult QueryEngine::search(const chem::Spectrum& raw,
+                                std::uint32_t query_id,
+                                index::QueryWork& work) const {
+  return search(raw, query_id, work, internal_arena_);
 }
 
 QueryResult QueryEngine::search_preprocessed(const chem::Spectrum& query,
                                              std::uint32_t query_id,
-                                             index::QueryWork& work) const {
+                                             index::QueryWork& work,
+                                             index::QueryArena& arena) const {
   QueryResult result;
   result.query_id = query_id;
 
-  std::vector<index::Candidate>& candidates = scratch_candidates_;
+  std::vector<index::Candidate>& candidates = arena.candidates;
   candidates.clear();
-  index_->query(query, params_.filter, candidates, work);
+  index_->query(query, params_.filter, candidates, work, arena);
   result.candidates = candidates.size();
   if (candidates.empty()) return result;
 
@@ -114,21 +121,18 @@ void QueryEngine::search_range(const std::vector<chem::Spectrum>& raw_queries,
     return;
   }
 
-  // Hybrid mode: split the range over the pool. The SlmIndex scorecard is
-  // shared mutable state, so filtration+scoring stay serialized behind a
-  // mutex and only preprocessing overlaps across threads. Work counters are
-  // per-block and merged at the end so totals stay exact.
-  std::mutex index_mutex;
+  // Hybrid mode: split the range over the pool. Every block runs the whole
+  // per-query pipeline — preprocessing, filtration, scoring — against its
+  // private arena; the shared index is read-only, so no lock is needed.
+  // Work counters are per-block and merged at the end so totals stay exact.
   std::vector<index::QueryWork> block_work(pool->size());
+  std::vector<index::QueryArena> block_arenas(pool->size());
   std::atomic<std::size_t> block_counter{0};
   pool->parallel_for(lo, hi, [&](std::size_t block_lo, std::size_t block_hi) {
     const std::size_t block = block_counter.fetch_add(1);
     for (std::size_t i = block_lo; i < block_hi; ++i) {
-      const chem::Spectrum query =
-          preprocess(raw_queries[i], params_.preprocess);
-      std::lock_guard<std::mutex> lock(index_mutex);
-      results[i] = search_preprocessed(query, static_cast<std::uint32_t>(i),
-                                       block_work[block]);
+      results[i] = search(raw_queries[i], static_cast<std::uint32_t>(i),
+                          block_work[block], block_arenas[block]);
     }
   });
   for (const auto& bw : block_work) work += bw;

@@ -11,6 +11,7 @@
 #include "chem/spectrum.hpp"
 #include "common/thread_pool.hpp"
 #include "index/chunked_index.hpp"
+#include "index/query_arena.hpp"
 #include "search/preprocess.hpp"
 #include "search/scoring.hpp"
 
@@ -58,7 +59,14 @@ class QueryEngine {
   QueryEngine(const index::ChunkedIndex& index,
               const chem::ModificationSet& mods, const SearchParams& params);
 
-  /// Searches one *raw* spectrum (preprocessing applied internally).
+  /// Searches one *raw* spectrum (preprocessing applied internally) using
+  /// the caller's arena. Thread-safe: concurrent calls with distinct
+  /// arenas are independent.
+  QueryResult search(const chem::Spectrum& raw, std::uint32_t query_id,
+                     index::QueryWork& work, index::QueryArena& arena) const;
+
+  /// Convenience overload using the engine's internal arena. NOT
+  /// thread-safe — the single-threaded drivers and tests use this.
   QueryResult search(const chem::Spectrum& raw, std::uint32_t query_id,
                      index::QueryWork& work) const;
 
@@ -71,7 +79,9 @@ class QueryEngine {
   /// Searches the sub-range [lo, hi) of `raw_queries` into results[lo..hi).
   /// `results` must already span at least `hi` slots. The batched distributed
   /// runtime drives this per result batch so filtration of one batch can
-  /// overlap delivery of the previous one.
+  /// overlap delivery of the previous one. With a pool, each worker gets a
+  /// private arena, so preprocessing, filtration and scoring all run in
+  /// parallel; results are identical to the serial path.
   void search_range(const std::vector<chem::Spectrum>& raw_queries,
                     std::size_t lo, std::size_t hi,
                     std::vector<QueryResult>& results, index::QueryWork& work,
@@ -82,15 +92,14 @@ class QueryEngine {
  private:
   QueryResult search_preprocessed(const chem::Spectrum& query,
                                   std::uint32_t query_id,
-                                  index::QueryWork& work) const;
+                                  index::QueryWork& work,
+                                  index::QueryArena& arena) const;
 
   const index::ChunkedIndex* index_;
   const chem::ModificationSet* mods_;
   SearchParams params_;
-  // Reused across queries to keep the per-query allocation count flat; the
-  // engine is single-threaded by contract (hybrid mode serializes access),
-  // like the SlmIndex scorecard it drives.
-  mutable std::vector<index::Candidate> scratch_candidates_;
+  // Backs the no-arena convenience overload only.
+  mutable index::QueryArena internal_arena_;
 };
 
 }  // namespace lbe::search

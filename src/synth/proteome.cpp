@@ -51,6 +51,25 @@ std::string random_protein(std::size_t length, std::uint64_t seed) {
   return protein;
 }
 
+std::vector<std::string> random_peptides(std::size_t count,
+                                         std::uint64_t seed,
+                                         std::size_t min_len,
+                                         std::size_t max_len) {
+  LBE_CHECK(min_len >= 1 && min_len <= max_len, "bad peptide length range");
+  Xoshiro256 rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string s;
+    const std::size_t len = min_len + rng.below(max_len - min_len + 1);
+    for (std::size_t j = 0; j < len; ++j) {
+      s += chem::kResidues[rng.below(chem::kResidues.size())];
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::string mutate_protein(const std::string& base, double substitution_rate,
                            double indel_rate, std::uint64_t seed) {
   Xoshiro256 rng(seed);

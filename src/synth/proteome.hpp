@@ -44,6 +44,14 @@ std::vector<io::FastaRecord> generate_family(const ProteomeParams& params,
 /// One protein sequence of the given length from SwissProt composition.
 std::string random_protein(std::size_t length, std::uint64_t seed);
 
+/// Uniform-residue peptide sequences with lengths in [min_len, max_len] —
+/// the shared workload generator of the micro benchmarks and the
+/// filtration-equivalence tests (deterministic per seed).
+std::vector<std::string> random_peptides(std::size_t count,
+                                         std::uint64_t seed,
+                                         std::size_t min_len = 8,
+                                         std::size_t max_len = 27);
+
 /// Applies the family mutation model to `base` (exposed for tests).
 std::string mutate_protein(const std::string& base, double substitution_rate,
                            double indel_rate, std::uint64_t seed);

@@ -1,0 +1,186 @@
+// BENCH_<suite>.json schema: validation, round-trip through the parser,
+// and the regression gate the CI perf-smoke job runs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "perf/bench_report.hpp"
+
+namespace lbe::perf {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.suite = "smoke";
+  report.repeat = 3;
+  report.provenance = BenchProvenance{"abc123", "GNU", "12.2.0",
+                                      "-O3 -DNDEBUG", "Release", "ci-host"};
+  report.peak_rss_bytes = 123456789;
+
+  BenchResult result;
+  result.name = "smoke_query_throughput";
+  result.wall_samples = {0.012, 0.010, 0.011};
+  result.wall_seconds = summarize(result.wall_samples);
+  result.add_metric("queries_per_sec", 4800.0);
+  result.add_metric("cpsms_per_sec", 1.25e6);
+  result.add_metric("load_imbalance", 0.07);
+  result.checks_total = 3;
+  result.checks_failed = 0;
+  report.benchmarks.push_back(result);
+
+  BenchResult build;
+  build.name = "smoke_index_build";
+  build.wall_samples = {0.5};
+  build.wall_seconds = summarize(build.wall_samples);
+  build.add_metric("entries_per_sec", 40000.0);
+  build.checks_total = 1;
+  report.benchmarks.push_back(build);
+  return report;
+}
+
+TEST(BenchReport, RoundTripsThroughJson) {
+  const BenchReport original = sample_report();
+  const Json encoded = report_to_json(original);
+  const BenchReport decoded = report_from_json(encoded);
+
+  EXPECT_EQ(decoded.suite, original.suite);
+  EXPECT_EQ(decoded.repeat, original.repeat);
+  EXPECT_EQ(decoded.provenance.git_sha, original.provenance.git_sha);
+  EXPECT_EQ(decoded.provenance.compiler_version,
+            original.provenance.compiler_version);
+  EXPECT_EQ(decoded.peak_rss_bytes, original.peak_rss_bytes);
+  ASSERT_EQ(decoded.benchmarks.size(), original.benchmarks.size());
+  for (std::size_t i = 0; i < decoded.benchmarks.size(); ++i) {
+    const BenchResult& a = decoded.benchmarks[i];
+    const BenchResult& b = original.benchmarks[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.wall_samples, b.wall_samples);
+    EXPECT_DOUBLE_EQ(a.wall_seconds.median, b.wall_seconds.median);
+    EXPECT_DOUBLE_EQ(a.wall_seconds.stddev, b.wall_seconds.stddev);
+    EXPECT_EQ(a.metrics, b.metrics);
+    EXPECT_EQ(a.checks_total, b.checks_total);
+    EXPECT_EQ(a.checks_failed, b.checks_failed);
+  }
+
+  // Text-level round trip too: dump -> parse -> dump is a fixed point.
+  const std::string text = encoded.dump(2);
+  EXPECT_EQ(Json::parse(text).dump(2), text);
+}
+
+TEST(BenchReport, ValidatesCurrentSchema) {
+  EXPECT_EQ(validate_report_json(report_to_json(sample_report())), "");
+}
+
+TEST(BenchReport, RejectsSchemaViolations) {
+  const Json good = report_to_json(sample_report());
+
+  {  // wrong schema version
+    Json bad = good;
+    bad.set("schema_version", Json(99));
+    EXPECT_NE(validate_report_json(bad), "");
+  }
+  {  // missing suite
+    Json bad = Json::object();
+    bad.set("schema_version", Json(kBenchSchemaVersion));
+    EXPECT_NE(validate_report_json(bad), "");
+  }
+  {  // benchmarks not an array
+    Json bad = good;
+    bad.set("benchmarks", Json("nope"));
+    EXPECT_NE(validate_report_json(bad), "");
+  }
+  {  // non-numeric metric
+    Json bad = good;
+    Json benchmarks = Json::array();
+    Json entry = good.at("benchmarks").items()[0];
+    Json metrics = Json::object();
+    metrics.set("queries_per_sec", Json("fast"));
+    entry.set("metrics", metrics);
+    benchmarks.push_back(entry);
+    bad.set("benchmarks", benchmarks);
+    EXPECT_NE(validate_report_json(bad), "");
+  }
+  {  // hand-edited median that contradicts the samples
+    Json bad = good;
+    Json benchmarks = Json::array();
+    Json entry = good.at("benchmarks").items()[0];
+    Json wall = entry.at("wall_seconds");
+    wall.set("median", Json(1000.0));
+    entry.set("wall_seconds", wall);
+    benchmarks.push_back(entry);
+    bad.set("benchmarks", benchmarks);
+    EXPECT_NE(validate_report_json(bad), "");
+  }
+  EXPECT_THROW(report_from_json(Json("not an object")), IoError);
+}
+
+TEST(BenchReport, JsonParserRejectsGarbage) {
+  EXPECT_THROW(Json::parse(""), IoError);
+  EXPECT_THROW(Json::parse("{"), IoError);
+  EXPECT_THROW(Json::parse("{} trailing"), IoError);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), IoError);
+  EXPECT_THROW(Json::parse("[1,]"), IoError);
+  EXPECT_THROW(Json::parse("01"), IoError);  // strtod accepts, grammar no
+  EXPECT_THROW(Json::parse("\"\\q\""), IoError);
+  EXPECT_EQ(Json::parse("[1, 2.5, -3e2]").items().size(), 3u);
+  EXPECT_EQ(Json::parse("\"a\\u0041b\"").as_string(), "aAb");
+}
+
+TEST(BenchReport, RegressionGateFlagsOnlyRealRegressions) {
+  const BenchReport baseline = sample_report();
+
+  // 10% slower: within the 25% tolerance.
+  BenchReport current = baseline;
+  current.benchmarks[0].metrics.clear();
+  current.benchmarks[0].add_metric("queries_per_sec", 4800.0 * 0.9);
+  EXPECT_TRUE(find_regressions(baseline, current, 0.25).empty());
+
+  // 40% slower: flagged.
+  current.benchmarks[0].metrics.clear();
+  current.benchmarks[0].add_metric("queries_per_sec", 4800.0 * 0.6);
+  const auto findings = find_regressions(baseline, current, 0.25);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].benchmark, "smoke_query_throughput");
+  EXPECT_NEAR(findings[0].ratio, 0.6, 1e-9);
+
+  // Faster is never a finding.
+  current.benchmarks[0].metrics.clear();
+  current.benchmarks[0].add_metric("queries_per_sec", 4800.0 * 2.0);
+  EXPECT_TRUE(find_regressions(baseline, current, 0.25).empty());
+
+  // A gated baseline benchmark that vanished (renamed/dropped/metric lost)
+  // is flagged with current = 0, never skipped: the gate must not pass
+  // vacuously. Ungated baseline entries (no queries_per_sec) stay silent.
+  current.benchmarks[0].metrics.clear();
+  const auto lost_metric = find_regressions(baseline, current, 0.25);
+  ASSERT_EQ(lost_metric.size(), 1u);
+  EXPECT_EQ(lost_metric[0].benchmark, "smoke_query_throughput");
+  EXPECT_DOUBLE_EQ(lost_metric[0].current, 0.0);
+  current.benchmarks.clear();
+  const auto all_gone = find_regressions(baseline, current, 0.25);
+  ASSERT_EQ(all_gone.size(), 1u);
+  EXPECT_DOUBLE_EQ(all_gone[0].ratio, 0.0);
+
+  // Benchmarks only in `current` have no baseline yet: ignored.
+  BenchReport extra = baseline;
+  BenchResult novel;
+  novel.name = "smoke_new_path";
+  novel.add_metric("queries_per_sec", 1.0);
+  extra.benchmarks.push_back(novel);
+  EXPECT_TRUE(find_regressions(baseline, extra, 0.25).empty());
+}
+
+TEST(BenchReport, ParsesCheckedInBaselineWhenPresent) {
+  // The repo ships bench/baseline/BENCH_smoke.json; exercise the real file
+  // if the test runs from the build tree next to the sources.
+  try {
+    const BenchReport baseline =
+        load_report_file("../bench/baseline/BENCH_smoke.json");
+    EXPECT_EQ(baseline.suite, "smoke");
+    EXPECT_FALSE(baseline.benchmarks.empty());
+  } catch (const IoError&) {
+    GTEST_SKIP() << "baseline not reachable from this working directory";
+  }
+}
+
+}  // namespace
+}  // namespace lbe::perf

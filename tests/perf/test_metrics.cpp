@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace lbe::perf {
@@ -87,6 +89,50 @@ TEST(CpuTimeSpeedup, EqualRunsGiveOne) {
 
 TEST(CpuTimeSpeedup, ZeroImprovedRejected) {
   EXPECT_THROW(cpu_time_speedup({1.0}, {0.0}), InvariantError);
+}
+
+TEST(SampleStats, OrderStatisticsAndSpread) {
+  const SampleStats odd = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(odd.samples, 3u);
+  EXPECT_DOUBLE_EQ(odd.min, 1.0);
+  EXPECT_DOUBLE_EQ(odd.max, 3.0);
+  EXPECT_DOUBLE_EQ(odd.median, 2.0);
+  EXPECT_DOUBLE_EQ(odd.mean, 2.0);
+  EXPECT_NEAR(odd.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+
+  const SampleStats even = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+
+  const SampleStats single = summarize({7.0});
+  EXPECT_DOUBLE_EQ(single.median, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+
+  EXPECT_EQ(summarize({}).samples, 0u);
+}
+
+TEST(WorkUnitLoads, MatchesCostUnitsAndFeedsEq1) {
+  // The single conversion lbectl and the bench harness share: Eq. 1 over
+  // QueryWork::cost_units must equal computing it by hand.
+  index::QueryWork light;
+  light.postings_touched = 100;
+  light.bins_visited = 40;
+  light.candidates = 5;
+  index::QueryWork heavy;
+  heavy.postings_touched = 1000;
+  heavy.bins_visited = 400;
+  heavy.candidates = 50;
+  const std::vector<index::QueryWork> per_rank = {light, heavy};
+
+  const std::vector<double> loads = work_unit_loads(per_rank);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], light.cost_units());
+  EXPECT_DOUBLE_EQ(loads[1], heavy.cost_units());
+
+  const LoadStats direct = load_stats(loads);
+  const LoadStats via_work = load_stats_from_work(per_rank);
+  EXPECT_DOUBLE_EQ(direct.imbalance, via_work.imbalance);
+  EXPECT_DOUBLE_EQ(direct.wasted_cpu, via_work.wasted_cpu);
+  EXPECT_GT(via_work.imbalance, 0.0);
 }
 
 }  // namespace
