@@ -1,6 +1,6 @@
 // lbebench — unified benchmark driver.
 //
-//   lbebench --suite smoke|micro|figures|ablation [--filter SUBSTR]
+//   lbebench --suite smoke|micro|index_io|figures|ablation [--filter SUBSTR]
 //            [--repeat N] [--out DIR]
 //            [--baseline FILE --max-regress FRAC] [--no-json] [--list]
 //
@@ -21,7 +21,7 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: lbebench [--suite smoke|micro|figures|ablation] [--list]\n"
+    "usage: lbebench [--suite smoke|micro|index_io|figures|ablation] [--list]\n"
     "                [--filter SUBSTR] [--repeat N] [--out DIR]\n"
     "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
     "\n"

@@ -1,0 +1,15 @@
+// Index-IO driver — runs the "index_io" suite (on-disk bundle save/load
+// wall time plus the loaded-vs-rebuilt search equivalence gate). The
+// benchmark lives in src/perf/bench_suites_index_io.cpp; `lbebench --suite
+// index_io` runs the same set and additionally writes BENCH_index_io.json.
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
+
+int main() {
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  lbe::perf::BenchRunOptions options;
+  options.suite = "index_io";
+  options.repeat = 3;
+  options.write_json = false;
+  return lbe::perf::run_suite(options);
+}

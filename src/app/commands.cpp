@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,7 +10,7 @@
 #include "common/error.hpp"
 #include "core/partition.hpp"
 #include "digest/variants.hpp"
-#include "index/chunked_index.hpp"
+#include "index/serialize.hpp"
 #include "perf/metrics.hpp"
 
 namespace lbe::app {
@@ -35,10 +36,6 @@ void print_plan_summary(const PlanBundle& plan) {
               plan.prep_seconds * 1e3);
 }
 
-std::string rank_index_path(const std::string& out_dir, int rank) {
-  return out_dir + "/rank" + std::to_string(rank) + ".idx";
-}
-
 }  // namespace
 
 int run_prepare(const AppOptions& opts) {
@@ -55,32 +52,42 @@ int run_prepare(const AppOptions& opts) {
               static_cast<std::uintmax_t>(
                   std::filesystem::file_size(plan_path)));
 
-  // The rank indexes are the paper's disk-resident chunk artifacts (and a
-  // serialization self-check); `search --plan` rebuilds its partials
-  // deterministically from the stored plan rather than reading these.
+  // The warm-start bundle: the paper's disk-resident per-rank chunk
+  // artifacts plus the manifest `search --index` validates against. Ranks
+  // stream one at a time (build, save, drop) so prepare's peak memory
+  // stays one partial index, not the whole fleet.
+  const std::string index_dir =
+      opts.index_out_dir.empty() ? opts.out_dir : opts.index_out_dir;
+  const int ranks = plan.plan->ranks();
+  {
+    index::IndexBundle manifest;
+    manifest.lbe = plan.plan->params();
+    manifest.index_params = opts.search.index;
+    manifest.chunking = opts.search.chunking;
+    manifest.mapping = plan.plan->mapping();
+    manifest.database_crc = database_fingerprint(db);
+    index::save_index_manifest(index_dir, manifest);
+  }
   std::uint64_t total_bytes = 0;
-  for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
-    index::PeptideStore store = plan.plan->build_rank_store(rank);
-    const std::size_t entries = store.size();
-    const index::ChunkedIndex partial(std::move(store), plan.plan->mods(),
-                                      opts.search.index, opts.search.chunking);
-    const std::string path = rank_index_path(opts.out_dir, rank);
-    partial.save_file(path);
+  for (int rank = 0; rank < ranks; ++rank) {
+    const index::ChunkedIndex partial(plan.plan->build_rank_store(rank),
+                                      plan.plan->mods(), opts.search.index,
+                                      opts.search.chunking);
+    partial.save_file(index::bundle_rank_path(index_dir, rank));
     total_bytes += partial.memory_bytes();
-    std::printf("wrote %s: %zu entries, %llu postings\n", path.c_str(),
-                entries,
+    std::printf("wrote %s: %zu entries, %llu postings\n",
+                index::bundle_rank_path(index_dir, rank).c_str(),
+                partial.num_peptides(),
                 static_cast<unsigned long long>(partial.num_postings()));
   }
 
-  // Round-trip one partition as a self-check: a plan that cannot be read
-  // back is worse than no plan.
-  const auto reloaded = index::ChunkedIndex::load_file(
-      rank_index_path(opts.out_dir, 0), plan.plan->mods(), opts.search.index);
-  LBE_CHECK(reloaded->num_peptides() ==
-                plan.plan->mapping().rank_count(0),
-            "rank 0 index failed its reload self-check");
-  std::printf("prepared %d rank indexes (%.1f MiB in-memory total)\n",
-              plan.plan->ranks(),
+  // Round-trip the whole bundle as a self-check: an index set that cannot
+  // be read back — or that fails its own manifest validation — is worse
+  // than none.
+  const auto reloaded = try_load_warm_indexes(index_dir, plan, db, opts);
+  LBE_CHECK(reloaded != nullptr, "index bundle failed its reload self-check");
+  std::printf("prepared %d rank indexes + %s (%.1f MiB in-memory total)\n",
+              ranks, index::bundle_manifest_path(index_dir).c_str(),
               static_cast<double>(total_bytes) / (1024.0 * 1024.0));
   return 0;
 }
@@ -94,8 +101,19 @@ int run_search(const AppOptions& opts) {
   const PlanBundle plan = build_plan(inputs.database, opts);
   print_plan_summary(plan);
 
+  // Warm start: adopt prepared per-rank indexes when they still match the
+  // plan; try_load_warm_indexes warns and returns null on any mismatch.
+  std::unique_ptr<index::IndexBundle> warm;
+  if (!opts.index_dir.empty()) {
+    warm = try_load_warm_indexes(opts.index_dir, plan, inputs.database, opts);
+    if (warm != nullptr) {
+      std::printf("warm start: loaded %d rank indexes from %s\n",
+                  warm->ranks(), opts.index_dir.c_str());
+    }
+  }
+
   const SearchOutcome outcome =
-      run_search_pipeline(plan, inputs.queries, opts);
+      run_search_pipeline(plan, inputs.queries, opts, warm.get());
 
   std::printf("search: %zu/%zu queries matched, %zu target PSMs at q <= %g\n",
               outcome.queries_with_results,

@@ -15,8 +15,9 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 36> kKnownKeys = {
+constexpr std::array<std::string_view, 38> kKnownKeys = {
     "db",          "queries",       "plan",
+    "index",       "index_out",
     "out",         "entries",       "num_queries",
     "seed",        "enzyme",        "missed_cleavages",
     "min_length",  "max_length",    "min_mass",
@@ -96,6 +97,8 @@ AppOptions options_from_config(const Config& config) {
   opts.fasta_path = config.get_string("db", "");
   opts.ms2_path = config.get_string("queries", "");
   opts.plan_path = config.get_string("plan", "");
+  opts.index_dir = config.get_string("index", "");
+  opts.index_out_dir = config.get_string("index_out", "");
   opts.out_dir = config.get_string("out", ".");
 
   opts.target_entries =
@@ -204,6 +207,9 @@ CliInvocation parse_cli(int argc, const char* const* argv) {
         ++i;
       }
     }
+    // CLI convenience: dashes and underscores are interchangeable in option
+    // names (--index-out == --index_out); config-file keys stay canonical.
+    std::replace(key.begin(), key.end(), '-', '_');
     if (key == "config") {
       config_path = value;
     } else {
@@ -235,10 +241,15 @@ Subcommands:
   search    run the full distributed pipeline and write PSM/metrics reports
   stats     print partition load-balance statistics for the configured plan
 
-Common options (config-file keys and --key overrides are identical):
+Common options (config-file keys and --key overrides are identical;
+dashes in CLI option names are accepted as underscores):
   --db FILE            protein FASTA (omit for a synthetic proteome)
   --queries FILE       query MS2 file (omit for synthetic spectra)
   --plan FILE          plan file from `lbectl prepare` (instead of --db)
+  --index DIR          warm start: load the per-rank index bundle written by
+                       `prepare --index-out` instead of rebuilding (falls
+                       back to a rebuild, with a warning, on any mismatch)
+  --index_out DIR      prepare: index bundle directory (default: --out)
   --out DIR            output directory (default .)
   --entries N          synthetic index-entry target        (default 50000)
   --num_queries N      synthetic query count               (default 64)
@@ -256,6 +267,7 @@ Examples:
   lbectl search --ranks 4 --threads 4 --verify
   lbectl prepare --db proteins.fasta --out run1
   lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
+  lbectl search --plan run1/plan.lbe --index run1 --out run1
   lbectl stats --policy chunk --ranks 16
 )";
 }

@@ -25,6 +25,12 @@ struct AppOptions {
   std::string ms2_path;    ///< query MS2 file; empty = synthetic spectra
   std::string plan_path;   ///< serialized plan from `lbectl prepare`
   std::string out_dir = ".";
+  /// `prepare`: where the warm-start index bundle lands (defaults to
+  /// out_dir, next to the plan).
+  std::string index_out_dir;
+  /// `search`: bundle directory from `prepare --index-out`; load instead of
+  /// rebuilding per-rank indexes (falls back to rebuild on params mismatch).
+  std::string index_dir;
 
   // ---- synthetic workload (used when fasta_path is empty) ----
   std::uint64_t target_entries = 50000;

@@ -299,9 +299,84 @@ DatabaseBundle load_plan_file(const std::string& path) {
   return load_plan(in);
 }
 
+std::uint32_t database_fingerprint(const DatabaseBundle& db) {
+  std::uint32_t crc = 0;
+  const auto mix = [&crc](const void* data, std::size_t size) {
+    crc = bin::crc32(data, size, crc);
+  };
+  for (const auto& peptide : db.peptides) {
+    mix(peptide.data(), peptide.size());
+    const char separator = '\n';
+    mix(&separator, 1);
+  }
+  for (const bool flag : db.is_decoy) {
+    const char byte = flag ? 1 : 0;
+    mix(&byte, 1);
+  }
+  mix(db.mods_spec.data(), db.mods_spec.size());
+  mix(&db.variants.max_mod_residues, sizeof(db.variants.max_mod_residues));
+  mix(&db.variants.max_variants_per_peptide,
+      sizeof(db.variants.max_variants_per_peptide));
+  const char unmodified = db.variants.include_unmodified ? 1 : 0;
+  mix(&unmodified, 1);
+  return crc;
+}
+
+index::IndexBundle build_index_bundle(const PlanBundle& plan,
+                                      const DatabaseBundle& db,
+                                      const AppOptions& opts) {
+  index::IndexBundle bundle;
+  bundle.lbe = plan.plan->params();
+  bundle.index_params = opts.search.index;
+  bundle.chunking = opts.search.chunking;
+  bundle.mapping = plan.plan->mapping();
+  bundle.database_crc = database_fingerprint(db);
+  const int ranks = plan.plan->ranks();
+  bundle.per_rank.reserve(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    bundle.per_rank.push_back(std::make_unique<index::ChunkedIndex>(
+        plan.plan->build_rank_store(rank), plan.plan->mods(),
+        bundle.index_params, bundle.chunking));
+  }
+  return bundle;
+}
+
+std::unique_ptr<index::IndexBundle> try_load_warm_indexes(
+    const std::string& dir, const PlanBundle& plan, const DatabaseBundle& db,
+    const AppOptions& opts) {
+  auto bundle = std::make_unique<index::IndexBundle>(
+      index::load_index_bundle(dir, db.mods));
+
+  const auto reject = [&](const char* what) {
+    log::warn("index bundle in ", dir, " was built under a different ", what,
+              "; rebuilding per-rank indexes from the plan");
+    return std::unique_ptr<index::IndexBundle>();
+  };
+  if (!index::serialize::same_lbe_params(bundle->lbe, plan.plan->params())) {
+    return reject("LBE plan (grouping/partitioning parameters)");
+  }
+  if (!index::serialize::same_index_params(bundle->index_params,
+                                           opts.search.index)) {
+    return reject("IndexParams (resolution/fragment settings)");
+  }
+  if (bundle->chunking.max_chunk_entries !=
+      opts.search.chunking.max_chunk_entries) {
+    return reject("chunking configuration");
+  }
+  if (bundle->ranks() != plan.plan->ranks() ||
+      !(bundle->mapping == plan.plan->mapping())) {
+    return reject("rank assignment (mapping table)");
+  }
+  if (bundle->database_crc != database_fingerprint(db)) {
+    return reject("database (peptides/decoys/mods changed since prepare)");
+  }
+  return bundle;
+}
+
 SearchOutcome run_search_pipeline(const PlanBundle& plan,
                                   const QueryBundle& queries,
-                                  const AppOptions& opts) {
+                                  const AppOptions& opts,
+                                  const index::IndexBundle* warm) {
   mpi::ClusterOptions cluster_options;
   cluster_options.ranks = plan.plan->ranks();
   cluster_options.engine = mpi::Engine::kVirtual;
@@ -309,6 +384,7 @@ SearchOutcome run_search_pipeline(const PlanBundle& plan,
 
   search::DistributedParams params = opts.search;
   params.prep_seconds = plan.prep_seconds;
+  if (warm != nullptr) params.preloaded = &warm->per_rank;
 
   SearchOutcome outcome;
   outcome.report = search::run_distributed_search(cluster, *plan.plan,

@@ -23,6 +23,7 @@
 #include "chem/modification.hpp"
 #include "chem/spectrum.hpp"
 #include "core/lbe_layer.hpp"
+#include "index/serialize.hpp"
 #include "perf/metrics.hpp"
 #include "search/distributed.hpp"
 #include "search/fdr.hpp"
@@ -104,9 +105,37 @@ struct SearchOutcome {
   perf::LoadStats work_stats;  ///< Eq. 1 over deterministic work units
 };
 
+/// Builds the full warm-start artifact for `prepare --index_out`: every
+/// rank's partial index plus the plan/index parameters, mapping table and
+/// database fingerprint they were carved under (see index/serialize.hpp).
+/// `db` must be the database `plan` was built from.
+index::IndexBundle build_index_bundle(const PlanBundle& plan,
+                                      const DatabaseBundle& db,
+                                      const AppOptions& opts);
+
+/// CRC-32 fingerprint of a database's content (peptides, decoy flags,
+/// modification spec, variant limits) — stored in the bundle manifest so a
+/// bundle built from an edited database is rejected even when every
+/// parameter and the mapping table still match.
+std::uint32_t database_fingerprint(const DatabaseBundle& db);
+
+/// Loads `dir`'s bundle and validates it against the plan this search is
+/// about to run (LBE params, index/chunking params, mapping table, rank
+/// count). Returns nullptr — after logging a warning — when anything
+/// mismatches, so the caller falls back to a cold rebuild. Corrupt or
+/// truncated files throw IoError: a bundle the user explicitly pointed at
+/// must not be silently ignored. The returned bundle borrows `db.mods`,
+/// so `db` must outlive it.
+std::unique_ptr<index::IndexBundle> try_load_warm_indexes(
+    const std::string& dir, const PlanBundle& plan, const DatabaseBundle& db,
+    const AppOptions& opts);
+
+/// `warm` (optional) supplies preloaded per-rank indexes from
+/// try_load_warm_indexes; results are identical to a cold build.
 SearchOutcome run_search_pipeline(const PlanBundle& plan,
                                   const QueryBundle& queries,
-                                  const AppOptions& opts);
+                                  const AppOptions& opts,
+                                  const index::IndexBundle* warm = nullptr);
 
 /// Writes psms.tsv, fdr.csv and metrics.csv under `out_dir` (created if
 /// missing).

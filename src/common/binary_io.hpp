@@ -1,15 +1,18 @@
 // Binary stream serialization helpers (little-endian, fixed-width).
 //
-// Used by the index on-disk format (index/serialize.hpp). Reads validate
-// against stream truncation and throw IoError; a sanity cap guards vector
-// sizes so corrupted headers fail fast instead of attempting huge
-// allocations.
+// Used by the index on-disk format (index/serialize.hpp) and the plan file
+// (app/pipeline.hpp). Reads validate against stream truncation and throw
+// IoError; a sanity cap guards vector sizes so corrupted headers fail fast
+// instead of attempting huge allocations. `write_section`/`read_section`
+// add CRC-checked framing for formats that must reject bit corruption, not
+// just truncation.
 #pragma once
 
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -20,6 +23,25 @@ namespace lbe::bin {
 /// Upper bound on any serialized vector's element count (16 Gi entries);
 /// anything larger indicates corruption, not data.
 inline constexpr std::uint64_t kMaxElements = 1ull << 34;
+
+/// Upper bound on one CRC-framed section's payload (1 TiB).
+inline constexpr std::uint64_t kMaxSectionBytes = 1ull << 40;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte range.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+/// Writes one framed section: [tag u32][size u64][crc32 u32][payload].
+void write_section(std::ostream& out, std::uint32_t tag,
+                   std::string_view payload);
+
+/// Reads one framed section, requiring `expected_tag`, and verifies the
+/// payload checksum. Throws IoError on tag mismatch, truncation, an
+/// implausible size, or a CRC mismatch (flipped bits).
+std::string read_section(std::istream& in, std::uint32_t expected_tag);
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {

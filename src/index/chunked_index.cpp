@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <sstream>
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "index/serialize.hpp"
 
 namespace lbe::index {
 
@@ -98,44 +100,45 @@ std::uint64_t ChunkedIndex::memory_bytes() const noexcept {
   return total;
 }
 
-namespace {
-constexpr std::uint32_t kIndexMagic = 0x4C424549;  // "LBEI"
-constexpr std::uint32_t kIndexVersion = 1;
-}  // namespace
-
 ChunkedIndex::ChunkedIndex(PeptideStore store,
                            const chem::ModificationSet& mods,
                            const IndexParams& index_params, std::nullptr_t)
     : store_(std::move(store)), mods_(&mods), index_params_(index_params) {}
 
 void ChunkedIndex::save(std::ostream& out) const {
-  bin::write_pod(out, kIndexMagic);
-  bin::write_pod(out, kIndexVersion);
-  bin::write_pod(out, index_params_.resolution);
-  bin::write_pod(out, index_params_.max_fragment_mz);
+  namespace sz = serialize;
+  sz::write_header(out, sz::Kind::kChunkedIndex);
+  {
+    std::ostringstream payload;
+    sz::write_index_params(payload, index_params_);
+    bin::write_pod(payload, static_cast<std::uint64_t>(chunks_.size()));
+    bin::write_section(out, sz::kSecParams, payload.str());
+  }
+  // The store nests as a complete component stream (own header + CRC).
   store_.save(out);
-  bin::write_pod(out, static_cast<std::uint64_t>(chunks_.size()));
   for (const auto& chunk : chunks_) {
-    bin::write_pod(out, chunk.mass_lo);
-    bin::write_pod(out, chunk.mass_hi);
-    chunk.index->save(out);
+    std::ostringstream payload;
+    bin::write_pod(payload, chunk.mass_lo);
+    bin::write_pod(payload, chunk.mass_hi);
+    chunk.index->save_arrays(payload);
+    bin::write_section(out, sz::kSecChunk, payload.str());
   }
 }
 
 std::unique_ptr<ChunkedIndex> ChunkedIndex::load(
     std::istream& in, const chem::ModificationSet& mods,
     const IndexParams& index_params) {
-  if (bin::read_pod<std::uint32_t>(in) != kIndexMagic) {
-    throw IoError("not an LBE index file (bad magic)");
-  }
-  if (bin::read_pod<std::uint32_t>(in) != kIndexVersion) {
-    throw IoError("unsupported LBE index version");
-  }
-  const auto resolution = bin::read_pod<double>(in);
-  const auto max_mz = bin::read_pod<Mz>(in);
-  if (resolution != index_params.resolution ||
-      max_mz != index_params.max_fragment_mz) {
-    throw IoError("index file was built with different IndexParams");
+  namespace sz = serialize;
+  sz::read_header(in, sz::Kind::kChunkedIndex);
+  std::uint64_t chunk_count = 0;
+  {
+    std::istringstream payload(bin::read_section(in, sz::kSecParams));
+    const IndexParams stored = sz::read_index_params(payload);
+    if (!sz::same_index_params(stored, index_params)) {
+      throw IoError("index file was built with different IndexParams");
+    }
+    chunk_count = bin::read_pod<std::uint64_t>(payload);
+    sz::require(chunk_count <= bin::kMaxElements, "implausible chunk count");
   }
 
   PeptideStore store = PeptideStore::load(in, &mods);
@@ -143,16 +146,13 @@ std::unique_ptr<ChunkedIndex> ChunkedIndex::load(
   // store, whose address is stable behind the unique_ptr.
   std::unique_ptr<ChunkedIndex> index(
       new ChunkedIndex(std::move(store), mods, index_params, nullptr));
-  const auto chunk_count = bin::read_pod<std::uint64_t>(in);
-  if (chunk_count > bin::kMaxElements) {
-    throw IoError("corrupt index: implausible chunk count");
-  }
   for (std::uint64_t c = 0; c < chunk_count; ++c) {
+    std::istringstream payload(bin::read_section(in, sz::kSecChunk));
     Chunk chunk;
-    chunk.mass_lo = bin::read_pod<Mass>(in);
-    chunk.mass_hi = bin::read_pod<Mass>(in);
-    chunk.index = std::make_unique<SlmIndex>(
-        SlmIndex::load(in, index->store_, mods, index_params));
+    chunk.mass_lo = bin::read_pod<Mass>(payload);
+    chunk.mass_hi = bin::read_pod<Mass>(payload);
+    chunk.index = std::make_unique<SlmIndex>(SlmIndex::load_arrays(
+        payload, index->store_, mods, index_params));
     index->chunks_.push_back(std::move(chunk));
   }
   return index;

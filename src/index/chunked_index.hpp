@@ -71,9 +71,11 @@ class ChunkedIndex {
   const IndexParams& index_params() const noexcept { return index_params_; }
 
   /// On-disk format (the paper's §II-B disk-resident chunks): store columns
-  /// plus each chunk's transformed arrays, behind a magic/version header.
-  /// `load` revives the index without re-fragmenting anything; the caller
-  /// must supply the same ModificationSet and IndexParams used at build.
+  /// plus each chunk's transformed arrays, in the versioned, per-section
+  /// CRC-checked container of index/serialize.hpp. `load` revives the index
+  /// without re-fragmenting anything; the caller must supply the same
+  /// ModificationSet and IndexParams used at build, and corrupt or
+  /// mismatched input raises IoError.
   void save(std::ostream& out) const;
   static std::unique_ptr<ChunkedIndex> load(std::istream& in,
                                             const chem::ModificationSet& mods,

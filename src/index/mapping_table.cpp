@@ -1,6 +1,10 @@
 #include "index/mapping_table.hpp"
 
+#include <sstream>
+
+#include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "index/serialize.hpp"
 
 namespace lbe::index {
 
@@ -54,6 +58,52 @@ RankId MappingTable::rank_of(GlobalPeptideId global) const {
 LocalPeptideId MappingTable::local_of(GlobalPeptideId global) const {
   LBE_CHECK(global < flat_.size(), "global id out of range");
   return inv_local_[global];
+}
+
+void MappingTable::save(std::ostream& out) const {
+  namespace sz = serialize;
+  sz::write_header(out, sz::Kind::kMappingTable);
+  std::ostringstream payload;
+  bin::write_vector(payload, offsets_);
+  bin::write_vector(payload, flat_);
+  bin::write_section(out, sz::kSecMapping, payload.str());
+}
+
+MappingTable MappingTable::load(std::istream& in) {
+  namespace sz = serialize;
+  sz::read_header(in, sz::Kind::kMappingTable);
+  std::istringstream payload(bin::read_section(in, sz::kSecMapping));
+
+  MappingTable table;
+  table.offsets_ = bin::read_vector<std::uint64_t>(payload);
+  table.flat_ = bin::read_vector<GlobalPeptideId>(payload);
+
+  const std::size_t total = table.flat_.size();
+  sz::require(!table.offsets_.empty() && table.offsets_.front() == 0 &&
+                  table.offsets_.back() == total,
+              "mapping offsets do not cover the flat array");
+  for (std::size_t r = 1; r < table.offsets_.size(); ++r) {
+    sz::require(table.offsets_[r] >= table.offsets_[r - 1],
+                "non-monotone mapping offsets");
+  }
+
+  // Rebuild the inverse arrays, re-proving the bijection invariant the
+  // validating constructor enforces: every global id claimed exactly once.
+  table.inv_rank_.assign(total, 0xFFFFFFFFu);
+  table.inv_local_.assign(total, kInvalidPeptideId);
+  for (std::size_t rank = 0; rank + 1 < table.offsets_.size(); ++rank) {
+    for (std::uint64_t i = table.offsets_[rank]; i < table.offsets_[rank + 1];
+         ++i) {
+      const GlobalPeptideId global = table.flat_[i];
+      sz::require(global < total, "mapping global id out of range");
+      sz::require(table.inv_rank_[global] == 0xFFFFFFFFu,
+                  "mapping global id assigned to two ranks");
+      table.inv_rank_[global] = static_cast<std::uint32_t>(rank);
+      table.inv_local_[global] =
+          static_cast<LocalPeptideId>(i - table.offsets_[rank]);
+    }
+  }
+  return table;
 }
 
 std::uint64_t MappingTable::memory_bytes() const noexcept {

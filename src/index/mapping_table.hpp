@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/types.hpp"
@@ -38,6 +39,18 @@ class MappingTable {
   /// Heap bytes (this is the distributed implementation's master-side memory
   /// overhead accounted in Fig. 5).
   std::uint64_t memory_bytes() const noexcept;
+
+  /// Versioned, checksummed serialization (index/serialize.hpp): the offset
+  /// and flat arrays travel; the inverse arrays are rebuilt — and thereby
+  /// re-validated — on load. `load` throws IoError on corrupt input.
+  void save(std::ostream& out) const;
+  static MappingTable load(std::istream& in);
+
+  /// Same rank assignment (offsets + flat ids); the inverse arrays are
+  /// derived, so they never need comparing.
+  friend bool operator==(const MappingTable& a, const MappingTable& b) {
+    return a.offsets_ == b.offsets_ && a.flat_ == b.flat_;
+  }
 
  private:
   std::vector<std::uint64_t> offsets_{0};  ///< per-rank start into flat_

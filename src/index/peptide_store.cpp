@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "index/serialize.hpp"
 
 namespace lbe::index {
 
@@ -58,36 +60,45 @@ std::uint64_t PeptideStore::memory_bytes() const noexcept {
 }
 
 void PeptideStore::save(std::ostream& out) const {
-  bin::write_string(out, arena_);
-  bin::write_vector(out, offsets_);
-  bin::write_vector(out, sites_);
-  bin::write_vector(out, site_offsets_);
-  bin::write_vector(out, masses_);
+  namespace sz = serialize;
+  sz::write_header(out, sz::Kind::kPeptideStore);
+  std::ostringstream payload;
+  bin::write_string(payload, arena_);
+  bin::write_vector(payload, offsets_);
+  bin::write_vector(payload, sites_);
+  bin::write_vector(payload, site_offsets_);
+  bin::write_vector(payload, masses_);
+  bin::write_section(out, sz::kSecColumns, payload.str());
 }
 
 PeptideStore PeptideStore::load(std::istream& in,
                                 const chem::ModificationSet* mods) {
+  namespace sz = serialize;
+  sz::read_header(in, sz::Kind::kPeptideStore);
+  std::istringstream payload(bin::read_section(in, sz::kSecColumns));
+
   PeptideStore store(mods);
-  store.arena_ = bin::read_string(in);
-  store.offsets_ = bin::read_vector<std::uint64_t>(in);
-  store.sites_ = bin::read_vector<chem::ModSite>(in);
-  store.site_offsets_ = bin::read_vector<std::uint64_t>(in);
-  store.masses_ = bin::read_vector<Mass>(in);
+  store.arena_ = bin::read_string(payload);
+  store.offsets_ = bin::read_vector<std::uint64_t>(payload);
+  store.sites_ = bin::read_vector<chem::ModSite>(payload);
+  store.site_offsets_ = bin::read_vector<std::uint64_t>(payload);
+  store.masses_ = bin::read_vector<Mass>(payload);
   // Structural validation: CSR invariants must hold or lookups would read
-  // out of bounds later.
-  LBE_CHECK(!store.offsets_.empty() && store.offsets_.front() == 0 &&
-                store.offsets_.back() == store.arena_.size(),
-            "corrupt peptide store: sequence offsets");
-  LBE_CHECK(store.site_offsets_.size() == store.offsets_.size() &&
-                store.site_offsets_.front() == 0 &&
-                store.site_offsets_.back() == store.sites_.size(),
-            "corrupt peptide store: site offsets");
-  LBE_CHECK(store.masses_.size() == store.offsets_.size() - 1,
-            "corrupt peptide store: mass column");
+  // out of bounds later. The CRC catches bit rot; these catch truncated or
+  // hand-assembled payloads.
+  sz::require(!store.offsets_.empty() && store.offsets_.front() == 0 &&
+                  store.offsets_.back() == store.arena_.size(),
+              "peptide store sequence offsets");
+  sz::require(store.site_offsets_.size() == store.offsets_.size() &&
+                  store.site_offsets_.front() == 0 &&
+                  store.site_offsets_.back() == store.sites_.size(),
+              "peptide store site offsets");
+  sz::require(store.masses_.size() == store.offsets_.size() - 1,
+              "peptide store mass column");
   for (std::size_t i = 1; i < store.offsets_.size(); ++i) {
-    LBE_CHECK(store.offsets_[i] >= store.offsets_[i - 1] &&
-                  store.site_offsets_[i] >= store.site_offsets_[i - 1],
-              "corrupt peptide store: non-monotone offsets");
+    sz::require(store.offsets_[i] >= store.offsets_[i - 1] &&
+                    store.site_offsets_[i] >= store.site_offsets_[i - 1],
+                "peptide store non-monotone offsets");
   }
   return store;
 }

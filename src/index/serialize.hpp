@@ -1,0 +1,123 @@
+// On-disk index format — the paper's "partition once, search many" split.
+//
+// LBE builds the clustered, partitioned database up front so construction
+// cost amortizes over query workloads (§IV); HiCOPS makes the same split
+// explicit with persistent per-node partial indexes. This header defines
+// the versioned, checksummed container every index component serializes
+// through, plus the `IndexBundle` that captures one full per-rank index set
+// together with the parameters it was built under, so `lbectl search
+// --index` can warm-start instead of re-digesting and re-fragmenting.
+//
+// Layout (all little-endian, via common/binary_io):
+//
+//   file   := header section*
+//   header := [magic u32 "LBEX"][format version u32][kind u32]
+//   section:= [tag u32][payload size u64][crc32 u32][payload bytes]
+//
+// Every payload is CRC-32 checked on read; a flipped bit anywhere in a
+// section raises IoError instead of corrupting a search. Components nest as
+// complete streams (a chunked-index file embeds a full peptide-store
+// stream), so each layer re-validates independently. Version bumps are
+// strict: readers reject any version they were not built for — regenerate
+// indexes with `lbectl prepare` rather than migrating in place.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lbe_layer.hpp"
+#include "index/chunked_index.hpp"
+
+namespace lbe::index {
+
+namespace serialize {
+
+/// "LBEX" (little-endian) — shared by every index component file.
+inline constexpr std::uint32_t kMagic = 0x5845424Cu;
+
+/// Bumped on ANY layout change; version 1 was the pre-checksum format.
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+/// What a stream claims to contain; read_header rejects mismatches so a
+/// rank file can never be mistaken for a manifest.
+enum class Kind : std::uint32_t {
+  kPeptideStore = 1,
+  kSlmIndex = 2,
+  kChunkedIndex = 3,
+  kMappingTable = 4,
+  kManifest = 5,
+};
+
+// Section tags (unique per enclosing kind, not globally).
+inline constexpr std::uint32_t kSecParams = 0x01;
+inline constexpr std::uint32_t kSecColumns = 0x02;
+inline constexpr std::uint32_t kSecArrays = 0x03;
+inline constexpr std::uint32_t kSecChunk = 0x04;
+inline constexpr std::uint32_t kSecMapping = 0x05;
+inline constexpr std::uint32_t kSecLbeParams = 0x06;
+
+void write_header(std::ostream& out, Kind kind);
+
+/// Throws IoError on bad magic, unsupported version, or wrong kind.
+void read_header(std::istream& in, Kind expected);
+
+/// Structural-validation helper for load paths: a failed condition means
+/// the file is corrupt (or adversarial), which is an IoError — never UB.
+void require(bool condition, const char* message);
+
+// Parameter payloads shared by component files and the bundle manifest.
+void write_index_params(std::ostream& out, const IndexParams& params);
+IndexParams read_index_params(std::istream& in);
+bool same_index_params(const IndexParams& a, const IndexParams& b);
+
+void write_lbe_params(std::ostream& out, const core::LbeParams& params);
+core::LbeParams read_lbe_params(std::istream& in);
+bool same_lbe_params(const core::LbeParams& a, const core::LbeParams& b);
+
+}  // namespace serialize
+
+/// One full per-rank index set plus everything needed to validate that it
+/// still matches the plan a search is about to run: the LBE grouping/
+/// partitioning parameters, the index/chunking parameters, and the
+/// master-side mapping table the ranks were carved from.
+struct IndexBundle {
+  core::LbeParams lbe;
+  IndexParams index_params;
+  ChunkingParams chunking;
+  MappingTable mapping;
+  /// Fingerprint (CRC-32) of the database the indexes were built from —
+  /// peptides, decoy flags, modification spec, variant limits. Parameters
+  /// and the mapping table alone cannot detect a same-shape database edit
+  /// (e.g. one residue substituted); this can, so a stale bundle is
+  /// rejected instead of silently altering results.
+  std::uint32_t database_crc = 0;
+  std::vector<std::unique_ptr<ChunkedIndex>> per_rank;
+
+  int ranks() const noexcept { return static_cast<int>(per_rank.size()); }
+};
+
+/// File layout inside a bundle directory.
+std::string bundle_manifest_path(const std::string& dir);
+std::string bundle_rank_path(const std::string& dir, int rank);
+
+/// Writes `dir/index.manifest` alone (creating `dir` if missing), from the
+/// bundle's parameters, mapping table and database fingerprint — `per_rank`
+/// may be empty. Lets `lbectl prepare` stream rank files one at a time
+/// (build, save, drop) instead of holding every rank's index in memory.
+void save_index_manifest(const std::string& dir, const IndexBundle& bundle);
+
+/// save_index_manifest plus one `dir/rank<m>.idx` per `per_rank` entry.
+/// Throws IoError on any write failure.
+void save_index_bundle(const std::string& dir, const IndexBundle& bundle);
+
+/// Loads a bundle written by save_index_bundle. `mods` must be the same
+/// modification set the indexes were built under and must outlive the
+/// bundle. Throws IoError on missing/truncated/corrupt files or when a
+/// rank file disagrees with the manifest's mapping table.
+IndexBundle load_index_bundle(const std::string& dir,
+                              const chem::ModificationSet& mods);
+
+}  // namespace lbe::index

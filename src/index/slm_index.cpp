@@ -6,9 +6,11 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <sstream>
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "index/serialize.hpp"
 
 namespace lbe::index {
 
@@ -329,31 +331,61 @@ SlmIndex::SlmIndex(const PeptideStore& store,
     : store_(&store), mods_(&mods), params_(params),
       binning_(params.binning()) {}
 
-void SlmIndex::save(std::ostream& out) const {
+void SlmIndex::save_arrays(std::ostream& out) const {
   bin::write_vector(out, bin_offsets_);
   bin::write_vector(out, postings_);
+}
+
+SlmIndex SlmIndex::load_arrays(std::istream& in, const PeptideStore& store,
+                               const chem::ModificationSet& mods,
+                               const IndexParams& params) {
+  namespace sz = serialize;
+  SlmIndex index(store, mods, params, nullptr);
+  index.bin_offsets_ = bin::read_vector<std::uint32_t>(in);
+  index.postings_ = bin::read_vector<LocalPeptideId>(in);
+  sz::require(index.bin_offsets_.size() ==
+                  std::size_t{index.binning_.num_bins()} + 1,
+              "bin count mismatch (different IndexParams?)");
+  sz::require(!index.bin_offsets_.empty() &&
+                  index.bin_offsets_.back() == index.postings_.size(),
+              "postings size mismatch");
+  for (std::size_t b = 1; b < index.bin_offsets_.size(); ++b) {
+    sz::require(index.bin_offsets_[b] >= index.bin_offsets_[b - 1],
+                "non-monotone bin offsets");
+  }
+  for (const LocalPeptideId id : index.postings_) {
+    sz::require(id < store.size(), "posting out of range");
+  }
+  return index;
+}
+
+void SlmIndex::save(std::ostream& out) const {
+  namespace sz = serialize;
+  sz::write_header(out, sz::Kind::kSlmIndex);
+  {
+    std::ostringstream payload;
+    sz::write_index_params(payload, params_);
+    bin::write_section(out, sz::kSecParams, payload.str());
+  }
+  std::ostringstream payload;
+  save_arrays(payload);
+  bin::write_section(out, sz::kSecArrays, payload.str());
 }
 
 SlmIndex SlmIndex::load(std::istream& in, const PeptideStore& store,
                         const chem::ModificationSet& mods,
                         const IndexParams& params) {
-  SlmIndex index(store, mods, params, nullptr);
-  index.bin_offsets_ = bin::read_vector<std::uint32_t>(in);
-  index.postings_ = bin::read_vector<LocalPeptideId>(in);
-  LBE_CHECK(index.bin_offsets_.size() ==
-                std::size_t{index.binning_.num_bins()} + 1,
-            "corrupt index: bin count mismatch (different IndexParams?)");
-  LBE_CHECK(!index.bin_offsets_.empty() &&
-                index.bin_offsets_.back() == index.postings_.size(),
-            "corrupt index: postings size mismatch");
-  for (std::size_t b = 1; b < index.bin_offsets_.size(); ++b) {
-    LBE_CHECK(index.bin_offsets_[b] >= index.bin_offsets_[b - 1],
-              "corrupt index: non-monotone bin offsets");
+  namespace sz = serialize;
+  sz::read_header(in, sz::Kind::kSlmIndex);
+  {
+    std::istringstream payload(bin::read_section(in, sz::kSecParams));
+    const IndexParams stored = sz::read_index_params(payload);
+    if (!sz::same_index_params(stored, params)) {
+      throw IoError("index file was built with different IndexParams");
+    }
   }
-  for (const LocalPeptideId id : index.postings_) {
-    LBE_CHECK(id < store.size(), "corrupt index: posting out of range");
-  }
-  return index;
+  std::istringstream payload(bin::read_section(in, sz::kSecArrays));
+  return load_arrays(payload, store, mods, params);
 }
 
 std::vector<std::uint32_t> SlmIndex::bin_occupancy() const {

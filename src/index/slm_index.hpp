@@ -112,9 +112,11 @@ class SlmIndex {
   /// Postings-per-bin histogram feeding the load-prediction model.
   std::vector<std::uint32_t> bin_occupancy() const;
 
-  /// Dumps the transformed arrays (bin offsets + postings); reload with
+  /// Dumps the transformed arrays (bin offsets + postings) in the
+  /// versioned, checksummed container of index/serialize.hpp; reload with
   /// `load` against the SAME store contents to skip re-fragmentation —
   /// this is what makes the paper's disk-resident chunks cheap to swap in.
+  /// `load` throws IoError on corrupt input or mismatched IndexParams.
   void save(std::ostream& out) const;
   static SlmIndex load(std::istream& in, const PeptideStore& store,
                        const chem::ModificationSet& mods,
@@ -128,6 +130,13 @@ class SlmIndex {
 
   SlmIndex(const PeptideStore& store, const chem::ModificationSet& mods,
            const IndexParams& params, std::nullptr_t /*load tag*/);
+
+  /// Raw transformed-array payload (no framing): what `save` wraps in a
+  /// checksummed section and ChunkedIndex embeds per chunk.
+  void save_arrays(std::ostream& out) const;
+  static SlmIndex load_arrays(std::istream& in, const PeptideStore& store,
+                              const chem::ModificationSet& mods,
+                              const IndexParams& params);
 
   /// `query` with span reuse: when `rebuild_spans` is false the walk runs
   /// over arena.spans as-is (they must stem from this spectrum/params and

@@ -38,6 +38,9 @@ std::vector<FastaRecord> read_fasta(std::istream& in,
 
   while (std::getline(in, line)) {
     ++line_no;
+    // CRLF input: getline keeps the '\r'; strip it before any parsing so
+    // headers and residues never see it.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     std::string_view view = str::trim(line);
     if (view.empty()) continue;
     if (view.front() == '>') {

@@ -38,6 +38,9 @@ Ms2File read_ms2(std::istream& in, const std::string& origin) {
 
   while (std::getline(in, line)) {
     ++line_no;
+    // CRLF input (e.g. msconvert output from Windows): getline keeps the
+    // '\r'; strip it up front so no downstream field ever carries one.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     const std::string_view view = str::trim(line);
     if (view.empty()) continue;
 

@@ -73,6 +73,7 @@ void register_all_benches() {
     BenchRegistry& registry = BenchRegistry::instance();
     register_smoke_benches(registry);
     register_micro_benches(registry);
+    register_index_io_benches(registry);
     register_figure_benches(registry);
     register_ablation_benches(registry);
     return true;

@@ -92,6 +92,7 @@ void register_figure_benches(BenchRegistry& registry);
 void register_ablation_benches(BenchRegistry& registry);
 void register_micro_benches(BenchRegistry& registry);
 void register_smoke_benches(BenchRegistry& registry);
+void register_index_io_benches(BenchRegistry& registry);
 
 struct BenchRunOptions {
   std::string suite = "smoke";

@@ -20,8 +20,13 @@ std::optional<double> BenchResult::metric(const std::string& key) const {
 std::uint64_t peak_rss_bytes() {
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
   // Linux reports ru_maxrss in kilobytes.
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
 }
 
 namespace {

@@ -1,0 +1,144 @@
+// Suite "index_io" — the warm-start economics of the on-disk index format
+// (index/serialize.hpp). The paper's pipeline is "partition once, search
+// many": this suite measures what that buys — bundle save and load wall
+// time against a cold per-rank rebuild — and asserts, per run, that a
+// search over the loaded indexes is identical to one over freshly built
+// ones. CI runs it in the test matrix (ctest `lbebench_index_io`) so the
+// equivalence check executes under every compiler/build-type combination.
+#include <filesystem>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "index/serialize.hpp"
+#include "perf/bench_common.hpp"
+#include "perf/bench_registry.hpp"
+#include "search/distributed.hpp"
+
+namespace lbe::perf {
+
+namespace {
+
+constexpr std::uint64_t kEntries = 20000;
+constexpr std::uint32_t kQueries = 32;
+constexpr int kRanks = 8;
+
+bool same_results(const std::vector<search::GlobalQueryResult>& a,
+                  const std::vector<search::GlobalQueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    if (a[q].top.size() != b[q].top.size()) return false;
+    for (std::size_t k = 0; k < a[q].top.size(); ++k) {
+      const auto& x = a[q].top[k];
+      const auto& y = b[q].top[k];
+      if (x.peptide != y.peptide || x.shared_peaks != y.shared_peaks ||
+          x.score != y.score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+search::DistributedReport run_once(
+    const core::LbePlan& plan, const synth::Workload& workload,
+    const search::DistributedParams& base,
+    const std::vector<std::unique_ptr<index::ChunkedIndex>>* preloaded) {
+  search::DistributedParams params = base;
+  params.preloaded = preloaded;
+  mpi::ClusterOptions options;
+  options.ranks = kRanks;
+  options.engine = mpi::Engine::kVirtual;
+  mpi::Cluster cluster(options);
+  return search::run_distributed_search(cluster, plan, workload.queries,
+                                        params);
+}
+
+void index_io_warm_start(BenchContext& ctx) {
+  using namespace lbe;
+  Figure fig("index_io: warm start",
+             "bundle save/load wall time vs cold per-rank index build",
+             "loading prepared indexes beats rebuilding them and changes "
+             "nothing about the results",
+             {"metric", "value"});
+
+  const auto& workload = ctx.workload(kEntries, kQueries);
+  const auto params = bench::paper_params();
+
+  core::LbeParams lbe;
+  lbe.partition.ranks = kRanks;
+  lbe.partition.policy = core::Policy::kCyclic;
+  const core::LbePlan plan(workload.base_peptides, workload.mods,
+                           workload.variant_params, lbe);
+
+  // Cold build: every rank's partial index from scratch (the per-search
+  // cost `--index` removes from the critical path).
+  index::IndexBundle bundle;
+  bundle.lbe = lbe;
+  bundle.index_params = params.index;
+  bundle.chunking = params.chunking;
+  bundle.mapping = plan.mapping();
+  Stopwatch build_timer;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    bundle.per_rank.push_back(std::make_unique<index::ChunkedIndex>(
+        plan.build_rank_store(rank), plan.mods(), bundle.index_params,
+        bundle.chunking));
+  }
+  const double build_seconds = build_timer.seconds();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lbe_bench_index_io")
+          .string();
+  const SampleStats save_stats = ctx.time_hot([&] {
+    index::save_index_bundle(dir, bundle);
+  });
+
+  index::IndexBundle loaded;
+  const SampleStats load_stats = ctx.time_hot([&] {
+    loaded = index::load_index_bundle(dir, workload.mods);
+  });
+
+  std::uint64_t bundle_bytes =
+      std::filesystem::file_size(index::bundle_manifest_path(dir));
+  for (int rank = 0; rank < kRanks; ++rank) {
+    bundle_bytes += std::filesystem::file_size(
+        index::bundle_rank_path(dir, rank));
+  }
+
+  // Loaded-vs-rebuilt equivalence: the whole distributed search, not just
+  // one query — any drift in the serialized arrays shows up here.
+  const auto cold = run_once(plan, workload, params, nullptr);
+  const auto warm = run_once(plan, workload, params, &loaded.per_rank);
+  fig.check("warm-start results identical to cold rebuild",
+            same_results(cold.results, warm.results));
+  fig.check("loaded bundle matches the mapping table",
+            loaded.mapping == plan.mapping());
+
+  std::filesystem::remove_all(dir);
+
+  const double warm_speedup = build_seconds / load_stats.median;
+  fig.row({"build_seconds", bench::fmt(build_seconds)});
+  fig.row({"save_seconds", bench::fmt(save_stats.median)});
+  fig.row({"load_seconds", bench::fmt(load_stats.median)});
+  fig.row({"bundle_mib",
+           bench::fmt(static_cast<double>(bundle_bytes) / (1024.0 * 1024.0))});
+  fig.note("warm start loads " + bench::fmt(warm_speedup) +
+           "x faster than rebuilding");
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("build_seconds", build_seconds);
+  ctx.result.add_metric("save_seconds", save_stats.median);
+  ctx.result.add_metric("load_seconds", load_stats.median);
+  ctx.result.add_metric("bundle_bytes", static_cast<double>(bundle_bytes));
+  ctx.result.add_metric("warm_speedup_vs_build", warm_speedup);
+}
+
+}  // namespace
+
+void register_index_io_benches(BenchRegistry& registry) {
+  registry.add(BenchmarkDef{"index_io_warm_start", "index_io",
+                            "bundle save/load + loaded-vs-rebuilt "
+                            "equivalence",
+                            index_io_warm_start});
+}
+
+}  // namespace lbe::perf

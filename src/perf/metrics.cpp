@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace lbe::perf {
 
@@ -46,19 +47,17 @@ SampleStats summarize(std::vector<double> samples) {
   stats.samples = samples.size();
   if (samples.empty()) return stats;
   std::sort(samples.begin(), samples.end());
-  stats.min = samples.front();
-  stats.max = samples.back();
   const std::size_t n = samples.size();
   stats.median = n % 2 == 1 ? samples[n / 2]
                             : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
-  double sum = 0.0;
-  for (const double s : samples) sum += s;
-  stats.mean = sum / static_cast<double>(n);
-  if (n >= 2) {
-    double sq = 0.0;
-    for (const double s : samples) sq += (s - stats.mean) * (s - stats.mean);
-    stats.stddev = std::sqrt(sq / static_cast<double>(n));
-  }
+  // One stddev convention for the whole codebase: RunningStats' population
+  // variance (common/stats.hpp), so lbectl and lbebench can never drift.
+  RunningStats accumulator;
+  for (const double s : samples) accumulator.add(s);
+  stats.min = accumulator.min();
+  stats.max = accumulator.max();
+  stats.mean = accumulator.mean();
+  stats.stddev = accumulator.stddev();
   return stats;
 }
 

@@ -76,6 +76,9 @@ DistributedReport run_distributed_search(
   LBE_CHECK(cluster.options().ranks == p,
             "cluster size must match the partition plan");
   LBE_CHECK(params.result_batch >= 1, "result_batch must be >= 1");
+  LBE_CHECK(params.preloaded == nullptr ||
+                params.preloaded->size() == static_cast<std::size_t>(p),
+            "preloaded index set must hold one index per rank");
 
   DistributedReport report;
   report.times.assign(static_cast<std::size_t>(p), PhaseTimes{});
@@ -102,11 +105,18 @@ DistributedReport run_distributed_search(
     comm.barrier();
     times.start = comm.vclock();
 
-    // [build] Partial index over this rank's LBE assignment.
-    index::PeptideStore store = plan.build_rank_store(rank);
-    report.index_entries[slot] = store.size();
-    const index::ChunkedIndex partial(std::move(store), plan.mods(),
-                                      params.index, params.chunking);
+    // [build] Partial index over this rank's LBE assignment — or, on a
+    // warm start, adopt the preloaded index and skip construction
+    // entirely (the paper's disk-resident chunks swapping back in).
+    std::unique_ptr<index::ChunkedIndex> built;
+    if (params.preloaded == nullptr) {
+      index::PeptideStore store = plan.build_rank_store(rank);
+      built = std::make_unique<index::ChunkedIndex>(
+          std::move(store), plan.mods(), params.index, params.chunking);
+    }
+    const index::ChunkedIndex& partial =
+        built ? *built : *(*params.preloaded)[slot];
+    report.index_entries[slot] = partial.num_peptides();
     report.index_bytes[slot] = partial.memory_bytes();
     times.build_done = comm.vclock();
     comm.barrier();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/lbe_layer.hpp"
@@ -39,6 +40,14 @@ struct DistributedParams {
   /// over per-thread arenas within each rank's query loop. 1 = off.
   /// Results are identical either way; only timing changes.
   std::uint32_t threads_per_rank = 1;
+  /// Warm start (index/serialize.hpp bundles): when non-null, rank m adopts
+  /// (*preloaded)[m] in the build phase instead of constructing its partial
+  /// index — the paper's "partition once, search many" amortization. Must
+  /// hold exactly plan.ranks() entries built from the same plan and params
+  /// (the app layer validates and falls back to a cold build otherwise);
+  /// the pointees must outlive the search. Results are identical to a cold
+  /// build: the serialized transformed arrays are the built ones.
+  const std::vector<std::unique_ptr<index::ChunkedIndex>>* preloaded = nullptr;
 };
 
 /// A PSM with master-side (global) peptide identity.

@@ -5,6 +5,8 @@
 // non-empty and deterministic.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "app/commands.hpp"
@@ -105,6 +107,83 @@ TEST(LbectlPipeline, DatabaseCarriesDecoysForFdr) {
   std::size_t clustered_decoys = 0;
   for (const bool flag : plan.decoy_bases) clustered_decoys += flag ? 1 : 0;
   EXPECT_EQ(clustered_decoys, decoys);
+}
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The acceptance path for `search --index`: a warm start over the saved
+// bundle must produce a byte-identical psms.tsv to the cold rebuild.
+TEST(LbectlPipeline, WarmStartSearchIsByteIdenticalToColdRebuild) {
+  const AppOptions opts = small_options();
+  const PipelineInputs inputs = prepare_inputs(opts);
+  const PlanBundle plan = build_plan(inputs.database, opts);
+
+  const std::string dir = ::testing::TempDir() + "/lbe_warm_start";
+  index::save_index_bundle(dir,
+                           build_index_bundle(plan, inputs.database, opts));
+  const auto warm =
+      try_load_warm_indexes(dir, plan, inputs.database, opts);
+  ASSERT_NE(warm, nullptr);
+
+  const SearchOutcome cold =
+      run_search_pipeline(plan, inputs.queries, opts);
+  const SearchOutcome warmed =
+      run_search_pipeline(plan, inputs.queries, opts, warm.get());
+
+  const std::string cold_dir = dir + "/cold";
+  const std::string warm_dir = dir + "/warm";
+  write_reports(cold_dir, plan, cold);
+  write_reports(warm_dir, plan, warmed);
+  const std::string cold_psms = slurp(cold_dir + "/psms.tsv");
+  EXPECT_FALSE(cold_psms.empty());
+  EXPECT_EQ(cold_psms, slurp(warm_dir + "/psms.tsv"));
+  fs::remove_all(dir);
+}
+
+// Any parameter drift between the bundle and the invocation must fall back
+// to a rebuild (nullptr + warning), never silently search stale indexes.
+TEST(LbectlPipeline, WarmStartRejectsMismatchedBundle) {
+  const AppOptions opts = small_options();
+  const PipelineInputs inputs = prepare_inputs(opts);
+  const PlanBundle plan = build_plan(inputs.database, opts);
+
+  const std::string dir = ::testing::TempDir() + "/lbe_warm_mismatch";
+  index::save_index_bundle(dir,
+                           build_index_bundle(plan, inputs.database, opts));
+
+  // Different fragment resolution => IndexParams mismatch.
+  AppOptions finer = opts;
+  finer.search.index.resolution = 0.02;
+  EXPECT_EQ(try_load_warm_indexes(dir, plan, inputs.database, finer),
+            nullptr);
+
+  // Different rank count => LBE-params (and mapping) mismatch.
+  const AppOptions more_ranks = small_options("ranks = 6\n");
+  const PlanBundle replanned = build_plan(inputs.database, more_ranks);
+  EXPECT_EQ(try_load_warm_indexes(dir, replanned, inputs.database,
+                                  more_ranks),
+            nullptr);
+
+  // A database edit that leaves every parameter and the mapping table
+  // intact must still be caught, via the manifest's content fingerprint.
+  DatabaseBundle edited = inputs.database;
+  edited.variants.max_mod_residues += 1;
+  EXPECT_EQ(try_load_warm_indexes(dir, plan, edited, opts), nullptr);
+  ASSERT_FALSE(edited.peptides.empty());
+  edited = inputs.database;
+  edited.peptides.front()[0] = edited.peptides.front()[0] == 'A' ? 'G' : 'A';
+  EXPECT_EQ(try_load_warm_indexes(dir, plan, edited, opts), nullptr);
+
+  // The matching invocation still loads.
+  EXPECT_NE(try_load_warm_indexes(dir, plan, inputs.database, opts), nullptr);
+  fs::remove_all(dir);
 }
 
 TEST(LbectlPipeline, PlanFileRoundTrips) {

@@ -37,6 +37,27 @@ TEST(Fasta, HandlesCrlfAndBlankLines) {
   EXPECT_EQ(records[0].sequence, "PEPTIDE");
 }
 
+// CRLF twin of ParsesSimpleRecords: headers and sequences must come out
+// byte-identical to the LF parse — no '\r' may survive into either.
+TEST(Fasta, CrlfInputParsesIdenticallyToLf) {
+  const std::string lf_text = ">sp|P1|PROT1\nPEPTIDE\n>sp|P2|PROT2\nACDEFGH\n";
+  std::string crlf_text;
+  for (const char c : lf_text) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  std::istringstream lf_in(lf_text);
+  std::istringstream crlf_in(crlf_text);
+  const auto lf = read_fasta(lf_in);
+  const auto windows = read_fasta(crlf_in);
+  ASSERT_EQ(windows.size(), lf.size());
+  for (std::size_t i = 0; i < lf.size(); ++i) {
+    EXPECT_EQ(windows[i].header, lf[i].header);
+    EXPECT_EQ(windows[i].sequence, lf[i].sequence);
+    EXPECT_EQ(windows[i].header.find('\r'), std::string::npos);
+  }
+}
+
 TEST(Fasta, SkipsLegacyCommentLines) {
   std::istringstream in(">p\n; comment\nPEP\n");
   const auto records = read_fasta(in);

@@ -42,6 +42,42 @@ TEST(Ms2, ParsesHeadersScansAndPeaks) {
   ASSERT_EQ(second.size(), 1u);
 }
 
+// msconvert on Windows emits CRLF; a surviving '\r' used to be able to
+// corrupt header values and peak fields. The CRLF file must parse exactly
+// like its LF twin, with no '\r' anywhere in the parsed values.
+TEST(Ms2, CrlfInputParsesIdenticallyToLf) {
+  std::string crlf;
+  for (const char c : std::string(kSample)) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::istringstream lf_in(kSample);
+  std::istringstream crlf_in(crlf);
+  const auto lf = read_ms2(lf_in);
+  const auto windows = read_ms2(crlf_in);
+
+  ASSERT_EQ(windows.headers.size(), lf.headers.size());
+  for (const auto& [key, value] : lf.headers) {
+    ASSERT_TRUE(windows.headers.count(key)) << key;
+    EXPECT_EQ(windows.headers.at(key), value);
+    EXPECT_EQ(value.find('\r'), std::string::npos);
+  }
+  ASSERT_EQ(windows.spectra.size(), lf.spectra.size());
+  for (std::size_t s = 0; s < lf.spectra.size(); ++s) {
+    const auto& a = lf.spectra[s];
+    const auto& b = windows.spectra[s];
+    EXPECT_EQ(b.scan_id, a.scan_id);
+    EXPECT_DOUBLE_EQ(b.precursor.mz, a.precursor.mz);
+    EXPECT_EQ(b.precursor.charge, a.precursor.charge);
+    EXPECT_DOUBLE_EQ(b.precursor.neutral_mass, a.precursor.neutral_mass);
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(b.mz(i), a.mz(i));
+      EXPECT_FLOAT_EQ(b.intensity(i), a.intensity(i));
+    }
+  }
+}
+
 TEST(Ms2, AcceptsSpaceOrTabSeparators) {
   std::istringstream in("S 3 3 400.0\n100.0\t1.0\n");
   const auto file = read_ms2(in);
