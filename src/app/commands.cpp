@@ -83,8 +83,12 @@ int run_prepare(const AppOptions& opts) {
 
   // Round-trip the whole bundle as a self-check: an index set that cannot
   // be read back — or that fails its own manifest validation — is worse
-  // than none.
-  const auto reloaded = try_load_warm_indexes(index_dir, plan, db, opts);
+  // than none. Force the eager path so every chunk payload is actually
+  // re-read and CRC-verified (a lazy mapped check would stop at metadata).
+  AppOptions self_check = opts;
+  self_check.index_mmap = false;
+  const auto reloaded = try_load_warm_indexes(index_dir, plan, db,
+                                              self_check);
   LBE_CHECK(reloaded != nullptr, "index bundle failed its reload self-check");
   std::printf("prepared %d rank indexes + %s (%.1f MiB in-memory total)\n",
               ranks, index::bundle_manifest_path(index_dir).c_str(),
@@ -107,8 +111,9 @@ int run_search(const AppOptions& opts) {
   if (!opts.index_dir.empty()) {
     warm = try_load_warm_indexes(opts.index_dir, plan, inputs.database, opts);
     if (warm != nullptr) {
-      std::printf("warm start: loaded %d rank indexes from %s\n",
-                  warm->ranks(), opts.index_dir.c_str());
+      std::printf("warm start: loaded %d rank indexes from %s%s\n",
+                  warm->ranks(), opts.index_dir.c_str(),
+                  opts.index_mmap ? " (mmap, lazy chunks)" : "");
     }
   }
 

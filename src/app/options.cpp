@@ -15,9 +15,9 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 38> kKnownKeys = {
+constexpr std::array<std::string_view, 39> kKnownKeys = {
     "db",          "queries",       "plan",
-    "index",       "index_out",
+    "index",       "index_out",     "mmap",
     "out",         "entries",       "num_queries",
     "seed",        "enzyme",        "missed_cleavages",
     "min_length",  "max_length",    "min_mass",
@@ -99,6 +99,7 @@ AppOptions options_from_config(const Config& config) {
   opts.plan_path = config.get_string("plan", "");
   opts.index_dir = config.get_string("index", "");
   opts.index_out_dir = config.get_string("index_out", "");
+  opts.index_mmap = config.get_bool("mmap", true);
   opts.out_dir = config.get_string("out", ".");
 
   opts.target_entries =
@@ -249,6 +250,10 @@ dashes in CLI option names are accepted as underscores):
   --index DIR          warm start: load the per-rank index bundle written by
                        `prepare --index-out` instead of rebuilding (falls
                        back to a rebuild, with a warning, on any mismatch)
+  --mmap on|off        with --index: mmap rank files and materialize chunks
+                       lazily on first query touch (on, the default), or
+                       eagerly stream every array into memory (off).
+                       Results are byte-identical either way
   --index_out DIR      prepare: index bundle directory (default: --out)
   --out DIR            output directory (default .)
   --entries N          synthetic index-entry target        (default 50000)

@@ -31,6 +31,11 @@ struct AppOptions {
   /// `search`: bundle directory from `prepare --index-out`; load instead of
   /// rebuilding per-rank indexes (falls back to rebuild on params mismatch).
   std::string index_dir;
+  /// `--mmap on|off` (default on): warm-start by mmapping rank files and
+  /// materializing chunks lazily on first query touch, instead of eagerly
+  /// streaming every array into heap vectors. Results are identical; only
+  /// time-to-first-query and peak RSS change.
+  bool index_mmap = true;
 
   // ---- synthetic workload (used when fasta_path is empty) ----
   std::uint64_t target_entries = 50000;

@@ -344,8 +344,10 @@ index::IndexBundle build_index_bundle(const PlanBundle& plan,
 std::unique_ptr<index::IndexBundle> try_load_warm_indexes(
     const std::string& dir, const PlanBundle& plan, const DatabaseBundle& db,
     const AppOptions& opts) {
-  auto bundle = std::make_unique<index::IndexBundle>(
-      index::load_index_bundle(dir, db.mods));
+  auto bundle = std::make_unique<index::IndexBundle>(index::load_index_bundle(
+      dir, db.mods,
+      opts.index_mmap ? index::BundleLoadMode::kMapped
+                      : index::BundleLoadMode::kEager));
 
   const auto reject = [&](const char* what) {
     log::warn("index bundle in ", dir, " was built under a different ", what,

@@ -40,18 +40,7 @@ void write_section(std::ostream& out, std::uint32_t tag,
   if (!out) throw IoError("binary write failed");
 }
 
-std::string read_section(std::istream& in, std::uint32_t expected_tag) {
-  const auto tag = read_pod<std::uint32_t>(in);
-  if (tag != expected_tag) {
-    throw IoError("binary read failed: unexpected section tag (corrupt "
-                  "file?)");
-  }
-  const auto size = read_pod<std::uint64_t>(in);
-  if (size > kMaxSectionBytes) {
-    throw IoError("binary read failed: implausible section size (corrupt "
-                  "file?)");
-  }
-  const auto stored_crc = read_pod<std::uint32_t>(in);
+std::string read_exact(std::istream& in, std::uint64_t size) {
   // Grow the buffer in bounded chunks rather than trusting the size field
   // with one up-front allocation: a corrupt size under the cap must fail
   // as a truncated-section IoError, not as an OOM/bad_alloc.
@@ -67,10 +56,124 @@ std::string read_section(std::istream& in, std::uint32_t expected_tag) {
     if (!in) throw IoError("binary read failed: truncated section");
     remaining -= step;
   }
+  return payload;
+}
+
+namespace {
+
+constexpr std::size_t kRawAlign = 8;
+
+std::size_t padding_for(std::uint64_t cursor) {
+  return static_cast<std::size_t>((kRawAlign - cursor % kRawAlign) %
+                                  kRawAlign);
+}
+
+/// Shared [tag][size][crc][payload] frame parse behind read_section and
+/// read_raw_section (one copy of the validation logic and its messages).
+/// Returns the payload; `frame_bytes` reports the frame + payload span.
+std::string read_section_frame(std::istream& in, std::uint32_t expected_tag,
+                               std::uint64_t& frame_bytes) {
+  const auto tag = read_pod<std::uint32_t>(in);
+  if (tag != expected_tag) {
+    throw IoError("binary read failed: unexpected section tag (corrupt "
+                  "file?)");
+  }
+  const auto size = read_pod<std::uint64_t>(in);
+  if (size > kMaxSectionBytes) {
+    throw IoError("binary read failed: implausible section size (corrupt "
+                  "file?)");
+  }
+  const auto stored_crc = read_pod<std::uint32_t>(in);
+  std::string payload = read_exact(in, size);
   if (crc32(payload) != stored_crc) {
     throw IoError("binary read failed: section checksum mismatch (corrupt "
                   "file?)");
   }
+  frame_bytes = 16 + size;
+  return payload;
+}
+
+}  // namespace
+
+std::string read_section(std::istream& in, std::uint32_t expected_tag) {
+  std::uint64_t frame_bytes = 0;
+  return read_section_frame(in, expected_tag, frame_bytes);
+}
+
+std::uint64_t raw_section_span(std::uint64_t cursor, std::uint64_t size) {
+  return padding_for(cursor) + 16 + size;
+}
+
+void write_alignment(std::ostream& out, std::uint64_t& cursor) {
+  static const char kZeros[kRawAlign] = {};
+  const std::size_t pad = padding_for(cursor);
+  if (pad != 0) {
+    out.write(kZeros, static_cast<std::streamsize>(pad));
+    if (!out) throw IoError("binary write failed");
+    cursor += pad;
+  }
+}
+
+void read_alignment(std::istream& in, std::uint64_t& cursor) {
+  const std::size_t pad = padding_for(cursor);
+  if (pad == 0) return;
+  char buffer[kRawAlign] = {};
+  in.read(buffer, static_cast<std::streamsize>(pad));
+  if (!in) throw IoError("binary read failed: truncated stream");
+  for (std::size_t i = 0; i < pad; ++i) {
+    if (buffer[i] != 0) {
+      throw IoError("binary read failed: non-zero alignment padding "
+                    "(corrupt file?)");
+    }
+  }
+  cursor += pad;
+}
+
+void write_padded(std::ostream& out, const void* data, std::size_t size,
+                  std::uint64_t& cursor) {
+  if (size != 0) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    if (!out) throw IoError("binary write failed");
+    cursor += size;
+  }
+  write_alignment(out, cursor);
+}
+
+void crc32_padded(const void* data, std::size_t size, std::uint64_t& cursor,
+                  std::uint32_t& crc) {
+  static const char kZeros[kRawAlign] = {};
+  crc = crc32(data, size, crc);
+  cursor += size;
+  const std::size_t pad = padding_for(cursor);
+  crc = crc32(kZeros, pad, crc);
+  cursor += pad;
+}
+
+void write_raw_section_frame(std::ostream& out, std::uint64_t& cursor,
+                             std::uint32_t tag, std::uint64_t size,
+                             std::uint32_t crc) {
+  write_alignment(out, cursor);
+  write_pod(out, tag);
+  write_pod(out, size);
+  write_pod(out, crc);
+  cursor += 16;
+}
+
+void write_raw_section(std::ostream& out, std::uint64_t& cursor,
+                       std::uint32_t tag, std::string_view payload) {
+  write_raw_section_frame(out, cursor, tag, payload.size(), crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw IoError("binary write failed");
+  cursor += payload.size();
+}
+
+std::string read_raw_section(std::istream& in, std::uint64_t& cursor,
+                             std::uint32_t expected_tag) {
+  read_alignment(in, cursor);
+  std::uint64_t frame_bytes = 0;
+  std::string payload = read_section_frame(in, expected_tag, frame_bytes);
+  cursor += frame_bytes;
   return payload;
 }
 

@@ -42,10 +42,16 @@ class Binning {
     return static_cast<MzBin>(mz / resolution_);
   }
 
-  /// Width of a mass tolerance window in bins (rounded up, >= 0).
+  /// Width of a mass tolerance window in bins (rounded up, >= 0). Clamped
+  /// to num_bins(): a window that wide already covers every bin from any
+  /// center, and clamping before the cast keeps a huge tolerance from
+  /// overflowing MzBin (double -> u32 past the range is UB) and from
+  /// wrapping `center + tolerance_bins` sums downstream.
   MzBin tolerance_bins(double tolerance_da) const noexcept {
     if (tolerance_da <= 0.0) return 0;
-    return static_cast<MzBin>(tolerance_da / resolution_ + 0.5);
+    const double bins = tolerance_da / resolution_ + 0.5;
+    if (bins >= static_cast<double>(num_bins())) return num_bins();
+    return static_cast<MzBin>(bins);
   }
 
   /// Center m/z of a bin (for diagnostics).

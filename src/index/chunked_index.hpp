@@ -8,15 +8,32 @@
 //
 // This is also the paper's §IV escape hatch for the "2 billion ions" limit:
 // no chunk's posting array outgrows practical array indexing.
+//
+// Warm starts come in two flavours. `load`/`load_file` streams every
+// chunk's arrays into owned vectors up front (eager). `map_file` mmaps the
+// rank file, validates only the metadata (params, store columns, chunk
+// directory) and *lazily* materializes a chunk — CRC check plus in-place
+// span binding, no copy — the first time a query window intersects it. A
+// narrow-window search over a mapped index therefore reaches its first
+// query without reading most of the file, and peak RSS scales with the
+// chunks actually visited. Materialization is thread-safe (the engine
+// fans queries over one index from many threads).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "index/slm_index.hpp"
+
+namespace lbe::bin {
+class MmapFile;
+class ByteReader;
+}  // namespace lbe::bin
 
 namespace lbe::index {
 
@@ -40,7 +57,14 @@ class ChunkedIndex {
   const PeptideStore& store() const noexcept { return store_; }
   std::size_t num_chunks() const noexcept { return chunks_.size(); }
   std::size_t num_peptides() const noexcept { return store_.size(); }
-  std::uint64_t num_postings() const noexcept;
+  /// Forces materialization of every chunk on a mapped index.
+  std::uint64_t num_postings() const;
+
+  /// True when backed by a mapped file with lazily materialized chunks.
+  bool mapped() const noexcept { return mapping_ != nullptr; }
+
+  /// Chunks whose arrays are resident (always num_chunks() when eager).
+  std::size_t num_chunks_loaded() const noexcept;
 
   /// Mass range [lo, hi] covered by chunk `c`.
   std::pair<Mass, Mass> chunk_mass_range(std::size_t c) const;
@@ -52,7 +76,9 @@ class ChunkedIndex {
   /// Thread-safe: all mutable query state lives in `arena` (one per
   /// thread). Chunks own disjoint peptide-id subsets, so one arena serves
   /// every chunk — each chunk's query opens a fresh scorecard epoch and
-  /// emits its candidates before the next chunk runs.
+  /// emits its candidates before the next chunk runs. On a mapped index
+  /// the first query into a chunk validates and binds it (IoError on
+  /// corruption — never a silently wrong result).
   void query(const chem::Spectrum& spectrum, const QueryParams& params,
              std::vector<Candidate>& out, QueryWork& work,
              QueryArena& arena) const;
@@ -61,21 +87,27 @@ class ChunkedIndex {
   void query(const chem::Spectrum& spectrum, const QueryParams& params,
              std::vector<Candidate>& out, QueryWork& work) const;
 
-  /// Heap bytes of every chunk index plus the peptide store.
+  /// Heap bytes of every *resident* chunk index plus the peptide store.
+  /// Mapped, not-yet-touched chunks cost no heap and are not counted.
   std::uint64_t memory_bytes() const noexcept;
 
   /// Postings per m/z bin summed over chunks (chunks share one binning).
-  /// Feeds the load-prediction model (search/load_model.hpp).
-  std::vector<std::uint32_t> bin_occupancy() const;
+  /// Feeds the load-prediction model (search/load_model.hpp). 64-bit:
+  /// per-chunk counts are u32 by construction, but a large multi-chunk
+  /// database can overflow 32 bits once summed. Forces materialization.
+  std::vector<std::uint64_t> bin_occupancy() const;
 
   const IndexParams& index_params() const noexcept { return index_params_; }
 
   /// On-disk format (the paper's §II-B disk-resident chunks): store columns
-  /// plus each chunk's transformed arrays, in the versioned, per-section
-  /// CRC-checked container of index/serialize.hpp. `load` revives the index
-  /// without re-fragmenting anything; the caller must supply the same
-  /// ModificationSet and IndexParams used at build, and corrupt or
-  /// mismatched input raises IoError.
+  /// plus a chunk directory (mass range, file extent, CRC per chunk)
+  /// followed by the chunks' raw aligned array payloads, all in the
+  /// versioned container of index/serialize.hpp. `load` revives the index
+  /// eagerly without re-fragmenting anything; `map_file` binds it lazily
+  /// out of an mmap. The caller must supply the same ModificationSet and
+  /// IndexParams used at build; corrupt or mismatched input raises
+  /// IoError (for `map_file`, corruption inside a chunk payload raises it
+  /// at first query touch instead of map time).
   void save(std::ostream& out) const;
   static std::unique_ptr<ChunkedIndex> load(std::istream& in,
                                             const chem::ModificationSet& mods,
@@ -85,22 +117,45 @@ class ChunkedIndex {
   static std::unique_ptr<ChunkedIndex> load_file(
       const std::string& path, const chem::ModificationSet& mods,
       const IndexParams& index_params);
+  static std::unique_ptr<ChunkedIndex> map_file(
+      const std::string& path, const chem::ModificationSet& mods,
+      const IndexParams& index_params);
 
  private:
   struct Chunk {
-    std::unique_ptr<SlmIndex> index;
-    Mass mass_lo;
-    Mass mass_hi;
+    /// Owned arrays; null for a mapped chunk not yet materialized (then
+    /// guarded by materialize_mutex_ / published through live_).
+    mutable std::unique_ptr<SlmIndex> index;
+    Mass mass_lo = 0.0;
+    Mass mass_hi = 0.0;
+    // File extent of the chunk's arrays payload (mapped indexes only),
+    // recorded from the eagerly-validated chunk directory.
+    std::uint64_t extent_offset = 0;
+    std::uint64_t extent_size = 0;
+    std::uint32_t extent_crc = 0;
   };
 
   /// Load-path constructor: adopts the store without building chunks.
   ChunkedIndex(PeptideStore store, const chem::ModificationSet& mods,
                const IndexParams& index_params, std::nullptr_t);
 
+  /// Marks every chunk resident (cold build / eager load).
+  void publish_all_chunks() noexcept;
+
+  /// Resident chunk accessor; materializes a mapped chunk on first touch
+  /// (lock-free fast path, single mutex for the rare slow path).
+  const SlmIndex& chunk_index(std::size_t c) const;
+  const SlmIndex& materialize_chunk(std::size_t c) const;
+
   PeptideStore store_;
   const chem::ModificationSet* mods_;
   IndexParams index_params_;
   std::vector<Chunk> chunks_;
+  /// Parallel to chunks_: the published (validated, bound) index of each
+  /// chunk, or null while a mapped chunk is still cold.
+  mutable std::vector<std::atomic<const SlmIndex*>> live_;
+  mutable std::mutex materialize_mutex_;
+  std::shared_ptr<const bin::MmapFile> mapping_;
   // Backs the no-arena convenience overload only (shared across chunks so
   // a chunked index pays for one scorecard, not one per chunk).
   mutable QueryArena internal_arena_;

@@ -5,10 +5,19 @@
 // the structure whose bytes Fig. 5 accounts: per entry it costs
 // len(seq) + 8 (offsets amortized) + 8 (mass) + 4*sites bytes, far below a
 // per-peptide std::string.
+//
+// Every column is accessed through a non-owning view (`std::span` /
+// `std::string_view`) that binds to one of two backings: the store's own
+// containers (the cold path — `add` builds them, stream `load` fills them)
+// or a memory-mapped format-v3 index file (the warm path, `bind_mapped`),
+// in which case nothing is copied and the kernel pages columns in on first
+// touch. The mapping is kept alive by shared ownership.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +25,11 @@
 #include "chem/modification.hpp"
 #include "chem/peptide.hpp"
 #include "common/types.hpp"
+
+namespace lbe::bin {
+class MmapFile;
+class ByteReader;
+}  // namespace lbe::bin
 
 namespace lbe::index {
 
@@ -32,44 +46,89 @@ struct PeptideView {
 class PeptideStore {
  public:
   explicit PeptideStore(const chem::ModificationSet* mods = nullptr)
-      : mods_(mods) {}
+      : mods_(mods) {
+    rebind();
+  }
 
-  /// Appends an entry; returns its local id (dense, 0-based).
+  // Copies and moves must re-point the column views: a moved std::string
+  // may relocate its bytes (SSO), and a copied container always does. A
+  // mapped store's views target the mapping, which both operations share.
+  PeptideStore(const PeptideStore& other);
+  PeptideStore& operator=(const PeptideStore& other);
+  PeptideStore(PeptideStore&& other) noexcept;
+  PeptideStore& operator=(PeptideStore&& other) noexcept;
+
+  /// Appends an entry; returns its local id (dense, 0-based). Only valid
+  /// on stores backed by their own containers (not mapped ones).
   LocalPeptideId add(const chem::Peptide& peptide,
                      const chem::ModificationSet& mods);
 
   /// Bulk-reserve for `n` entries of ~`avg_len` residues.
   void reserve(std::size_t n, std::size_t avg_len = 16);
 
-  std::size_t size() const noexcept { return offsets_.size() - 1; }
+  std::size_t size() const noexcept { return offsets_v_.size() - 1; }
   bool empty() const noexcept { return size() == 0; }
+
+  /// True when the columns are views into a mapped index file.
+  bool mapped() const noexcept { return keepalive_ != nullptr; }
 
   PeptideView view(LocalPeptideId id) const;
 
   /// Reconstructs a full Peptide value (allocates; for result reporting).
   chem::Peptide materialize(LocalPeptideId id) const;
 
-  Mass mass(LocalPeptideId id) const { return masses_[id]; }
+  Mass mass(LocalPeptideId id) const { return masses_v_[id]; }
 
-  /// Exact heap bytes held by the store (Fig. 5 accounting).
+  /// Exact heap bytes held by the store (Fig. 5 accounting). A mapped
+  /// store owns no column heap — its bytes live in the file cache.
   std::uint64_t memory_bytes() const noexcept;
 
   /// Ids sorted by ascending precursor mass (for chunking, Fig. 1 scheme).
   std::vector<LocalPeptideId> ids_by_mass() const;
 
   /// Binary serialization (the paper's disk-resident chunks, §II-B): the
-  /// store's columns dump verbatim; the modification set is NOT serialized
-  /// (pass the same one to load — mod ids must mean the same thing).
+  /// store's columns dump verbatim into one aligned raw section; the
+  /// modification set is NOT serialized (pass the same one to load — mod
+  /// ids must mean the same thing). The `cursor` overloads serve embedding
+  /// inside another component file (format-v3 alignment is file-relative).
   void save(std::ostream& out) const;
+  void save(std::ostream& out, std::uint64_t& cursor) const;
   static PeptideStore load(std::istream& in, const chem::ModificationSet* mods);
+  static PeptideStore load(std::istream& in, const chem::ModificationSet* mods,
+                           std::uint64_t& cursor);
+
+  /// Zero-copy load: binds the columns straight into the mapped file
+  /// `reader` walks (positioned at this store's nested header). The
+  /// columns section is CRC-validated here — mapping a store *is* its
+  /// first touch. `keepalive` must own the bytes behind `reader`.
+  static PeptideStore bind_mapped(
+      bin::ByteReader& reader, const chem::ModificationSet* mods,
+      std::shared_ptr<const bin::MmapFile> keepalive);
 
  private:
-  const chem::ModificationSet* mods_;
+  /// Points the views at the store's own containers.
+  void rebind() noexcept;
+  void adopt_views_or_rebind(const PeptideStore& other) noexcept;
+  /// Restores the valid-empty-store state (used on moved-from sources).
+  void reset_to_empty() noexcept;
+
+  const chem::ModificationSet* mods_ = nullptr;
+
+  // The access path: every reader goes through these views.
+  std::string_view arena_v_;
+  std::span<const std::uint64_t> offsets_v_;
+  std::span<const chem::ModSite> sites_v_;
+  std::span<const std::uint64_t> site_offsets_v_;
+  std::span<const Mass> masses_v_;
+
+  // Owned backing (cold path); empty when mapped.
   std::string arena_;
   std::vector<std::uint64_t> offsets_{0};
   std::vector<chem::ModSite> sites_;
   std::vector<std::uint64_t> site_offsets_{0};
   std::vector<Mass> masses_;
+
+  std::shared_ptr<const bin::MmapFile> keepalive_;
 };
 
 }  // namespace lbe::index

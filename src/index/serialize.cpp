@@ -6,6 +6,7 @@
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "common/mmap_file.hpp"
 
 namespace lbe::index {
 
@@ -17,22 +18,39 @@ void write_header(std::ostream& out, Kind kind) {
   bin::write_pod(out, static_cast<std::uint32_t>(kind));
 }
 
-void read_header(std::istream& in, Kind expected) {
-  if (bin::read_pod<std::uint32_t>(in) != kMagic) {
+namespace {
+
+void check_header_fields(std::uint32_t magic, std::uint32_t version,
+                         std::uint32_t kind, Kind expected) {
+  if (magic != kMagic) {
     throw IoError("not an LBE index file (bad magic)");
   }
-  const auto version = bin::read_pod<std::uint32_t>(in);
   if (version != kFormatVersion) {
     throw IoError("unsupported LBE index format version " +
                   std::to_string(version) + " (this build reads version " +
                   std::to_string(kFormatVersion) +
                   "; regenerate with `lbectl prepare`)");
   }
-  const auto kind = bin::read_pod<std::uint32_t>(in);
   if (kind != static_cast<std::uint32_t>(expected)) {
     throw IoError("LBE index stream holds a different component (kind " +
                   std::to_string(kind) + ")");
   }
+}
+
+}  // namespace
+
+void read_header(std::istream& in, Kind expected) {
+  const auto magic = bin::read_pod<std::uint32_t>(in);
+  const auto version = bin::read_pod<std::uint32_t>(in);
+  const auto kind = bin::read_pod<std::uint32_t>(in);
+  check_header_fields(magic, version, kind, expected);
+}
+
+void read_header_mapped(bin::ByteReader& reader, Kind expected) {
+  const auto magic = reader.read_pod<std::uint32_t>();
+  const auto version = reader.read_pod<std::uint32_t>();
+  const auto kind = reader.read_pod<std::uint32_t>();
+  check_header_fields(magic, version, kind, expected);
 }
 
 void require(bool condition, const char* message) {
@@ -172,7 +190,8 @@ void save_index_bundle(const std::string& dir, const IndexBundle& bundle) {
 }
 
 IndexBundle load_index_bundle(const std::string& dir,
-                              const chem::ModificationSet& mods) {
+                              const chem::ModificationSet& mods,
+                              BundleLoadMode mode) {
   namespace sz = serialize;
   const std::string manifest_path = bundle_manifest_path(dir);
   std::ifstream in(manifest_path, std::ios::binary);
@@ -201,9 +220,14 @@ IndexBundle load_index_bundle(const std::string& dir,
 
   bundle.per_rank.reserve(rank_count);
   for (std::uint32_t rank = 0; rank < rank_count; ++rank) {
-    auto index = ChunkedIndex::load_file(
-        bundle_rank_path(dir, static_cast<int>(rank)), mods,
-        bundle.index_params);
+    const std::string path = bundle_rank_path(dir, static_cast<int>(rank));
+    auto index = mode == BundleLoadMode::kMapped
+                     ? ChunkedIndex::map_file(path, mods, bundle.index_params)
+                     : ChunkedIndex::load_file(path, mods,
+                                               bundle.index_params);
+    // The store columns are validated in both modes (mapping a store is
+    // its first touch), so this count is trustworthy even when the chunk
+    // payloads behind it are still cold.
     sz::require(index->num_peptides() ==
                     bundle.mapping.rank_count(static_cast<RankId>(rank)),
                 "rank index entry count disagrees with the mapping table");

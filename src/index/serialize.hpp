@@ -12,14 +12,26 @@
 //
 //   file   := header section*
 //   header := [magic u32 "LBEX"][format version u32][kind u32]
-//   section:= [tag u32][payload size u64][crc32 u32][payload bytes]
+//   section:= [pad to 8][tag u32][payload size u64][crc32 u32][payload]
 //
-// Every payload is CRC-32 checked on read; a flipped bit anywhere in a
-// section raises IoError instead of corrupting a search. Components nest as
-// complete streams (a chunked-index file embeds a full peptide-store
-// stream), so each layer re-validates independently. Version bumps are
-// strict: readers reject any version they were not built for — regenerate
-// indexes with `lbectl prepare` rather than migrating in place.
+// Since format v3, component-file sections are 8-byte aligned at the file
+// level ("raw" sections, binary_io): the 16-byte frame starts on an
+// 8-byte boundary, so the payload does too, and every array inside a
+// payload is padded to 8 — which is what lets the warm-start path mmap a
+// rank file and view postings/offsets/columns in place instead of copying
+// them (common/mmap_file.hpp). A chunked-index file additionally carries a
+// chunk *directory* (mass range + file extent + CRC per chunk) so chunk
+// payloads can be validated and materialized lazily, on first query touch.
+// The manifest keeps the unaligned v2-style section framing — it is tiny
+// and never mapped.
+//
+// Every payload is CRC-32 checked on read (eager sections at load, lazy
+// chunk extents on first touch) and alignment padding is verified zero; a
+// flipped bit anywhere raises IoError instead of corrupting a search.
+// Components nest as complete streams (a chunked-index file embeds a full
+// peptide-store stream), so each layer re-validates independently. Version
+// bumps are strict: readers reject any version they were not built for —
+// regenerate indexes with `lbectl prepare` rather than migrating in place.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +43,10 @@
 #include "core/lbe_layer.hpp"
 #include "index/chunked_index.hpp"
 
+namespace lbe::bin {
+class ByteReader;
+}  // namespace lbe::bin
+
 namespace lbe::index {
 
 namespace serialize {
@@ -38,8 +54,14 @@ namespace serialize {
 /// "LBEX" (little-endian) — shared by every index component file.
 inline constexpr std::uint32_t kMagic = 0x5845424Cu;
 
-/// Bumped on ANY layout change; version 1 was the pre-checksum format.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// Bumped on ANY layout change; version 1 was the pre-checksum format,
+/// version 2 the streamed-vector layout. Version 3 stores every raw array
+/// (postings, bin offsets, peptide-store columns) 8-byte aligned at an
+/// offset-addressable extent so a warm start can bind them straight out of
+/// an mmap (common/mmap_file.hpp) instead of copying them into vectors,
+/// and moves per-chunk metadata into an eagerly-validated chunk directory
+/// so chunks can be materialized lazily, on first query touch.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// What a stream claims to contain; read_header rejects mismatches so a
 /// rank file can never be mistaken for a manifest.
@@ -58,11 +80,22 @@ inline constexpr std::uint32_t kSecArrays = 0x03;
 inline constexpr std::uint32_t kSecChunk = 0x04;
 inline constexpr std::uint32_t kSecMapping = 0x05;
 inline constexpr std::uint32_t kSecLbeParams = 0x06;
+/// v3 chunk directory: per chunk {mass range, file extent, payload CRC}.
+/// Validated eagerly at load so routing decisions (which chunks a precursor
+/// window touches) never depend on unvalidated bytes; the chunk payloads it
+/// points at are CRC-checked lazily, on first touch.
+inline constexpr std::uint32_t kSecChunkDir = 0x07;
+
+/// Bytes write_header emits (three u32 fields).
+inline constexpr std::uint64_t kHeaderBytes = 12;
 
 void write_header(std::ostream& out, Kind kind);
 
 /// Throws IoError on bad magic, unsupported version, or wrong kind.
 void read_header(std::istream& in, Kind expected);
+
+/// Mapped twin of read_header, consuming from a byte cursor.
+void read_header_mapped(bin::ByteReader& reader, Kind expected);
 
 /// Structural-validation helper for load paths: a failed condition means
 /// the file is corrupt (or adversarial), which is an IoError — never UB.
@@ -113,11 +146,25 @@ void save_index_manifest(const std::string& dir, const IndexBundle& bundle);
 /// Throws IoError on any write failure.
 void save_index_bundle(const std::string& dir, const IndexBundle& bundle);
 
+/// How `load_index_bundle` revives rank files.
+enum class BundleLoadMode {
+  /// Stream every array of every chunk into freshly allocated vectors and
+  /// validate everything up front (the pre-v3 behaviour).
+  kEager,
+  /// mmap each rank file and bind arrays in place; the store columns and
+  /// chunk directory are validated at map time, chunk payloads lazily on
+  /// first query touch. Peak RSS and time-to-first-query scale with the
+  /// chunks a workload actually visits, not with the bundle.
+  kMapped,
+};
+
 /// Loads a bundle written by save_index_bundle. `mods` must be the same
 /// modification set the indexes were built under and must outlive the
 /// bundle. Throws IoError on missing/truncated/corrupt files or when a
-/// rank file disagrees with the manifest's mapping table.
+/// rank file disagrees with the manifest's mapping table (for kMapped,
+/// corruption inside a chunk payload surfaces at first touch instead).
 IndexBundle load_index_bundle(const std::string& dir,
-                              const chem::ModificationSet& mods);
+                              const chem::ModificationSet& mods,
+                              BundleLoadMode mode = BundleLoadMode::kEager);
 
 }  // namespace lbe::index

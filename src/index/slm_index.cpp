@@ -10,6 +10,7 @@
 
 #include "common/binary_io.hpp"
 #include "common/error.hpp"
+#include "common/mmap_file.hpp"
 #include "index/serialize.hpp"
 
 namespace lbe::index {
@@ -61,30 +62,31 @@ SlmIndex::SlmIndex(const PeptideStore& store,
             "partition exceeds the 32-bit ion-index limit (paper §III-D): "
             "split the data over more ranks or enable chunking");
 
-  bin_offsets_.assign(num_bins + 1, 0);
+  bin_offsets_storage_.assign(num_bins + 1, 0);
   std::uint32_t offset = 0;
   for (MzBin b = 0; b < num_bins; ++b) {
-    bin_offsets_[b] = offset;
+    bin_offsets_storage_[b] = offset;
     offset += static_cast<std::uint32_t>(counts[b]);
   }
-  bin_offsets_[num_bins] = offset;
+  bin_offsets_storage_[num_bins] = offset;
 
   // Pass 2: fill postings via per-bin write cursors.
-  postings_.assign(offset, 0);
-  std::vector<std::uint32_t> cursor(bin_offsets_.begin(),
-                                    bin_offsets_.end() - 1);
+  postings_storage_.assign(offset, 0);
+  std::vector<std::uint32_t> cursor(bin_offsets_storage_.begin(),
+                                    bin_offsets_storage_.end() - 1);
   for (const LocalPeptideId id : ids) {
-    for_each_fragment(id, [&](MzBin bin) { postings_[cursor[bin]++] = id; });
+    for_each_fragment(
+        id, [&](MzBin bin) { postings_storage_[cursor[bin]++] = id; });
   }
 
   // Secondary order inside each bin: parent precursor mass, then id — the
   // Fig. 1 sort that keeps precursor-window scans contiguous. Iterating ids
   // in input order already yields id order; re-sort by (mass, id).
   for (MzBin b = 0; b < num_bins; ++b) {
-    const auto begin = postings_.begin() +
-                       static_cast<std::ptrdiff_t>(bin_offsets_[b]);
-    const auto end = postings_.begin() +
-                     static_cast<std::ptrdiff_t>(bin_offsets_[b + 1]);
+    const auto begin = postings_storage_.begin() +
+                       static_cast<std::ptrdiff_t>(bin_offsets_storage_[b]);
+    const auto end = postings_storage_.begin() +
+                     static_cast<std::ptrdiff_t>(bin_offsets_storage_[b + 1]);
     std::sort(begin, end, [this](LocalPeptideId a, LocalPeptideId b2) {
       const Mass ma = store_->mass(a);
       const Mass mb = store_->mass(b2);
@@ -92,6 +94,12 @@ SlmIndex::SlmIndex(const PeptideStore& store,
       return a < b2;
     });
   }
+  bind_owned();
+}
+
+void SlmIndex::bind_owned() noexcept {
+  bin_offsets_ = bin_offsets_storage_;
+  postings_ = postings_storage_;
 }
 
 void SlmIndex::build_spans(const chem::Spectrum& spectrum,
@@ -320,8 +328,10 @@ void SlmIndex::query_reference(const chem::Spectrum& spectrum,
 }
 
 std::uint64_t SlmIndex::memory_bytes() const noexcept {
-  return bin_offsets_.capacity() * sizeof(std::uint32_t) +
-         postings_.capacity() * sizeof(LocalPeptideId) +
+  // Mapped indexes own no array heap: their bytes live in the page cache
+  // and are charged to the file, not the process heap.
+  return bin_offsets_storage_.capacity() * sizeof(std::uint32_t) +
+         postings_storage_.capacity() * sizeof(LocalPeptideId) +
          internal_arena_.memory_bytes();
 }
 
@@ -331,18 +341,70 @@ SlmIndex::SlmIndex(const PeptideStore& store,
     : store_(&store), mods_(&mods), params_(params),
       binning_(params.binning()) {}
 
-void SlmIndex::save_arrays(std::ostream& out) const {
-  bin::write_vector(out, bin_offsets_);
-  bin::write_vector(out, postings_);
+namespace {
+
+constexpr std::uint64_t padded8(std::uint64_t n) { return (n + 7) & ~7ull; }
+
+}  // namespace
+
+std::uint64_t SlmIndex::arrays_payload_size() const noexcept {
+  return 16 + padded8(bin_offsets_.size() * sizeof(std::uint32_t)) +
+         padded8(postings_.size() * sizeof(LocalPeptideId));
 }
 
-SlmIndex SlmIndex::load_arrays(std::istream& in, const PeptideStore& store,
-                               const chem::ModificationSet& mods,
-                               const IndexParams& params) {
+std::uint32_t SlmIndex::arrays_payload_crc() const noexcept {
+  const std::uint64_t counts[2] = {bin_offsets_.size(), postings_.size()};
+  std::uint64_t cursor = 0;
+  std::uint32_t crc = 0;
+  bin::crc32_padded(counts, sizeof(counts), cursor, crc);
+  bin::crc32_padded(bin_offsets_.data(),
+                    bin_offsets_.size() * sizeof(std::uint32_t), cursor, crc);
+  bin::crc32_padded(postings_.data(),
+                    postings_.size() * sizeof(LocalPeptideId), cursor, crc);
+  return crc;
+}
+
+void SlmIndex::write_arrays_payload(std::ostream& out) const {
+  std::uint64_t cursor = 0;
+  bin::write_pod(out, static_cast<std::uint64_t>(bin_offsets_.size()));
+  bin::write_pod(out, static_cast<std::uint64_t>(postings_.size()));
+  cursor += 16;
+  bin::write_padded(out, bin_offsets_.data(),
+                    bin_offsets_.size() * sizeof(std::uint32_t), cursor);
+  bin::write_padded(out, postings_.data(),
+                    postings_.size() * sizeof(LocalPeptideId), cursor);
+}
+
+SlmIndex SlmIndex::parse_arrays_payload(
+    bin::ByteReader& payload, const PeptideStore& store,
+    const chem::ModificationSet& mods, const IndexParams& params,
+    std::shared_ptr<const bin::MmapFile> keepalive) {
   namespace sz = serialize;
+  const auto offsets_count = payload.read_pod<std::uint64_t>();
+  const auto postings_count = payload.read_pod<std::uint64_t>();
+  sz::require(offsets_count <= bin::kMaxElements &&
+                  postings_count <= bin::kMaxElements,
+              "implausible array count");
+  const auto offsets_view = payload.view_array<std::uint32_t>(
+      static_cast<std::size_t>(offsets_count));
+  payload.align();
+  const auto postings_view = payload.view_array<LocalPeptideId>(
+      static_cast<std::size_t>(postings_count));
+  payload.align();
+
   SlmIndex index(store, mods, params, nullptr);
-  index.bin_offsets_ = bin::read_vector<std::uint32_t>(in);
-  index.postings_ = bin::read_vector<LocalPeptideId>(in);
+  if (keepalive != nullptr) {
+    index.bin_offsets_ = offsets_view;
+    index.postings_ = postings_view;
+    index.keepalive_ = std::move(keepalive);
+  } else {
+    index.bin_offsets_storage_.assign(offsets_view.begin(),
+                                      offsets_view.end());
+    index.postings_storage_.assign(postings_view.begin(),
+                                   postings_view.end());
+    index.bind_owned();
+  }
+
   sz::require(index.bin_offsets_.size() ==
                   std::size_t{index.binning_.num_bins()} + 1,
               "bin count mismatch (different IndexParams?)");
@@ -361,31 +423,41 @@ SlmIndex SlmIndex::load_arrays(std::istream& in, const PeptideStore& store,
 
 void SlmIndex::save(std::ostream& out) const {
   namespace sz = serialize;
+  std::uint64_t cursor = 0;
   sz::write_header(out, sz::Kind::kSlmIndex);
+  cursor += sz::kHeaderBytes;
   {
     std::ostringstream payload;
     sz::write_index_params(payload, params_);
-    bin::write_section(out, sz::kSecParams, payload.str());
+    bin::write_raw_section(out, cursor, sz::kSecParams, payload.str());
   }
-  std::ostringstream payload;
-  save_arrays(payload);
-  bin::write_section(out, sz::kSecArrays, payload.str());
+  bin::write_raw_section_frame(out, cursor, sz::kSecArrays,
+                               arrays_payload_size(), arrays_payload_crc());
+  write_arrays_payload(out);
 }
 
 SlmIndex SlmIndex::load(std::istream& in, const PeptideStore& store,
                         const chem::ModificationSet& mods,
                         const IndexParams& params) {
   namespace sz = serialize;
+  std::uint64_t cursor = 0;
   sz::read_header(in, sz::Kind::kSlmIndex);
+  cursor += sz::kHeaderBytes;
   {
-    std::istringstream payload(bin::read_section(in, sz::kSecParams));
+    std::istringstream payload(
+        bin::read_raw_section(in, cursor, sz::kSecParams));
     const IndexParams stored = sz::read_index_params(payload);
     if (!sz::same_index_params(stored, params)) {
       throw IoError("index file was built with different IndexParams");
     }
   }
-  std::istringstream payload(bin::read_section(in, sz::kSecArrays));
-  return load_arrays(payload, store, mods, params);
+  const std::string payload =
+      bin::read_raw_section(in, cursor, sz::kSecArrays);
+  bin::ByteReader reader(std::as_bytes(std::span(payload)));
+  SlmIndex index =
+      parse_arrays_payload(reader, store, mods, params, nullptr);
+  sz::require(reader.remaining() == 0, "index arrays trailing bytes");
+  return index;
 }
 
 std::vector<std::uint32_t> SlmIndex::bin_occupancy() const {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,6 +27,11 @@
 #include "index/query_arena.hpp"
 #include "index/query_work.hpp"
 #include "theospec/fragmenter.hpp"
+
+namespace lbe::bin {
+class MmapFile;
+class ByteReader;
+}  // namespace lbe::bin
 
 namespace lbe::index {
 
@@ -73,6 +79,16 @@ class SlmIndex {
   SlmIndex(const PeptideStore& store, const chem::ModificationSet& mods,
            const IndexParams& params,
            std::span<const LocalPeptideId> subset);
+
+  // The hot arrays are spans that bind either to the owned vectors (built
+  // or stream-loaded) or to a mapped index file. Moves are safe — a moved
+  // std::vector keeps its heap buffer, so the spans stay valid — but a
+  // copy would leave the new spans pointing into the source, so copying is
+  // disallowed (the index is shared by reference everywhere it matters).
+  SlmIndex(const SlmIndex&) = delete;
+  SlmIndex& operator=(const SlmIndex&) = delete;
+  SlmIndex(SlmIndex&&) noexcept = default;
+  SlmIndex& operator=(SlmIndex&&) noexcept = default;
 
   const PeptideStore& store() const noexcept { return *store_; }
   const IndexParams& params() const noexcept { return params_; }
@@ -131,12 +147,29 @@ class SlmIndex {
   SlmIndex(const PeptideStore& store, const chem::ModificationSet& mods,
            const IndexParams& params, std::nullptr_t /*load tag*/);
 
-  /// Raw transformed-array payload (no framing): what `save` wraps in a
-  /// checksummed section and ChunkedIndex embeds per chunk.
-  void save_arrays(std::ostream& out) const;
-  static SlmIndex load_arrays(std::istream& in, const PeptideStore& store,
-                              const chem::ModificationSet& mods,
-                              const IndexParams& params);
+  /// Points the spans at the owned storage vectors.
+  void bind_owned() noexcept;
+
+  // Raw transformed-array payload (format v3, no framing): what `save`
+  // wraps in a checksummed raw section and ChunkedIndex records per chunk
+  // in its directory. Layout, starting 8-aligned:
+  //   [bin_offset_count u64][posting_count u64]
+  //   bin_offsets u32[], zero-padded to 8
+  //   postings    u32[], zero-padded to 8
+  // Size and CRC are computable without materializing the payload, so the
+  // chunk directory (which precedes the payloads) can be written first.
+  std::uint64_t arrays_payload_size() const noexcept;
+  std::uint32_t arrays_payload_crc() const noexcept;
+  void write_arrays_payload(std::ostream& out) const;
+
+  /// Parses one arrays payload from `payload` (positioned at its start,
+  /// 8-aligned phase) and validates structure. With a `keepalive` mapping
+  /// the spans bind in place (zero copy); without one the arrays are
+  /// copied into owned storage. Throws IoError on corrupt input.
+  static SlmIndex parse_arrays_payload(
+      bin::ByteReader& payload, const PeptideStore& store,
+      const chem::ModificationSet& mods, const IndexParams& params,
+      std::shared_ptr<const bin::MmapFile> keepalive);
 
   /// `query` with span reuse: when `rebuild_spans` is false the walk runs
   /// over arena.spans as-is (they must stem from this spectrum/params and
@@ -161,8 +194,13 @@ class SlmIndex {
   // 32-bit offsets mirror the paper's §III-D observation that plain int
   // indexing caps one partition at ~2 billion ions; a partition that would
   // overflow must be split (ChunkedIndex / more ranks). Checked at build.
-  std::vector<std::uint32_t> bin_offsets_;     ///< size num_bins+1
-  std::vector<LocalPeptideId> postings_;
+  // The spans are the access path; they bind to the storage vectors below
+  // (cold path) or straight into a mapped rank file (warm path).
+  std::span<const std::uint32_t> bin_offsets_;  ///< size num_bins+1
+  std::span<const LocalPeptideId> postings_;
+  std::vector<std::uint32_t> bin_offsets_storage_;
+  std::vector<LocalPeptideId> postings_storage_;
+  std::shared_ptr<const bin::MmapFile> keepalive_;
 
   // Backs the no-arena convenience overload only (mutable: query is
   // logically const). Untouched by the arena-passing hot paths.

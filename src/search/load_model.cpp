@@ -1,6 +1,9 @@
 #include "search/load_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace lbe::search {
 
@@ -11,7 +14,7 @@ double predict_query_cost(const index::ChunkedIndex& index,
   const index::Binning binning = index.index_params().binning();
   const auto occupancy = index.bin_occupancy();
 
-  // Prefix sums let each peak's tolerance window be summed in O(1).
+  // Prefix sums let each coalesced bin span be summed in O(1).
   std::vector<std::uint64_t> prefix(occupancy.size() + 1, 0);
   for (std::size_t b = 0; b < occupancy.size(); ++b) {
     prefix[b + 1] = prefix[b] + occupancy[b];
@@ -21,17 +24,45 @@ double predict_query_cost(const index::ChunkedIndex& index,
       binning.tolerance_bins(filter.fragment_tolerance);
   const index::MzBin last_bin = binning.num_bins() - 1;
 
+  // The engine coalesces overlapping peak windows into spans and walks
+  // each posting slice once (SlmIndex::build_spans), so the model must
+  // merge too: summing per-peak windows independently double-counts every
+  // bin covered by several peaks and systematically overestimates dense
+  // spectra, skewing LBE placement. Same two-pointer merge over sorted
+  // half-open [lo, hi) windows.
   double predicted = 0.0;
+  std::vector<std::pair<index::MzBin, index::MzBin>> windows;
   for (const auto& raw : queries) {
     const chem::Spectrum query = preprocess(raw, preprocess_params);
+    windows.clear();
     for (const Mz mz : query.mzs()) {
       if (!binning.in_range(mz)) continue;
       const index::MzBin center = binning.bin(mz);
       const index::MzBin lo = center > tol_bins ? center - tol_bins : 0;
-      const index::MzBin hi = std::min<index::MzBin>(center + tol_bins,
-                                                     last_bin);
-      predicted += static_cast<double>(prefix[hi + 1] - prefix[lo]);
+      // Guard the `center + tol_bins` sum against MzBin wraparound (a huge
+      // tolerance must clamp to the last bin, not wrap to a tiny one).
+      const index::MzBin hi =
+          tol_bins >= last_bin - center ? last_bin : center + tol_bins;
+      windows.emplace_back(lo, hi + 1);
     }
+    // Preprocessed spectra emit peaks m/z-sorted, so the windows arrive
+    // sorted by `lo` already; the sort is a no-op guard for callers that
+    // hand in unfinalized spectra.
+    if (!std::is_sorted(windows.begin(), windows.end())) {
+      std::sort(windows.begin(), windows.end());
+    }
+    index::MzBin span_lo = 0;
+    index::MzBin span_hi = 0;  // exclusive; empty when span_lo == span_hi
+    for (const auto& [lo, hi] : windows) {
+      if (lo > span_hi) {  // disjoint: flush the current merged span
+        predicted += static_cast<double>(prefix[span_hi] - prefix[span_lo]);
+        span_lo = lo;
+        span_hi = hi;
+      } else {
+        span_hi = std::max(span_hi, hi);
+      }
+    }
+    predicted += static_cast<double>(prefix[span_hi] - prefix[span_lo]);
   }
   return predicted;
 }

@@ -1,16 +1,19 @@
 // Query-load prediction — the paper's future-work "load-predicting model".
 //
-// The query phase's dominant cost is postings traffic: for each query peak
-// the engine touches every posting in the bins inside the fragment
-// tolerance window. That quantity is computable from the index's
-// bin-occupancy histogram and the query peak positions alone — no scorecard
-// pass needed — so a master can estimate per-rank query cost before any
-// query runs, and (with the Weighted policy) size partitions to
-// heterogeneous rank speeds.
+// The query phase's dominant cost is postings traffic: the engine merges
+// the query peaks' fragment-tolerance windows into coalesced bin spans and
+// walks every posting of each span exactly once (SlmIndex::build_spans).
+// That quantity is computable from the index's bin-occupancy histogram and
+// the query peak positions alone — no scorecard pass needed — so a master
+// can estimate per-rank query cost before any query runs, and (with the
+// Weighted policy) size partitions to heterogeneous rank speeds. The model
+// performs the same window merge: summing per-peak windows independently
+// would double-count overlap bins and overestimate dense spectra.
 //
-// The prediction is exact for postings_touched and a lower-order
-// approximation of total cost (it ignores the per-candidate term), so its
-// correlation with measured work is high but deliberately not 1.0.
+// The prediction is exact for the postings the engine walks and a
+// lower-order approximation of total cost (it ignores the per-candidate
+// term), so its correlation with measured work is high but deliberately
+// not 1.0.
 #pragma once
 
 #include <vector>

@@ -1,6 +1,7 @@
 #include "search/preprocess.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
@@ -8,11 +9,15 @@ namespace lbe::search {
 
 chem::Spectrum preprocess(const chem::Spectrum& input,
                           const PreprocessParams& params) {
-  // Collect indices of in-range peaks.
+  // Collect indices of in-range peaks. Non-finite values are dropped here,
+  // before any ordering: a NaN intensity would break the strict weak
+  // ordering of the top-N comparator below (UB in partial_sort), and a
+  // NaN/Inf m/z can neither be binned nor kept in m/z order.
   std::vector<std::size_t> idx;
   idx.reserve(input.size());
   for (std::size_t i = 0; i < input.size(); ++i) {
     const Mz mz = input.mz(i);
+    if (!std::isfinite(mz) || !std::isfinite(input.intensity(i))) continue;
     if (mz >= params.min_mz && mz <= params.max_mz) idx.push_back(i);
   }
 

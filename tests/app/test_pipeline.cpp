@@ -119,7 +119,9 @@ std::string slurp(const std::string& path) {
 }
 
 // The acceptance path for `search --index`: a warm start over the saved
-// bundle must produce a byte-identical psms.tsv to the cold rebuild.
+// bundle — through BOTH load paths, eager (--mmap off) and mapped lazy
+// (--mmap on, the default) — must produce a byte-identical psms.tsv to
+// the cold rebuild.
 TEST(LbectlPipeline, WarmStartSearchIsByteIdenticalToColdRebuild) {
   const AppOptions opts = small_options();
   const PipelineInputs inputs = prepare_inputs(opts);
@@ -128,22 +130,30 @@ TEST(LbectlPipeline, WarmStartSearchIsByteIdenticalToColdRebuild) {
   const std::string dir = ::testing::TempDir() + "/lbe_warm_start";
   index::save_index_bundle(dir,
                            build_index_bundle(plan, inputs.database, opts));
-  const auto warm =
-      try_load_warm_indexes(dir, plan, inputs.database, opts);
-  ASSERT_NE(warm, nullptr);
 
-  const SearchOutcome cold =
-      run_search_pipeline(plan, inputs.queries, opts);
-  const SearchOutcome warmed =
-      run_search_pipeline(plan, inputs.queries, opts, warm.get());
-
+  const SearchOutcome cold = run_search_pipeline(plan, inputs.queries, opts);
   const std::string cold_dir = dir + "/cold";
-  const std::string warm_dir = dir + "/warm";
   write_reports(cold_dir, plan, cold);
-  write_reports(warm_dir, plan, warmed);
   const std::string cold_psms = slurp(cold_dir + "/psms.tsv");
   EXPECT_FALSE(cold_psms.empty());
-  EXPECT_EQ(cold_psms, slurp(warm_dir + "/psms.tsv"));
+
+  for (const bool mmap_mode : {true, false}) {
+    AppOptions warm_opts = opts;
+    warm_opts.index_mmap = mmap_mode;
+    const auto warm =
+        try_load_warm_indexes(dir, plan, inputs.database, warm_opts);
+    ASSERT_NE(warm, nullptr);
+    for (const auto& rank : warm->per_rank) {
+      EXPECT_EQ(rank->mapped(), mmap_mode);
+    }
+    const SearchOutcome warmed =
+        run_search_pipeline(plan, inputs.queries, warm_opts, warm.get());
+    const std::string warm_dir =
+        dir + (mmap_mode ? "/warm_mmap" : "/warm_eager");
+    write_reports(warm_dir, plan, warmed);
+    EXPECT_EQ(cold_psms, slurp(warm_dir + "/psms.tsv"))
+        << (mmap_mode ? "mmap" : "eager") << " warm start diverged";
+  }
   fs::remove_all(dir);
 }
 

@@ -65,5 +65,15 @@ TEST(Binning, MaxMzFallsInLastValidBin) {
   EXPECT_LT(b.bin(2000.0), b.num_bins());
 }
 
+TEST(Binning, ToleranceBinsClampsInsteadOfOverflowing) {
+  const Binning b(0.01, 2000.0);
+  // A tolerance wider than the whole index covers every bin from any
+  // center; the cast of 1e14 bins to u32 would otherwise be UB/wraparound.
+  EXPECT_EQ(b.tolerance_bins(1e12), b.num_bins());
+  EXPECT_EQ(b.tolerance_bins(1e6), b.num_bins());
+  // Just under the clamp still rounds normally.
+  EXPECT_EQ(b.tolerance_bins(19.0), 1900u);
+}
+
 }  // namespace
 }  // namespace lbe::index

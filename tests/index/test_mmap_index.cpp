@@ -1,0 +1,304 @@
+// The mmap warm-start path (format v3): mapped indexes must answer queries
+// identically to eagerly loaded ones, materialize only the chunks a
+// precursor window touches, and turn EVERY corruption — flipped bit,
+// truncation, wrong version — into IoError at map time or first touch,
+// never a silently different result.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+#include "index/serialize.hpp"
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::index {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MmapIndexTest : public ::testing::Test {
+ protected:
+  MmapIndexTest() {
+    params_.resolution = 0.01;
+    params_.max_fragment_mz = 2000.0;
+    params_.fragments.max_fragment_charge = 1;
+  }
+
+  PeptideStore make_store() {
+    PeptideStore store(&mods_);
+    store.add(chem::Peptide("PEPTIDEK"), mods_);
+    store.add(chem::Peptide("MKWVTFISLLK"), mods_);
+    store.add(chem::Peptide("MGGGK", {{0, 2}}, mods_), mods_);  // modified
+    store.add(chem::Peptide("GGGGGGK"), mods_);
+    store.add(chem::Peptide("AAAAAAGK"), mods_);
+    store.add(chem::Peptide("WWWWWWK"), mods_);
+    return store;
+  }
+
+  /// Saves a chunked index (2 entries per chunk => 3 chunks) to a file.
+  std::string save_chunked(const std::string& name) {
+    ChunkingParams chunking;
+    chunking.max_chunk_entries = 2;
+    const ChunkedIndex original(make_store(), mods_, params_, chunking);
+    const std::string path = ::testing::TempDir() + "/" + name;
+    original.save_file(path);
+    return path;
+  }
+
+  chem::Spectrum theo(const std::string& seq) {
+    return theospec::theoretical_spectrum(chem::Peptide(seq), mods_,
+                                          params_.fragments);
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  IndexParams params_;
+};
+
+TEST_F(MmapIndexTest, MappedQueriesAgreeWithEagerLoad) {
+  const std::string path = save_chunked("mmap_roundtrip.idx");
+  const auto eager = ChunkedIndex::load_file(path, mods_, params_);
+  const auto mapped = ChunkedIndex::map_file(path, mods_, params_);
+
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_TRUE(mapped->store().mapped());
+  EXPECT_EQ(mapped->num_chunks(), eager->num_chunks());
+  EXPECT_EQ(mapped->num_peptides(), eager->num_peptides());
+
+  QueryParams filter;
+  filter.shared_peak_min = 1;
+  for (const char* seq : {"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK", "WWWWWWK"}) {
+    const auto spectrum = theo(seq);
+    std::vector<Candidate> a;
+    std::vector<Candidate> b;
+    QueryWork wa;
+    QueryWork wb;
+    eager->query(spectrum, filter, a, wa);
+    mapped->query(spectrum, filter, b, wb);
+    ASSERT_EQ(a.size(), b.size()) << seq;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].peptide, b[i].peptide);
+      EXPECT_EQ(a[i].shared_peaks, b[i].shared_peaks);
+      EXPECT_FLOAT_EQ(a[i].matched_intensity, b[i].matched_intensity);
+    }
+    EXPECT_EQ(wa.postings_touched, wb.postings_touched);
+  }
+  // num_postings forces full materialization; totals must agree.
+  EXPECT_EQ(mapped->num_postings(), eager->num_postings());
+  EXPECT_EQ(mapped->num_chunks_loaded(), mapped->num_chunks());
+}
+
+TEST_F(MmapIndexTest, NarrowWindowMaterializesOnlyIntersectingChunks) {
+  const std::string path = save_chunked("mmap_lazy.idx");
+  const auto mapped = ChunkedIndex::map_file(path, mods_, params_);
+  ASSERT_EQ(mapped->num_chunks(), 3u);
+  EXPECT_EQ(mapped->num_chunks_loaded(), 0u);
+
+  // A tight precursor window around one stored mass touches one chunk.
+  auto spectrum = theo("PEPTIDEK");
+  QueryParams narrow;
+  narrow.shared_peak_min = 1;
+  narrow.precursor_tolerance = 0.5;
+  std::vector<Candidate> candidates;
+  QueryWork work;
+  mapped->query(spectrum, narrow, candidates, work);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_GE(mapped->num_chunks_loaded(), 1u);
+  EXPECT_LT(mapped->num_chunks_loaded(), mapped->num_chunks());
+
+  // The eager oracle agrees on the same narrow window.
+  const auto eager = ChunkedIndex::load_file(path, mods_, params_);
+  std::vector<Candidate> oracle;
+  QueryWork oracle_work;
+  eager->query(spectrum, narrow, oracle, oracle_work);
+  ASSERT_EQ(candidates.size(), oracle.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(candidates[i].peptide, oracle[i].peptide);
+    EXPECT_EQ(candidates[i].shared_peaks, oracle[i].shared_peaks);
+  }
+}
+
+TEST_F(MmapIndexTest, ConcurrentFirstTouchIsSafe) {
+  const std::string path = save_chunked("mmap_threads.idx");
+  const auto mapped = ChunkedIndex::map_file(path, mods_, params_);
+  const auto spectrum = theo("GGGGGGK");
+  QueryParams filter;
+  filter.shared_peak_min = 1;
+
+  std::vector<Candidate> expected;
+  {
+    const auto eager = ChunkedIndex::load_file(path, mods_, params_);
+    QueryWork work;
+    eager->query(spectrum, filter, expected, work);
+  }
+
+  // Many threads race the open-search first touch of every chunk.
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Candidate>> results(8);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      QueryArena arena;
+      QueryWork work;
+      mapped->query(spectrum, filter, results[t], work, arena);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& result : results) {
+    ASSERT_EQ(result.size(), expected.size());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].peptide, expected[i].peptide);
+      EXPECT_EQ(result[i].shared_peaks, expected[i].shared_peaks);
+    }
+  }
+  EXPECT_EQ(mapped->num_chunks_loaded(), mapped->num_chunks());
+}
+
+TEST_F(MmapIndexTest, EveryFlippedBitFailsAtMapOrFirstTouch) {
+  const std::string path = save_chunked("mmap_flip.idx");
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_GT(bytes.size(), 128u);
+
+  const std::string corrupt_path = ::testing::TempDir() + "/mmap_flip_c.idx";
+  QueryParams open_filter;
+  open_filter.shared_peak_min = 1;
+  const auto spectrum = theo("PEPTIDEK");
+
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += 1 + bytes.size() / 139) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x08);
+    {
+      std::ofstream out(corrupt_path, std::ios::binary);
+      out.write(corrupt.data(),
+                static_cast<std::streamsize>(corrupt.size()));
+    }
+    // Map, then touch everything: any flipped bit must surface as IoError
+    // by the time every chunk has been materialized (lazy chunks report at
+    // first touch; metadata reports at map time).
+    EXPECT_THROW(
+        {
+          const auto mapped =
+              ChunkedIndex::map_file(corrupt_path, mods_, params_);
+          std::vector<Candidate> candidates;
+          QueryWork work;
+          mapped->query(spectrum, open_filter, candidates, work);
+          (void)mapped->num_postings();
+        },
+        IoError)
+        << "flipped bit at byte " << pos << " went undetected";
+  }
+  fs::remove(corrupt_path);
+}
+
+TEST_F(MmapIndexTest, TruncationFailsAtMapOrFirstTouch) {
+  const std::string path = save_chunked("mmap_trunc.idx");
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  const std::string cut_path = ::testing::TempDir() + "/mmap_trunc_c.idx";
+  for (const double fraction : {0.1, 0.4, 0.7, 0.95, 0.999}) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(bytes.size()) * fraction);
+    {
+      std::ofstream out(cut_path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW(
+        {
+          const auto mapped =
+              ChunkedIndex::map_file(cut_path, mods_, params_);
+          (void)mapped->num_postings();
+        },
+        IoError)
+        << "truncation to " << keep << " bytes went undetected";
+  }
+  fs::remove(cut_path);
+}
+
+TEST_F(MmapIndexTest, MapRejectsWrongVersionAndParams) {
+  const std::string path = save_chunked("mmap_version.idx");
+  // Patch the version field (bytes 4..8 of the header) to v2.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  bytes[4] = 2;
+  const std::string v2_path = ::testing::TempDir() + "/mmap_version_c.idx";
+  {
+    std::ofstream out(v2_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(ChunkedIndex::map_file(v2_path, mods_, params_), IoError);
+  fs::remove(v2_path);
+
+  IndexParams other = params_;
+  other.resolution = 0.02;
+  EXPECT_THROW(ChunkedIndex::map_file(path, mods_, other), IoError);
+  EXPECT_THROW(ChunkedIndex::map_file("/nonexistent/x.idx", mods_, params_),
+               IoError);
+}
+
+TEST_F(MmapIndexTest, SavingAMappedIndexRoundTrips) {
+  const std::string path = save_chunked("mmap_resave.idx");
+  const auto mapped = ChunkedIndex::map_file(path, mods_, params_);
+  // Saving materializes (and re-validates) every chunk.
+  std::stringstream buffer;
+  mapped->save(buffer);
+  const auto reloaded = ChunkedIndex::load(buffer, mods_, params_);
+  EXPECT_EQ(reloaded->num_postings(), mapped->num_postings());
+  EXPECT_EQ(reloaded->num_chunks(), mapped->num_chunks());
+}
+
+TEST_F(MmapIndexTest, MappedBundleLoadMatchesEager) {
+  // Two hand-carved ranks, loaded via both bundle modes.
+  IndexBundle bundle;
+  bundle.lbe.partition.ranks = 2;
+  bundle.index_params = params_;
+  bundle.chunking.max_chunk_entries = 2;
+  bundle.mapping = MappingTable({{0, 2, 4}, {1, 3, 5}});
+  for (int rank = 0; rank < 2; ++rank) {
+    PeptideStore store(&mods_);
+    store.add(chem::Peptide(rank == 0 ? "PEPTIDEK" : "MKWVTFISLLK"), mods_);
+    store.add(chem::Peptide(rank == 0 ? "GGGGGGK" : "MGGGK"), mods_);
+    store.add(chem::Peptide(rank == 0 ? "AAAAAAGK" : "WWWWWWK"), mods_);
+    bundle.per_rank.push_back(std::make_unique<ChunkedIndex>(
+        std::move(store), mods_, params_, bundle.chunking));
+  }
+  const std::string dir = ::testing::TempDir() + "/lbe_bundle_mmap";
+  save_index_bundle(dir, bundle);
+
+  const IndexBundle eager =
+      load_index_bundle(dir, mods_, BundleLoadMode::kEager);
+  const IndexBundle mapped =
+      load_index_bundle(dir, mods_, BundleLoadMode::kMapped);
+  ASSERT_EQ(mapped.ranks(), eager.ranks());
+  EXPECT_TRUE(mapped.mapping == eager.mapping);
+  for (int rank = 0; rank < mapped.ranks(); ++rank) {
+    const auto& m = *mapped.per_rank[static_cast<std::size_t>(rank)];
+    const auto& e = *eager.per_rank[static_cast<std::size_t>(rank)];
+    EXPECT_TRUE(m.mapped());
+    EXPECT_EQ(m.num_peptides(), e.num_peptides());
+    EXPECT_EQ(m.num_postings(), e.num_postings());
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lbe::index

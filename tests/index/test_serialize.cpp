@@ -207,6 +207,18 @@ TEST_F(SerializeTest, LoadRejectsWrongComponentKind) {
   EXPECT_THROW(ChunkedIndex::load(buffer, mods_, params_), IoError);
 }
 
+TEST_F(SerializeTest, ChunkedLoadRejectsTrailingBytes) {
+  // Both load modes must agree on validity: map_file requires the chunk
+  // extents to account for the whole file, so the eager stream load must
+  // reject appended garbage too.
+  const ChunkedIndex original(make_store(), mods_, params_,
+                              ChunkingParams{});
+  std::stringstream buffer;
+  original.save(buffer);
+  buffer << "garbage";
+  EXPECT_THROW(ChunkedIndex::load(buffer, mods_, params_), IoError);
+}
+
 TEST_F(SerializeTest, ChunkedLoadRejectsTruncation) {
   const ChunkedIndex original(make_store(), mods_, params_,
                               ChunkingParams{});

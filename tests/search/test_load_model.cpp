@@ -67,6 +67,56 @@ TEST_F(LoadModelTest, BiggerPartitionPredictsMoreCost) {
             predict_query_cost(large, queries, filter_, preprocess_));
 }
 
+// Regression: the model used to sum each peak's tolerance window
+// independently, double-counting bins covered by several peaks, while the
+// engine coalesces overlapping windows and walks each posting once. Two
+// peaks landing in the same bin must predict the same cost as one.
+TEST_F(LoadModelTest, OverlappingWindowsAreNotDoubleCounted) {
+  const auto index =
+      make_index({"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK", "AAAAAAGK"});
+
+  chem::Spectrum one;
+  one.add_peak(500.0, 1.0f);
+  one.precursor.neutral_mass = 1000.0;
+  one.finalize();
+  chem::Spectrum two = one;
+  two.add_peak(500.004, 1.0f);  // same 0.01-Da bin => identical window
+  two.finalize();
+
+  const double predicted_one =
+      predict_query_cost(index, {one}, filter_, preprocess_);
+  const double predicted_two =
+      predict_query_cost(index, {two}, filter_, preprocess_);
+  EXPECT_DOUBLE_EQ(predicted_two, predicted_one);
+
+  // The engine's multiplicity-weighted accounting still counts both peaks
+  // (it mirrors the per-peak reference walk), so the old per-peak sum is
+  // recoverable as work.postings_touched — and the merged prediction must
+  // sit at half of it for a fully-overlapping pair.
+  index::QueryWork work;
+  std::vector<index::Candidate> candidates;
+  index.query(preprocess(two, preprocess_), filter_, candidates, work);
+  EXPECT_DOUBLE_EQ(2.0 * predicted_two,
+                   static_cast<double>(work.postings_touched));
+}
+
+// Regression: `center + tol_bins` could wrap MzBin for a huge fragment
+// tolerance; the window must clamp to "all bins" instead.
+TEST_F(LoadModelTest, HugeToleranceClampsToWholeIndex) {
+  const auto index = make_index({"PEPTIDEK", "GGGGGGK"});
+  index::QueryParams wide = filter_;
+  wide.fragment_tolerance = 1e12;
+
+  chem::Spectrum q;
+  q.add_peak(1000.0, 1.0f);
+  q.precursor.neutral_mass = 1000.0;
+  q.finalize();
+
+  // One peak whose window covers every bin touches every posting once.
+  const double predicted = predict_query_cost(index, {q}, wide, preprocess_);
+  EXPECT_DOUBLE_EQ(predicted, static_cast<double>(index.num_postings()));
+}
+
 TEST(PredictionCorrelation, PerfectAndInverse) {
   EXPECT_DOUBLE_EQ(
       prediction_correlation({1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}), 1.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace lbe::search {
 namespace {
 
@@ -115,6 +117,50 @@ TEST(Preprocess, IntensityTiesBrokenByLowerMz) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_DOUBLE_EQ(out.mz(0), 100.0);
   EXPECT_DOUBLE_EQ(out.mz(1), 200.0);
+}
+
+// Regression: NaN intensities fed to the top-N partial_sort comparator
+// broke its strict weak ordering (UB); non-finite m/z could neither be
+// binned nor kept sorted. All such peaks are dropped up front.
+TEST(Preprocess, DropsNonFinitePeaks) {
+  constexpr double kNanMz = std::numeric_limits<double>::quiet_NaN();
+  constexpr float kNanInt = std::numeric_limits<float>::quiet_NaN();
+  chem::Spectrum s;
+  s.add_peak(100.0, 5.0f);
+  s.add_peak(kNanMz, 50.0f);
+  s.add_peak(200.0, kNanInt);
+  s.add_peak(300.0, std::numeric_limits<float>::infinity());
+  s.add_peak(std::numeric_limits<double>::infinity(), 2.0f);
+  s.add_peak(150.0, 7.0f);
+  // Deliberately NOT finalized: finalize() sorts by m/z, which a NaN m/z
+  // would also break. preprocess must cope with the raw parse order.
+  PreprocessParams params;
+  params.top_peaks = 10;
+  params.normalize = false;
+  const auto out = preprocess(s, params);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.mz(0), 100.0);
+  EXPECT_DOUBLE_EQ(out.mz(1), 150.0);
+  EXPECT_FLOAT_EQ(out.intensity(0), 5.0f);
+  EXPECT_FLOAT_EQ(out.intensity(1), 7.0f);
+}
+
+TEST(Preprocess, NanPeaksDoNotDisturbTopNSelection) {
+  chem::Spectrum s;
+  for (std::size_t i = 0; i < 20; ++i) {
+    s.add_peak(100.0 + static_cast<double>(i), 1.0f + static_cast<float>(i));
+    s.add_peak(500.0 + static_cast<double>(i),
+               std::numeric_limits<float>::quiet_NaN());
+  }
+  PreprocessParams params;
+  params.top_peaks = 5;
+  params.normalize = false;
+  const auto out = preprocess(s, params);
+  // Top 5 finite intensities are 20..16 at m/z 119..115, emitted sorted.
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.mz(i), 115.0 + static_cast<double>(i));
+  }
 }
 
 TEST(Preprocess, PaperDefaultIsTop100) {
