@@ -21,15 +21,20 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: lbebench [--suite smoke|micro|index_io|figures|ablation] [--list]\n"
-    "                [--filter SUBSTR] [--repeat N] [--out DIR]\n"
+    "usage: lbebench [--suite smoke|micro|index_io|serve|figures|ablation]\n"
+    "                [--list] [--filter SUBSTR] [--repeat N] [--out DIR]\n"
     "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
+    "                [--gate-lower METRIC[,METRIC...]]\n"
+    "                [--lower-max-regress FRAC]\n"
     "\n"
     "Runs a registered benchmark suite and writes BENCH_<suite>.json\n"
     "(schema v1: wall time min/median/stddev per benchmark, queries/sec,\n"
     "cPSMs/sec, Eq. 1 load imbalance, peak RSS, git/compiler provenance).\n"
     "With --baseline, exits 2 when median queries/sec regresses more than\n"
-    "--max-regress (default 0.25) against the baseline file.\n";
+    "--max-regress (default 0.25) against the baseline file. --gate-lower\n"
+    "additionally gates the named lower-is-better metrics (e.g.\n"
+    "p50_latency_ms,p99_latency_ms of the serve suite), failing when one\n"
+    "grows beyond baseline / (1 - --lower-max-regress) (default 0.5).\n";
 
 int list_benches() {
   lbe::perf::register_all_benches();
@@ -76,6 +81,26 @@ int main(int argc, char** argv) {
       options.max_regress = std::atof(value().c_str());
       if (options.max_regress < 0.0 || options.max_regress >= 1.0) {
         std::fprintf(stderr, "lbebench: --max-regress must be in [0, 1)\n");
+        return 1;
+      }
+    } else if (arg == "--gate-lower") {
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string metric =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!metric.empty()) options.gate_lower.push_back(metric);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--lower-max-regress") {
+      options.lower_max_regress = std::atof(value().c_str());
+      if (options.lower_max_regress < 0.0 ||
+          options.lower_max_regress >= 1.0) {
+        std::fprintf(stderr,
+                     "lbebench: --lower-max-regress must be in [0, 1)\n");
         return 1;
       }
     } else if (arg == "--no-json") {

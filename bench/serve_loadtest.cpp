@@ -1,0 +1,13 @@
+// Serve load test — thin driver. The benchmark body lives in src/perf/
+// (registered on the lbebench harness); this binary preserves the
+// standalone reproduce-one-benchmark workflow and its exit-code contract
+// (0 = all shape checks passed).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
+
+int main() {
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  const int throughput = lbe::perf::run_single_benchmark("serve_throughput");
+  const int open_loop = lbe::perf::run_single_benchmark("serve_open_loop");
+  return throughput != 0 ? throughput : open_loop;
+}

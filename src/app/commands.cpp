@@ -1,9 +1,14 @@
 #include "app/commands.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/pipeline.hpp"
@@ -12,10 +17,22 @@
 #include "digest/variants.hpp"
 #include "index/serialize.hpp"
 #include "perf/metrics.hpp"
+#include "search/report.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 
 namespace lbe::app {
 
 namespace {
+
+// Signal flags for the serve loop; sigaction handlers may only touch
+// lock-free atomics of this kind.
+volatile std::sig_atomic_t g_serve_stop = 0;
+volatile std::sig_atomic_t g_serve_reload = 0;
+
+void on_serve_stop(int) { g_serve_stop = 1; }
+void on_serve_reload(int) { g_serve_reload = 1; }
 
 void print_database_summary(const DatabaseBundle& db) {
   std::size_t decoys = 0;
@@ -205,6 +222,148 @@ int run_stats(const AppOptions& opts) {
   return 0;
 }
 
+int run_serve(const AppOptions& opts) {
+  if (opts.socket_path.empty()) {
+    throw ConfigError("serve requires --socket PATH");
+  }
+  auto context = serve::load_serving_context(opts);
+  print_database_summary(context->db);
+  print_plan_summary(context->plan);
+  std::printf("serve: %d rank indexes resident%s\n", context->warm->ranks(),
+              opts.index_dir.empty()
+                  ? " (built in memory; use --index for a prepared bundle)"
+                  : (opts.index_mmap ? " (mmap, lazy chunks)" : " (eager)"));
+
+  serve::ServerConfig config;
+  config.socket_path = opts.socket_path;
+  config.queue_depth = opts.queue_depth;
+  config.workers = opts.serve_workers;
+  config.threads_per_batch = opts.threads;
+  serve::Server server(config, context);
+  context.reset();  // the server's snapshot is now the only generation owner
+
+  struct sigaction stop_action {};
+  stop_action.sa_handler = on_serve_stop;
+  sigemptyset(&stop_action.sa_mask);
+  struct sigaction reload_action {};
+  reload_action.sa_handler = on_serve_reload;
+  sigemptyset(&reload_action.sa_mask);
+  g_serve_stop = 0;
+  g_serve_reload = 0;
+  sigaction(SIGINT, &stop_action, nullptr);
+  sigaction(SIGTERM, &stop_action, nullptr);
+  sigaction(SIGHUP, &reload_action, nullptr);
+
+  server.start();
+  std::printf("serve: listening on %s (queue %u, workers %u, threads %u)\n",
+              opts.socket_path.c_str(), config.queue_depth, config.workers,
+              config.threads_per_batch);
+  std::fflush(stdout);
+
+  while (g_serve_stop == 0 && !server.shutdown_requested()) {
+    if (g_serve_reload != 0) {
+      g_serve_reload = 0;
+      // Re-prepare off to the side, validate, then swap atomically;
+      // in-flight batches drain on the generation they snapshotted. A
+      // failed reload keeps the current index serving.
+      try {
+        server.hot_swap(serve::load_serving_context(opts));
+        std::printf("serve: hot swap complete (%llu reloads)\n",
+                    static_cast<unsigned long long>(server.stats().reloads));
+      } catch (const Error& error) {
+        std::fprintf(stderr,
+                     "serve: reload failed, keeping current index: %s\n",
+                     error.what());
+      }
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.stop();
+  std::printf("serve: shutdown complete\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+int run_query(const AppOptions& opts) {
+  if (opts.socket_path.empty()) {
+    throw ConfigError("query requires --socket PATH");
+  }
+  // Build the query set exactly as one-shot `search` would (same plan/
+  // synthetic-generation path), so daemon psms.tsv is comparable.
+  const PipelineInputs inputs = prepare_inputs(opts);
+  const std::vector<chem::Spectrum>& spectra = inputs.queries.spectra;
+  std::printf("queries: %zu spectra from %s\n", spectra.size(),
+              inputs.queries.origin.c_str());
+
+  serve::ServeClient client(opts.socket_path);
+  if (!client.connect_wait(/*timeout_seconds=*/30.0)) {
+    throw IoError("no daemon answered on " + opts.socket_path +
+                  " within 30 s");
+  }
+  const serve::PongInfo info = client.ping();
+  std::printf("query: connected to daemon on %s (%u ranks, top_k %u)\n",
+              opts.socket_path.c_str(), info.ranks, info.top_k);
+
+  std::vector<search::ResolvedPsm> rows;
+  std::vector<double> batch_ms;
+  std::uint64_t candidates = 0;
+  const std::size_t batch = opts.batch;
+  for (std::size_t lo = 0; lo < spectra.size(); lo += batch) {
+    const std::size_t hi = std::min(spectra.size(), lo + batch);
+    serve::SearchRequest request;
+    request.start_id = static_cast<std::uint32_t>(lo);
+    request.spectra.assign(spectra.begin() + lo, spectra.begin() + hi);
+    for (;;) {
+      const auto sent = std::chrono::steady_clock::now();
+      serve::ServeClient::Outcome outcome = client.search(request);
+      if (outcome.status == serve::Status::kQueueFull) {
+        // Admission control pushed back; yield briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      if (outcome.status != serve::Status::kOk) {
+        throw IoError(std::string("daemon rejected batch: ") +
+                      serve::status_name(outcome.status) + ": " +
+                      outcome.error);
+      }
+      batch_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - sent)
+              .count());
+      candidates += outcome.response.candidates;
+      rows.insert(rows.end(), outcome.response.rows.begin(),
+                  outcome.response.rows.end());
+      break;
+    }
+  }
+
+  std::filesystem::create_directories(opts.out_dir);
+  const std::string report_path = opts.out_dir + "/psms.tsv";
+  search::write_psm_rows_file(report_path, rows);
+
+  std::sort(batch_ms.begin(), batch_ms.end());
+  const auto percentile = [&](double p) {
+    if (batch_ms.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(
+        p * static_cast<double>(batch_ms.size() - 1) + 0.5);
+    return batch_ms[i];
+  };
+  std::printf("query: %zu queries in %zu batches, %llu candidates; "
+              "batch latency p50 %.2f ms, p99 %.2f ms\n",
+              spectra.size(), batch_ms.size(),
+              static_cast<unsigned long long>(candidates), percentile(0.5),
+              percentile(0.99));
+  std::printf("report: %s (%zu rows)\n", report_path.c_str(), rows.size());
+
+  if (opts.send_shutdown) {
+    client.shutdown_server();
+    std::printf("query: daemon shutdown requested\n");
+  }
+  return 0;
+}
+
 int dispatch(const CliInvocation& cli) {
   if (cli.subcommand == "help") {
     std::printf("%s", usage());
@@ -214,8 +373,10 @@ int dispatch(const CliInvocation& cli) {
   if (cli.subcommand == "prepare") return run_prepare(opts);
   if (cli.subcommand == "search") return run_search(opts);
   if (cli.subcommand == "stats") return run_stats(opts);
+  if (cli.subcommand == "serve") return run_serve(opts);
+  if (cli.subcommand == "query") return run_query(opts);
   throw ConfigError("unknown subcommand: " + cli.subcommand +
-                    " (expected prepare|search|stats)");
+                    " (expected prepare|search|stats|serve|query)");
 }
 
 }  // namespace lbe::app

@@ -19,6 +19,15 @@ int run_search(const AppOptions& opts);
 /// for the configured plan, plus a policy comparison table.
 int run_stats(const AppOptions& opts);
 
+/// Long-lived search daemon on opts.socket_path: maps the index bundle
+/// once, answers query batches until SIGINT/SIGTERM or a client shutdown
+/// request; SIGHUP re-prepares the serving context and hot-swaps it.
+int run_serve(const AppOptions& opts);
+
+/// Daemon client: builds the query set exactly as `search` would, ships it
+/// in batches to the daemon at opts.socket_path, writes psms.tsv.
+int run_query(const AppOptions& opts);
+
 /// Maps a parsed invocation to the matching subcommand (or prints usage).
 int dispatch(const CliInvocation& cli);
 

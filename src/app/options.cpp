@@ -15,7 +15,7 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 39> kKnownKeys = {
+constexpr std::array<std::string_view, 43> kKnownKeys = {
     "db",          "queries",       "plan",
     "index",       "index_out",     "mmap",
     "out",         "entries",       "num_queries",
@@ -29,7 +29,8 @@ constexpr std::array<std::string_view, 39> kKnownKeys = {
     "max_fragment_charge", "fragment_tolerance", "shared_peak_min",
     "precursor_tolerance", "top_k", "fdr",
     "threads",     "batch",         "report",
-    "verify",
+    "verify",      "socket",        "queue_depth",
+    "workers",     "shutdown",
 };
 
 bool known_key(std::string_view key) {
@@ -74,6 +75,12 @@ void AppOptions::validate() const {
   }
   if (batch < 1) {
     throw ConfigError("batch must be >= 1");
+  }
+  if (queue_depth < 1) {
+    throw ConfigError("queue_depth must be >= 1");
+  }
+  if (serve_workers < 1) {
+    throw ConfigError("workers must be >= 1");
   }
   if (fdr_threshold <= 0.0 || fdr_threshold > 1.0) {
     throw ConfigError("fdr must be in (0, 1]");
@@ -158,6 +165,10 @@ AppOptions options_from_config(const Config& config) {
 
   opts.threads = get_u32(config, "threads", 1);
   opts.batch = get_u32(config, "batch", 64);
+  opts.socket_path = config.get_string("socket", "");
+  opts.queue_depth = get_u32(config, "queue_depth", 64);
+  opts.serve_workers = get_u32(config, "workers", 1);
+  opts.send_shutdown = config.get_bool("shutdown", false);
   opts.search.threads_per_rank = opts.threads;
   opts.search.result_batch = opts.batch;
 
@@ -235,12 +246,15 @@ const char* usage() {
   return R"(lbectl — end-to-end LBE peptide-search driver
 
 Usage:
-  lbectl <prepare|search|stats> [--config FILE] [--key value]...
+  lbectl <prepare|search|stats|serve|query> [--config FILE] [--key value]...
 
 Subcommands:
   prepare   build the LBE plan and per-rank indexes, serialize to --out
   search    run the full distributed pipeline and write PSM/metrics reports
   stats     print partition load-balance statistics for the configured plan
+  serve     long-lived daemon: map the index bundle once, answer query
+            batches over a Unix-domain socket (SIGHUP = hot-swap reload)
+  query     client: send the query set to a running daemon, write psms.tsv
 
 Common options (config-file keys and --key overrides are identical;
 dashes in CLI option names are accepted as underscores):
@@ -268,11 +282,19 @@ dashes in CLI option names are accepted as underscores):
   --verify             also run the shared-memory baseline and compare
   --report BOOL        write psms.tsv + metrics.csv        (default true)
 
+Serving options:
+  --socket PATH        serve/query: Unix-domain socket path (required)
+  --queue_depth N      serve: bounded request-queue depth   (default 64)
+  --workers N          serve: concurrent search batches     (default 1)
+  --shutdown           query: ask the daemon to exit after the batch
+
 Examples:
   lbectl search --ranks 4 --threads 4 --verify
   lbectl prepare --db proteins.fasta --out run1
   lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
   lbectl search --plan run1/plan.lbe --index run1 --out run1
+  lbectl serve --plan run1/plan.lbe --index run1 --socket /tmp/lbe.sock
+  lbectl query --plan run1/plan.lbe --socket /tmp/lbe.sock --out client
   lbectl stats --policy chunk --ranks 16
 )";
 }

@@ -61,6 +61,12 @@ struct AppOptions {
   std::uint32_t threads = 1;  ///< threads per simulated rank
   std::uint32_t batch = 64;   ///< queries per result batch on the wire
 
+  // ---- serving (`lbectl serve` / `lbectl query`) ----
+  std::string socket_path;          ///< Unix-domain socket the daemon binds
+  std::uint32_t queue_depth = 64;   ///< serve: bounded request-queue depth
+  std::uint32_t serve_workers = 1;  ///< serve: concurrent search batches
+  bool send_shutdown = false;       ///< query: ask the daemon to exit after
+
   // ---- outputs / behaviour ----
   bool write_report = true;      ///< psms.tsv + metrics.csv under out_dir
   bool verify_baseline = false;  ///< re-run shared-memory engine and compare

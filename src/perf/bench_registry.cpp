@@ -74,6 +74,7 @@ void register_all_benches() {
     register_smoke_benches(registry);
     register_micro_benches(registry);
     register_index_io_benches(registry);
+    register_serve_benches(registry);
     register_figure_benches(registry);
     register_ablation_benches(registry);
     return true;
@@ -146,33 +147,56 @@ int run_suite(const BenchRunOptions& options) {
   int regressions = 0;
   if (!options.baseline_path.empty()) {
     const BenchReport baseline = load_report_file(options.baseline_path);
+    const auto print_findings = [&](const std::vector<RegressionFinding>&
+                                        findings,
+                                    double max_regress,
+                                    bool lower_is_better) {
+      for (const RegressionFinding& finding : findings) {
+        if (finding.current == 0.0 && finding.ratio == 0.0) {
+          std::fprintf(stderr,
+                       "REGRESSION %s: %s missing from the current report "
+                       "(baseline %.1f) — refresh the baseline if this "
+                       "benchmark was renamed or removed\n",
+                       finding.benchmark.c_str(), finding.metric.c_str(),
+                       finding.baseline);
+          continue;
+        }
+        std::fprintf(stderr,
+                     "REGRESSION %s: %s %.1f -> %.1f (%.0f%% of baseline; "
+                     "%s is %.0f%%)\n",
+                     finding.benchmark.c_str(), finding.metric.c_str(),
+                     finding.baseline, finding.current, 100.0 * finding.ratio,
+                     lower_is_better ? "ceiling" : "floor",
+                     lower_is_better ? 100.0 / (1.0 - max_regress)
+                                     : 100.0 * (1.0 - max_regress));
+      }
+    };
     // A filtered run is deliberately partial: gate only what actually ran.
     // Full-suite runs (CI) also flag baseline benchmarks that vanished.
     const auto findings =
         find_regressions(baseline, report, options.max_regress,
                          "queries_per_sec", options.filter.empty());
-    for (const RegressionFinding& finding : findings) {
-      if (finding.current == 0.0) {
-        std::fprintf(stderr,
-                     "REGRESSION %s: %s missing from the current report "
-                     "(baseline %.1f) — refresh the baseline if this "
-                     "benchmark was renamed or removed\n",
-                     finding.benchmark.c_str(), finding.metric.c_str(),
-                     finding.baseline);
-        continue;
-      }
-      std::fprintf(stderr,
-                   "REGRESSION %s: %s %.1f -> %.1f (%.0f%% of baseline; "
-                   "floor is %.0f%%)\n",
-                   finding.benchmark.c_str(), finding.metric.c_str(),
-                   finding.baseline, finding.current, 100.0 * finding.ratio,
-                   100.0 * (1.0 - options.max_regress));
-    }
+    print_findings(findings, options.max_regress, false);
     regressions = static_cast<int>(findings.size());
-    if (regressions == 0) {
+    if (findings.empty()) {
       std::printf("# baseline gate: no %s regression beyond %.0f%% vs %s\n",
                   "queries_per_sec", 100.0 * options.max_regress,
                   options.baseline_path.c_str());
+    }
+    // Lower-is-better metrics (latency percentiles) gate with their own,
+    // looser tolerance: tail latency is noisier than median throughput.
+    for (const std::string& metric : options.gate_lower) {
+      const auto lower_findings = find_regressions(
+          baseline, report, options.lower_max_regress, metric,
+          options.filter.empty(), /*lower_is_better=*/true);
+      print_findings(lower_findings, options.lower_max_regress, true);
+      regressions += static_cast<int>(lower_findings.size());
+      if (lower_findings.empty()) {
+        std::printf(
+            "# baseline gate: no %s growth beyond %.0f%% of baseline vs %s\n",
+            metric.c_str(), 100.0 / (1.0 - options.lower_max_regress),
+            options.baseline_path.c_str());
+      }
     }
   }
 

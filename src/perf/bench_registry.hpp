@@ -93,6 +93,7 @@ void register_ablation_benches(BenchRegistry& registry);
 void register_micro_benches(BenchRegistry& registry);
 void register_smoke_benches(BenchRegistry& registry);
 void register_index_io_benches(BenchRegistry& registry);
+void register_serve_benches(BenchRegistry& registry);
 
 struct BenchRunOptions {
   std::string suite = "smoke";
@@ -102,6 +103,11 @@ struct BenchRunOptions {
   bool write_json = true;
   std::string baseline_path; ///< gate against this BENCH json when set
   double max_regress = 0.25; ///< median queries/sec regression tolerance
+  /// Additional lower-is-better metrics to gate (e.g. latency percentiles
+  /// of the serve suite); a benchmark regresses when such a metric grows
+  /// beyond baseline / (1 - lower_max_regress).
+  std::vector<std::string> gate_lower;
+  double lower_max_regress = 0.5;
 };
 
 /// Runs one suite; returns the process exit code: 0 = all benchmarks'

@@ -217,7 +217,8 @@ std::vector<RegressionFinding> find_regressions(const BenchReport& baseline,
                                                 const BenchReport& current,
                                                 double max_regress,
                                                 const std::string& metric,
-                                                bool flag_missing) {
+                                                bool flag_missing,
+                                                bool lower_is_better) {
   LBE_CHECK(max_regress >= 0.0 && max_regress < 1.0,
             "max_regress must be in [0, 1)");
   std::vector<RegressionFinding> findings;
@@ -233,7 +234,11 @@ std::vector<RegressionFinding> find_regressions(const BenchReport& baseline,
       const auto now_value = now.metric(metric);
       if (!now_value) continue;
       measured = true;
-      if (*now_value < (1.0 - max_regress) * *base_value) {
+      const bool regressed =
+          lower_is_better
+              ? *now_value > *base_value / (1.0 - max_regress)
+              : *now_value < (1.0 - max_regress) * *base_value;
+      if (regressed) {
         findings.push_back(RegressionFinding{base.name, metric, *base_value,
                                              *now_value,
                                              *now_value / *base_value});

@@ -100,18 +100,21 @@ struct RegressionFinding {
   double ratio = 0.0;  ///< current / baseline
 };
 
-/// Compares `current` against `baseline` on the given higher-is-better
-/// metric (default: the gate metric "queries_per_sec"). A benchmark
-/// regresses when current < (1 - max_regress) * baseline. With
-/// `flag_missing` (the full-suite default), a gated baseline benchmark
-/// with no matching (name, metric) in `current` is reported with
-/// current = ratio = 0 — renames and drops must refresh the baseline,
-/// they cannot pass the gate vacuously. Pass flag_missing = false when
-/// `current` is deliberately partial (lbebench --filter). Extra
-/// benchmarks only in `current` are ignored (they have no baseline yet).
+/// Compares `current` against `baseline` on the given metric (default:
+/// the gate metric "queries_per_sec"). By default the metric is
+/// higher-is-better and a benchmark regresses when
+/// current < (1 - max_regress) * baseline; with `lower_is_better`
+/// (latencies), it regresses when current > baseline / (1 - max_regress)
+/// — the same relative tolerance, mirrored. With `flag_missing` (the
+/// full-suite default), a gated baseline benchmark with no matching
+/// (name, metric) in `current` is reported with current = ratio = 0 —
+/// renames and drops must refresh the baseline, they cannot pass the
+/// gate vacuously. Pass flag_missing = false when `current` is
+/// deliberately partial (lbebench --filter). Extra benchmarks only in
+/// `current` are ignored (they have no baseline yet).
 std::vector<RegressionFinding> find_regressions(
     const BenchReport& baseline, const BenchReport& current,
     double max_regress, const std::string& metric = "queries_per_sec",
-    bool flag_missing = true);
+    bool flag_missing = true, bool lower_is_better = false);
 
 }  // namespace lbe::perf

@@ -1,0 +1,244 @@
+// Suite "serve" — the daemon latency/throughput gate. Spins up a real
+// `lbectl serve` core (Unix socket, bounded queue, worker pool) over the
+// smoke-sized workload, once per process, and drives it through the real
+// client so every measurement crosses the wire protocol.
+//
+// Two benchmarks:
+//   serve_throughput  closed-loop: back-to-back batches, gated on median
+//                     queries_per_sec, plus a one-shot-equivalence check
+//                     (daemon rows must serialize byte-identical to the
+//                     in-process pipeline's psms.tsv rows).
+//   serve_open_loop   open-loop: batches launched on a fixed schedule at
+//                     ~60% of measured capacity; per-batch latency is
+//                     measured from the *scheduled* send time, so queueing
+//                     delay counts. Reports p50/p99 latency (ms), which CI
+//                     gates with --gate-lower, and offered/achieved qps.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/pipeline.hpp"
+#include "perf/bench_common.hpp"
+#include "perf/bench_registry.hpp"
+#include "search/report.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace lbe::perf {
+
+namespace {
+
+constexpr std::uint64_t kServeEntries = 20000;
+constexpr std::uint32_t kServeQueries = 48;
+constexpr int kServeRanks = 8;
+constexpr std::size_t kServeBatch = 8;
+
+/// One daemon per lbebench process, shared across benchmarks and repeats;
+/// the suite measures steady-state serving, not startup.
+struct ServeEnv {
+  app::AppOptions opts;
+  std::shared_ptr<serve::ServingContext> context;
+  std::unique_ptr<serve::Server> server;
+  std::vector<chem::Spectrum> spectra;
+};
+
+ServeEnv& serve_env() {
+  static ServeEnv env = [] {
+    ServeEnv e;
+    e.opts = app::options_from_config(Config{});
+    e.opts.target_entries = kServeEntries;
+    e.opts.num_queries = kServeQueries;
+    e.opts.lbe.partition.ranks = kServeRanks;
+    e.opts.socket_path =
+        "/tmp/lbe_serve_bench_" + std::to_string(::getpid()) + ".sock";
+    e.opts.write_report = false;
+    e.context = serve::build_serving_context_in_memory(e.opts);
+    e.spectra = app::prepare_inputs(e.opts).queries.spectra;
+
+    serve::ServerConfig config;
+    config.socket_path = e.opts.socket_path;
+    config.queue_depth = e.opts.queue_depth;
+    config.workers = 1;
+    e.server = std::make_unique<serve::Server>(config, e.context);
+    e.server->start();
+    return e;
+  }();
+  return env;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto i = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[i];
+}
+
+/// Sends [lo, hi) of the env's query set as one batch and returns the rows.
+serve::SearchResponse send_batch(serve::ServeClient& client,
+                                 const ServeEnv& env, std::size_t lo,
+                                 std::size_t hi) {
+  serve::SearchRequest request;
+  request.start_id = static_cast<std::uint32_t>(lo);
+  request.spectra.assign(env.spectra.begin() + lo, env.spectra.begin() + hi);
+  for (;;) {
+    serve::ServeClient::Outcome outcome = client.search(request);
+    if (outcome.status == serve::Status::kQueueFull) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    LBE_CHECK(outcome.status == serve::Status::kOk,
+              "daemon rejected a bench batch: " + outcome.error);
+    return std::move(outcome.response);
+  }
+}
+
+std::vector<search::ResolvedPsm> query_all(serve::ServeClient& client,
+                                           const ServeEnv& env) {
+  std::vector<search::ResolvedPsm> rows;
+  for (std::size_t lo = 0; lo < env.spectra.size(); lo += kServeBatch) {
+    const std::size_t hi =
+        std::min(env.spectra.size(), lo + kServeBatch);
+    const auto response = send_batch(client, env, lo, hi);
+    rows.insert(rows.end(), response.rows.begin(), response.rows.end());
+  }
+  return rows;
+}
+
+std::string rows_to_tsv(const std::vector<search::ResolvedPsm>& rows) {
+  std::ostringstream out;
+  search::write_psm_rows(out, rows);
+  return out.str();
+}
+
+void serve_throughput(BenchContext& ctx) {
+  using namespace lbe;
+  Figure fig("serve: throughput",
+             "closed-loop daemon queries/sec over the Unix socket",
+             "the serving path sustains its baseline throughput",
+             {"metric", "value"});
+
+  ServeEnv& env = serve_env();
+  serve::ServeClient client(env.opts.socket_path);
+  LBE_CHECK(client.connect_wait(10.0), "bench daemon did not come up");
+
+  // Equivalence first (and warm-up): daemon rows must match what the
+  // one-shot pipeline writes for the same plan + queries, byte for byte.
+  const std::vector<search::ResolvedPsm> daemon_rows = query_all(client, env);
+  app::QueryBundle bundle;
+  bundle.spectra = env.spectra;
+  bundle.origin = "<synthetic>";
+  const app::SearchOutcome oneshot = app::run_search_pipeline(
+      env.context->plan, bundle, env.opts, env.context->warm.get());
+  const auto oneshot_rows = search::resolve_psms(
+      *env.context->plan.plan, oneshot.report.results,
+      env.context->plan.decoy_bases);
+  const bool identical = rows_to_tsv(daemon_rows) == rows_to_tsv(oneshot_rows);
+  fig.check("daemon rows byte-identical to the one-shot pipeline", identical);
+
+  const SampleStats stats = ctx.time_hot([&] { query_all(client, env); });
+  const double qps =
+      static_cast<double>(env.spectra.size()) / stats.median;
+  fig.row({"queries_per_sec", bench::fmt(qps)});
+  fig.row({"rows", bench::fmt(static_cast<std::uint64_t>(daemon_rows.size()))});
+  fig.check("daemon produced rows", !daemon_rows.empty());
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("queries_per_sec", qps);
+  ctx.result.add_metric("rows_per_query",
+                        static_cast<double>(daemon_rows.size()) /
+                            static_cast<double>(env.spectra.size()));
+}
+
+void serve_open_loop(BenchContext& ctx) {
+  using namespace lbe;
+  using Clock = std::chrono::steady_clock;
+  Figure fig("serve: open-loop latency",
+             "batch latency under open-loop load at ~60% of capacity",
+             "p50/p99 batch latency stays within its baseline envelope",
+             {"metric", "value"});
+
+  ServeEnv& env = serve_env();
+  serve::ServeClient client(env.opts.socket_path);
+  LBE_CHECK(client.connect_wait(10.0), "bench daemon did not come up");
+
+  // Calibrate: mean closed-loop batch service time sets the open-loop
+  // schedule at ~60% utilization, the regime where queueing delay is
+  // visible but the system is stable.
+  const auto calibrate_start = Clock::now();
+  constexpr int kCalibrationBatches = 6;
+  for (int i = 0; i < kCalibrationBatches; ++i) {
+    send_batch(client, env, 0, kServeBatch);
+  }
+  const double service_seconds =
+      std::chrono::duration<double>(Clock::now() - calibrate_start).count() /
+      kCalibrationBatches;
+  const double interval_seconds = service_seconds / 0.6;
+
+  constexpr int kBatches = 40;
+  std::vector<double> latencies_ms;
+  ctx.time_hot([&] {
+    latencies_ms.clear();
+    latencies_ms.reserve(kBatches);
+    const auto start = Clock::now();
+    for (int b = 0; b < kBatches; ++b) {
+      // Open loop: the b-th batch is *due* at start + b*interval no matter
+      // how long earlier batches took; latency counts from the due time,
+      // so falling behind shows up as queueing delay, not a slower clock.
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(b * interval_seconds));
+      std::this_thread::sleep_until(due);
+      const std::size_t lo =
+          (static_cast<std::size_t>(b) * kServeBatch) % env.spectra.size();
+      const std::size_t hi =
+          std::min(env.spectra.size(), lo + kServeBatch);
+      send_batch(client, env, lo, hi);
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - due)
+              .count());
+    }
+  });
+
+  const double p50 = percentile(latencies_ms, 0.5);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double offered_qps =
+      static_cast<double>(kServeBatch) / interval_seconds;
+  fig.row({"p50_latency_ms", bench::fmt(p50)});
+  fig.row({"p99_latency_ms", bench::fmt(p99)});
+  fig.row({"offered_qps", bench::fmt(offered_qps)});
+  fig.check("latencies were measured",
+            latencies_ms.size() == static_cast<std::size_t>(kBatches));
+  fig.check("p99 >= p50", p99 >= p50);
+  fig.finish();
+  ctx.absorb_checks(fig);
+  ctx.result.add_metric("p50_latency_ms", p50);
+  ctx.result.add_metric("p99_latency_ms", p99);
+  ctx.result.add_metric("offered_qps", offered_qps);
+  ctx.result.add_metric(
+      "queries_per_sec",
+      static_cast<double>(kServeBatch) * kBatches /
+          (latencies_ms.empty()
+               ? 1.0
+               : std::max(1e-9, kBatches * interval_seconds)));
+}
+
+}  // namespace
+
+void register_serve_benches(BenchRegistry& registry) {
+  registry.add(BenchmarkDef{"serve_throughput", "serve",
+                            "closed-loop daemon throughput + equivalence",
+                            serve_throughput});
+  registry.add(BenchmarkDef{"serve_open_loop", "serve",
+                            "open-loop batch latency at ~60% capacity",
+                            serve_open_loop});
+}
+
+}  // namespace lbe::perf

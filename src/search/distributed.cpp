@@ -8,15 +8,15 @@
 
 namespace lbe::search {
 
-namespace {
-
-constexpr int kResultTag = 1;
-
 bool global_psm_better(const GlobalPsm& a, const GlobalPsm& b) {
   if (a.score != b.score) return a.score > b.score;
   if (a.shared_peaks != b.shared_peaks) return a.shared_peaks > b.shared_peaks;
   return a.peptide < b.peptide;
 }
+
+namespace {
+
+constexpr int kResultTag = 1;
 
 // One result batch on the wire: [count] then per query
 // [query_id, psm_count, (local_id, shared, score)*].

@@ -63,6 +63,12 @@ struct GlobalQueryResult {
   std::vector<GlobalPsm> top;  ///< merged across ranks, best-first
 };
 
+/// The master's merge order: score desc, shared desc, global id asc. Global
+/// variant ids are unique across ranks, so this is a strict total order and
+/// any merge that sorts with it is deterministic. Exposed so the serving
+/// daemon reproduces the one-shot merge bit for bit.
+bool global_psm_better(const GlobalPsm& a, const GlobalPsm& b);
+
 /// Per-rank virtual-time phase boundaries (seconds on that rank's clock).
 struct PhaseTimes {
   double start = 0.0;         ///< after the prep barrier

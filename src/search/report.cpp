@@ -8,31 +8,60 @@
 
 namespace lbe::search {
 
-void write_psm_report(std::ostream& out, const core::LbePlan& plan,
-                      const std::vector<GlobalQueryResult>& results,
-                      const std::vector<bool>& decoy_bases) {
-  out << "query_id\tpsm_rank\tpeptide\tbase_sequence\tneutral_mass\t"
-         "shared_peaks\tscore\tsource_rank\tis_decoy\n";
-  char buffer[64];
+std::vector<ResolvedPsm> resolve_psms(
+    const core::LbePlan& plan, const std::vector<GlobalQueryResult>& results,
+    const std::vector<bool>& decoy_bases) {
+  std::vector<ResolvedPsm> rows;
   for (const auto& result : results) {
     for (std::size_t rank = 0; rank < result.top.size(); ++rank) {
       const auto& psm = result.top[rank];
       const auto loc = plan.locate_variant(psm.peptide);
       const chem::Peptide peptide = plan.variant_peptide(psm.peptide);
-      const bool decoy =
-          loc.base_id < decoy_bases.size() && decoy_bases[loc.base_id];
-      out << result.query_id << '\t' << rank + 1 << '\t'
-          << peptide.annotated(plan.mods()) << '\t'
-          << plan.base_sequence(loc.base_id) << '\t';
-      std::snprintf(buffer, sizeof(buffer), "%.5f",
-                    peptide.mass(plan.mods()));
-      out << buffer << '\t' << psm.shared_peaks << '\t';
-      std::snprintf(buffer, sizeof(buffer), "%.4f",
-                    static_cast<double>(psm.score));
-      out << buffer << '\t' << psm.source_rank << '\t' << (decoy ? 1 : 0)
-          << '\n';
+      ResolvedPsm row;
+      row.query_id = result.query_id;
+      row.psm_rank = static_cast<std::uint32_t>(rank + 1);
+      row.peptide = peptide.annotated(plan.mods());
+      row.base_sequence = plan.base_sequence(loc.base_id);
+      row.neutral_mass = peptide.mass(plan.mods());
+      row.shared_peaks = psm.shared_peaks;
+      row.score = psm.score;
+      row.source_rank = psm.source_rank;
+      row.is_decoy = loc.base_id < decoy_bases.size() &&
+                     decoy_bases[loc.base_id];
+      rows.push_back(std::move(row));
     }
   }
+  return rows;
+}
+
+void write_psm_rows(std::ostream& out, const std::vector<ResolvedPsm>& rows) {
+  out << "query_id\tpsm_rank\tpeptide\tbase_sequence\tneutral_mass\t"
+         "shared_peaks\tscore\tsource_rank\tis_decoy\n";
+  char buffer[64];
+  for (const auto& row : rows) {
+    out << row.query_id << '\t' << row.psm_rank << '\t' << row.peptide
+        << '\t' << row.base_sequence << '\t';
+    std::snprintf(buffer, sizeof(buffer), "%.5f", row.neutral_mass);
+    out << buffer << '\t' << row.shared_peaks << '\t';
+    std::snprintf(buffer, sizeof(buffer), "%.4f",
+                  static_cast<double>(row.score));
+    out << buffer << '\t' << row.source_rank << '\t' << (row.is_decoy ? 1 : 0)
+        << '\n';
+  }
+}
+
+void write_psm_rows_file(const std::string& path,
+                         const std::vector<ResolvedPsm>& rows) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open report file for writing: " + path);
+  write_psm_rows(out, rows);
+  if (!out) throw IoError("report write failed: " + path);
+}
+
+void write_psm_report(std::ostream& out, const core::LbePlan& plan,
+                      const std::vector<GlobalQueryResult>& results,
+                      const std::vector<bool>& decoy_bases) {
+  write_psm_rows(out, resolve_psms(plan, results, decoy_bases));
 }
 
 void write_psm_report_file(const std::string& path, const core::LbePlan& plan,

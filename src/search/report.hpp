@@ -1,7 +1,16 @@
 // PSM report writer — the tab-separated results file the pipeline hands to
 // downstream tools (one row per reported PSM, best first per query).
+//
+// The writer is split in two layers so the serving daemon can produce
+// byte-identical output without the client holding a plan: `resolve_psms`
+// turns merged global results into self-contained rows (annotated peptide,
+// base sequence, neutral mass, decoy flag), and `write_psm_rows` formats
+// rows into the TSV. One-shot `lbectl search` composes both; `lbectl serve`
+// resolves on the daemon, ships rows over the wire, and the thin client
+// writes them with the same formatter.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -11,10 +20,35 @@
 
 namespace lbe::search {
 
+/// One report row, fully resolved against the plan — no global ids left.
+struct ResolvedPsm {
+  std::uint32_t query_id = 0;
+  std::uint32_t psm_rank = 0;  ///< 1-based, best first within a query
+  std::string peptide;         ///< modification-annotated sequence
+  std::string base_sequence;
+  double neutral_mass = 0.0;
+  std::uint32_t shared_peaks = 0;
+  float score = 0.0f;
+  RankId source_rank = -1;
+  bool is_decoy = false;
+};
+
+/// Resolves merged results into report rows, in query order, psm_rank
+/// ascending. `decoy_bases` flags clustered base ids that came from decoy
+/// proteins (empty = no decoy annotation).
+std::vector<ResolvedPsm> resolve_psms(
+    const core::LbePlan& plan, const std::vector<GlobalQueryResult>& results,
+    const std::vector<bool>& decoy_bases = {});
+
+/// Writes the TSV header plus one line per row. Formatting is fixed
+/// (masses %.5f, scores %.4f) so identical rows always produce identical
+/// bytes, wherever they were resolved.
+void write_psm_rows(std::ostream& out, const std::vector<ResolvedPsm>& rows);
+void write_psm_rows_file(const std::string& path,
+                         const std::vector<ResolvedPsm>& rows);
+
 /// Columns: query_id, psm_rank, peptide (annotated), base_sequence,
 /// neutral_mass, shared_peaks, score, source_rank, is_decoy.
-/// `decoy_bases` flags clustered base ids that came from decoy proteins
-/// (empty = no decoy annotation).
 void write_psm_report(std::ostream& out, const core::LbePlan& plan,
                       const std::vector<GlobalQueryResult>& results,
                       const std::vector<bool>& decoy_bases = {});

@@ -1,0 +1,94 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace lbe::serve {
+
+void ServeClient::connect() { fd_ = connect_unix(path_); }
+
+bool ServeClient::connect_wait(double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    try {
+      connect();
+      ping();
+      return true;
+    } catch (const Error&) {
+      fd_.reset();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+Frame ServeClient::transact(MsgType type, const mpi::Bytes& payload) {
+  LBE_CHECK(fd_.valid(), "client is not connected");
+  write_frame(fd_.get(), type, payload);
+  Frame reply;
+  if (!read_frame(fd_.get(), reply)) {
+    throw IoError("server closed the connection");
+  }
+  return reply;
+}
+
+PongInfo ServeClient::ping() {
+  const Frame reply = transact(MsgType::kPing, {});
+  if (reply.type != MsgType::kPong) {
+    throw CommError("unexpected reply to ping");
+  }
+  return decode_pong(reply.payload);
+}
+
+ServeClient::Outcome ServeClient::search(const SearchRequest& request) {
+  send_search(request);
+  return read_search_result();
+}
+
+void ServeClient::send_search(const SearchRequest& request) {
+  LBE_CHECK(fd_.valid(), "client is not connected");
+  write_frame(fd_.get(), MsgType::kSearchRequest,
+              encode_search_request(request));
+}
+
+ServeClient::Outcome ServeClient::read_search_result() {
+  LBE_CHECK(fd_.valid(), "client is not connected");
+  Frame reply;
+  if (!read_frame(fd_.get(), reply)) {
+    throw IoError("server closed the connection");
+  }
+  Outcome outcome;
+  if (reply.type == MsgType::kSearchResponse) {
+    outcome.response = decode_search_response(reply.payload);
+    return outcome;
+  }
+  if (reply.type == MsgType::kError) {
+    const ErrorBody body = decode_error(reply.payload);
+    outcome.status = body.status;
+    outcome.error = body.message;
+    return outcome;
+  }
+  throw CommError("unexpected reply to a search request");
+}
+
+StatsBody ServeClient::stats() {
+  const Frame reply = transact(MsgType::kStatsRequest, {});
+  if (reply.type != MsgType::kStatsResponse) {
+    throw CommError("unexpected reply to a stats request");
+  }
+  return decode_stats(reply.payload);
+}
+
+void ServeClient::shutdown_server() {
+  const Frame reply = transact(MsgType::kShutdownRequest, {});
+  if (reply.type != MsgType::kShutdownResponse) {
+    throw CommError("unexpected reply to a shutdown request");
+  }
+}
+
+}  // namespace lbe::serve

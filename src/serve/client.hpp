@@ -1,0 +1,62 @@
+// Client side of the serve protocol — what `lbectl query`, the serve
+// bench suite, and the tests talk to the daemon with.
+//
+// The client is synchronous by default (`search` = send + wait), but the
+// send/receive halves are exposed separately so a test can queue several
+// batches on one connection before reading any response (that is how the
+// bounded-queue admission control is exercised deterministically).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace lbe::serve {
+
+class ServeClient {
+ public:
+  explicit ServeClient(std::string socket_path)
+      : path_(std::move(socket_path)) {}
+
+  /// Connects (throws IoError when nobody listens).
+  void connect();
+
+  /// Retries connect+ping until the daemon answers or `timeout_seconds`
+  /// passes. Returns false on timeout — used to wait out daemon startup.
+  bool connect_wait(double timeout_seconds);
+
+  bool connected() const noexcept { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  PongInfo ping();
+
+  /// What one search batch came back as. `status == kOk` means `response`
+  /// is valid; anything else carries the server's typed rejection.
+  struct Outcome {
+    Status status = Status::kOk;
+    std::string error;
+    SearchResponse response;
+  };
+
+  /// Send + wait for this batch's response (or typed error).
+  Outcome search(const SearchRequest& request);
+
+  /// Pipelined halves of `search`.
+  void send_search(const SearchRequest& request);
+  Outcome read_search_result();
+
+  StatsBody stats();
+
+  /// Asks the daemon to exit its serve loop (waits for the ack).
+  void shutdown_server();
+
+ private:
+  Frame transact(MsgType type, const mpi::Bytes& payload);
+
+  std::string path_;
+  Fd fd_;
+};
+
+}  // namespace lbe::serve

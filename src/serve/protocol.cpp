@@ -1,0 +1,257 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lbe::serve {
+
+namespace {
+
+// Hard ceilings a decoder enforces before trusting any count. Payload bytes
+// are already bounded by the frame-size check, so these only have to stop a
+// small payload from *claiming* enormous element counts.
+constexpr std::uint64_t kMaxBatchQueries = 1u << 20;
+constexpr std::uint64_t kMaxRowsPerBatch = 1u << 24;
+
+void require(bool condition, const char* message) {
+  if (!condition) throw CommError(message);
+}
+
+void require_exhausted(const mpi::ByteReader& reader) {
+  require(reader.exhausted(), "malformed payload: trailing bytes");
+}
+
+void write_spectrum(mpi::ByteWriter& writer, const chem::Spectrum& spectrum) {
+  writer.pod(spectrum.scan_id);
+  writer.pod(spectrum.precursor.mz);
+  writer.pod(spectrum.precursor.charge);
+  writer.pod(spectrum.precursor.neutral_mass);
+  writer.string(spectrum.title);
+  writer.vector(spectrum.mzs());
+  writer.vector(spectrum.intensities());
+}
+
+chem::Spectrum read_spectrum(mpi::ByteReader& reader) {
+  chem::Spectrum spectrum;
+  spectrum.scan_id = reader.pod<std::uint32_t>();
+  spectrum.precursor.mz = reader.pod<Mz>();
+  spectrum.precursor.charge = reader.pod<Charge>();
+  spectrum.precursor.neutral_mass = reader.pod<Mass>();
+  spectrum.title = reader.string();
+  const auto mzs = reader.vector<Mz>();
+  const auto intensities = reader.vector<float>();
+  require(mzs.size() == intensities.size(),
+          "malformed spectrum: mz/intensity length mismatch");
+  // Rebuild without finalize(): a finalized client spectrum arrives already
+  // sorted and merged, and re-merging could fuse peaks that only became
+  // 1e-6-close after the first merge — which would desync daemon results
+  // from the one-shot pipeline. Unsorted (hand-crafted) input is still
+  // safe: preprocessing sorts and drops non-finite peaks defensively.
+  for (std::size_t i = 0; i < mzs.size(); ++i) {
+    spectrum.add_peak(mzs[i], intensities[i]);
+  }
+  return spectrum;
+}
+
+void write_row(mpi::ByteWriter& writer, const search::ResolvedPsm& row) {
+  writer.pod(row.query_id);
+  writer.pod(row.psm_rank);
+  writer.string(row.peptide);
+  writer.string(row.base_sequence);
+  writer.pod(row.neutral_mass);
+  writer.pod(row.shared_peaks);
+  writer.pod(row.score);
+  writer.pod(static_cast<std::int32_t>(row.source_rank));
+  writer.pod(static_cast<std::uint8_t>(row.is_decoy ? 1 : 0));
+}
+
+search::ResolvedPsm read_row(mpi::ByteReader& reader) {
+  search::ResolvedPsm row;
+  row.query_id = reader.pod<std::uint32_t>();
+  row.psm_rank = reader.pod<std::uint32_t>();
+  row.peptide = reader.string();
+  row.base_sequence = reader.string();
+  row.neutral_mass = reader.pod<double>();
+  row.shared_peaks = reader.pod<std::uint32_t>();
+  row.score = reader.pod<float>();
+  row.source_rank = static_cast<RankId>(reader.pod<std::int32_t>());
+  row.is_decoy = reader.pod<std::uint8_t>() != 0;
+  return row;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kMalformed: return "malformed";
+    case Status::kTooLarge: return "too-large";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    MsgType type, std::uint64_t payload_size) {
+  std::array<std::uint8_t, kFrameHeaderBytes> raw{};
+  const std::uint32_t magic = kFrameMagic;
+  const auto type_value = static_cast<std::uint32_t>(type);
+  std::memcpy(raw.data(), &magic, sizeof(magic));
+  std::memcpy(raw.data() + 4, &type_value, sizeof(type_value));
+  std::memcpy(raw.data() + 8, &payload_size, sizeof(payload_size));
+  return raw;
+}
+
+FrameHeader decode_frame_header(
+    const std::array<std::uint8_t, kFrameHeaderBytes>& raw) {
+  std::uint32_t magic = 0;
+  std::uint32_t type_value = 0;
+  FrameHeader header;
+  std::memcpy(&magic, raw.data(), sizeof(magic));
+  std::memcpy(&type_value, raw.data() + 4, sizeof(type_value));
+  std::memcpy(&header.payload_size, raw.data() + 8,
+              sizeof(header.payload_size));
+  require(magic == kFrameMagic, "bad frame magic (not an lbectl-serve peer)");
+  require(type_value >= static_cast<std::uint32_t>(MsgType::kPing) &&
+              type_value <= static_cast<std::uint32_t>(MsgType::kError),
+          "unknown frame type");
+  header.type = static_cast<MsgType>(type_value);
+  return header;
+}
+
+mpi::Bytes encode_pong(const PongInfo& info) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(info.protocol_version);
+  writer.pod(info.ranks);
+  writer.pod(info.top_k);
+  writer.pod(info.queue_depth);
+  writer.pod(info.max_frame_bytes);
+  return bytes;
+}
+
+PongInfo decode_pong(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  PongInfo info;
+  info.protocol_version = reader.pod<std::uint32_t>();
+  info.ranks = reader.pod<std::uint32_t>();
+  info.top_k = reader.pod<std::uint32_t>();
+  info.queue_depth = reader.pod<std::uint32_t>();
+  info.max_frame_bytes = reader.pod<std::uint64_t>();
+  require_exhausted(reader);
+  return info;
+}
+
+mpi::Bytes encode_search_request(const SearchRequest& request) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(request.start_id);
+  writer.pod(static_cast<std::uint64_t>(request.spectra.size()));
+  for (const auto& spectrum : request.spectra) {
+    write_spectrum(writer, spectrum);
+  }
+  return bytes;
+}
+
+SearchRequest decode_search_request(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  SearchRequest request;
+  request.start_id = reader.pod<std::uint32_t>();
+  const auto count = reader.pod<std::uint64_t>();
+  require(count <= kMaxBatchQueries,
+          "malformed batch: implausible query count");
+  request.spectra.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    request.spectra.push_back(read_spectrum(reader));
+  }
+  require_exhausted(reader);
+  return request;
+}
+
+mpi::Bytes encode_search_response(const SearchResponse& response) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(response.start_id);
+  writer.pod(response.queries);
+  writer.pod(response.candidates);
+  writer.pod(static_cast<std::uint64_t>(response.rows.size()));
+  for (const auto& row : response.rows) write_row(writer, row);
+  return bytes;
+}
+
+SearchResponse decode_search_response(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  SearchResponse response;
+  response.start_id = reader.pod<std::uint32_t>();
+  response.queries = reader.pod<std::uint64_t>();
+  response.candidates = reader.pod<std::uint64_t>();
+  const auto count = reader.pod<std::uint64_t>();
+  require(count <= kMaxRowsPerBatch,
+          "malformed response: implausible row count");
+  response.rows.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    response.rows.push_back(read_row(reader));
+  }
+  require_exhausted(reader);
+  return response;
+}
+
+mpi::Bytes encode_error(const ErrorBody& error) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(static_cast<std::uint32_t>(error.status));
+  writer.pod(error.request_id);
+  writer.string(error.message);
+  return bytes;
+}
+
+ErrorBody decode_error(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  ErrorBody error;
+  const auto status = reader.pod<std::uint32_t>();
+  require(status <= static_cast<std::uint32_t>(Status::kInternal),
+          "malformed error frame: unknown status");
+  error.status = static_cast<Status>(status);
+  error.request_id = reader.pod<std::uint32_t>();
+  error.message = reader.string();
+  require_exhausted(reader);
+  return error;
+}
+
+mpi::Bytes encode_stats(const StatsBody& stats) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(stats.connections_accepted);
+  writer.pod(stats.batches_served);
+  writer.pod(stats.queries_served);
+  writer.pod(stats.batches_rejected);
+  writer.pod(stats.malformed_frames);
+  writer.pod(stats.reloads);
+  writer.pod(stats.queue_length);
+  writer.pod(stats.ranks);
+  writer.pod(stats.queue_depth);
+  writer.pod(stats.workers);
+  return bytes;
+}
+
+StatsBody decode_stats(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  StatsBody stats;
+  stats.connections_accepted = reader.pod<std::uint64_t>();
+  stats.batches_served = reader.pod<std::uint64_t>();
+  stats.queries_served = reader.pod<std::uint64_t>();
+  stats.batches_rejected = reader.pod<std::uint64_t>();
+  stats.malformed_frames = reader.pod<std::uint64_t>();
+  stats.reloads = reader.pod<std::uint64_t>();
+  stats.queue_length = reader.pod<std::uint64_t>();
+  stats.ranks = reader.pod<std::uint32_t>();
+  stats.queue_depth = reader.pod<std::uint32_t>();
+  stats.workers = reader.pod<std::uint32_t>();
+  require_exhausted(reader);
+  return stats;
+}
+
+}  // namespace lbe::serve

@@ -1,0 +1,148 @@
+// Wire protocol of the `lbectl serve` daemon.
+//
+// Frames cross the Unix-domain socket as a fixed 16-byte header followed by
+// a length-prefixed payload:
+//
+//   frame   := [magic u32 "LBES"][type u32][payload size u64][payload]
+//
+// Payloads are encoded with the same byte-level conventions as simulated
+// MPI messages (simmpi/bytes.hpp ByteWriter/ByteReader): little-endian
+// fixed-width PODs, u64-counted strings and vectors. Decoders are strict —
+// underrun, trailing bytes, or implausible counts raise CommError, which
+// the server answers with a typed kError frame instead of crashing (and
+// never turns into an allocation proportional to an attacker-chosen
+// length: the frame size is bounded before the payload is read).
+//
+// A search response carries *resolved* PSM rows (annotated peptide, base
+// sequence, neutral mass, decoy flag) rather than raw global ids, so a
+// thin client can write the exact same psms.tsv as a one-shot
+// `lbectl search` without loading the plan the daemon holds resident.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/spectrum.hpp"
+#include "search/report.hpp"
+#include "simmpi/bytes.hpp"
+
+namespace lbe::serve {
+
+/// "LBES" little-endian — distinct from the "LBEX" index container magic.
+inline constexpr std::uint32_t kFrameMagic = 0x5345424Cu;
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame header bytes on the wire: magic + type + payload size.
+inline constexpr std::uint64_t kFrameHeaderBytes = 16;
+
+/// Default admission bound on one frame's payload. A length prefix beyond
+/// the bound is rejected with kTooLarge before any payload byte is read.
+inline constexpr std::uint64_t kDefaultMaxFrameBytes = 64ull << 20;
+
+enum class MsgType : std::uint32_t {
+  kPing = 1,
+  kPong = 2,
+  kSearchRequest = 3,
+  kSearchResponse = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  kShutdownRequest = 7,
+  kShutdownResponse = 8,
+  kError = 9,
+};
+
+/// Typed daemon status codes (the payload of a kError frame).
+enum class Status : std::uint32_t {
+  kOk = 0,
+  kQueueFull = 1,      ///< admission control: bounded request queue is full
+  kMalformed = 2,      ///< frame or payload failed to decode
+  kTooLarge = 3,       ///< length prefix exceeds the frame-size bound
+  kShuttingDown = 4,   ///< server is draining; no new batches admitted
+  kInternal = 5,       ///< search failed server-side (see message)
+};
+
+const char* status_name(Status status);
+
+struct FrameHeader {
+  MsgType type = MsgType::kPing;
+  std::uint64_t payload_size = 0;
+};
+
+/// Packs a header for the wire.
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    MsgType type, std::uint64_t payload_size);
+
+/// Throws CommError on bad magic or unknown message type. The payload size
+/// is returned unchecked — callers enforce their own bound so an oversized
+/// frame can be answered with kTooLarge instead of a blind disconnect.
+FrameHeader decode_frame_header(
+    const std::array<std::uint8_t, kFrameHeaderBytes>& raw);
+
+/// kPong payload: what the daemon is serving.
+struct PongInfo {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint32_t ranks = 0;
+  std::uint32_t top_k = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One query batch. Spectra must be finalized (peaks in m/z order) on the
+/// client; the daemon searches them as-is. Queries are numbered
+/// start_id .. start_id + spectra.size() - 1, and the response echoes
+/// start_id so pipelined batches on one connection can be correlated.
+struct SearchRequest {
+  std::uint32_t start_id = 0;
+  std::vector<chem::Spectrum> spectra;
+};
+
+/// Resolved rows for the batch, in query order, psm_rank ascending — the
+/// exact rows search::write_psm_rows turns into psms.tsv lines.
+struct SearchResponse {
+  std::uint32_t start_id = 0;
+  std::uint64_t queries = 0;     ///< spectra searched in this batch
+  std::uint64_t candidates = 0;  ///< cPSMs passing filtration, summed
+  std::vector<search::ResolvedPsm> rows;
+};
+
+struct ErrorBody {
+  Status status = Status::kInternal;
+  /// start_id of the rejected batch when known (admission rejections), 0
+  /// for framing/decode errors that never recovered a request id.
+  std::uint32_t request_id = 0;
+  std::string message;
+};
+
+/// kStatsResponse payload: daemon counters for tests and monitoring.
+struct StatsBody {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t batches_served = 0;
+  std::uint64_t queries_served = 0;
+  std::uint64_t batches_rejected = 0;  ///< admission-control rejections
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t reloads = 0;           ///< completed SIGHUP hot swaps
+  std::uint64_t queue_length = 0;      ///< batches waiting right now
+  std::uint32_t ranks = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t workers = 0;
+};
+
+mpi::Bytes encode_pong(const PongInfo& info);
+PongInfo decode_pong(const mpi::Bytes& payload);
+
+mpi::Bytes encode_search_request(const SearchRequest& request);
+SearchRequest decode_search_request(const mpi::Bytes& payload);
+
+mpi::Bytes encode_search_response(const SearchResponse& response);
+SearchResponse decode_search_response(const mpi::Bytes& payload);
+
+mpi::Bytes encode_error(const ErrorBody& error);
+ErrorBody decode_error(const mpi::Bytes& payload);
+
+mpi::Bytes encode_stats(const StatsBody& stats);
+StatsBody decode_stats(const mpi::Bytes& payload);
+
+}  // namespace lbe::serve

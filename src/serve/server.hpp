@@ -1,0 +1,127 @@
+// The `lbectl serve` daemon core: accept loop, bounded request queue,
+// admission control, worker pool, and the hot-swap hook.
+//
+// Thread structure:
+//
+//   accept thread ── poll(listener) ──▶ one handler thread per connection
+//   handler: reads frames; control frames (ping/stats/shutdown) answered
+//            inline, search batches pushed onto the bounded queue — or
+//            rejected with a typed kQueueFull error when it is full
+//   workers (N): pop a batch, snapshot the serving context, search, write
+//            the response under the connection's write lock
+//
+// Responses to one connection serialize on its write mutex, so an inline
+// pong never interleaves bytes with a worker's search response. A reload
+// (SIGHUP) swaps the SearchService's context pointer; batches already
+// running keep their snapshot and drain on the old mapping.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace lbe::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  std::uint32_t queue_depth = 64;  ///< max batches waiting (admission bound)
+  std::uint32_t workers = 1;       ///< concurrent search batches
+  /// Threads fanning one batch's query loop out (1 = serial per batch).
+  std::uint32_t threads_per_batch = 1;
+  std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Tests only: workers start idle until resume_workers(), so a bounded
+  /// queue can be filled deterministically to exercise admission control.
+  bool start_paused = false;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, std::shared_ptr<const ServingContext> context);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and launches the accept thread and workers. Throws
+  /// IoError when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, closes connections, joins every thread. Idempotent.
+  void stop();
+
+  /// Replaces the serving context (SIGHUP hot swap). In-flight batches
+  /// drain on the generation they snapshotted.
+  void hot_swap(std::shared_ptr<const ServingContext> context);
+
+  /// Releases workers started with `start_paused`.
+  void resume_workers();
+
+  /// Set once a client sent kShutdownRequest; the driving loop polls it.
+  bool shutdown_requested() const noexcept {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  StatsBody stats() const;
+  const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Connection {
+    explicit Connection(Fd fd) : fd(std::move(fd)) {}
+    Fd fd;
+    std::mutex write_mutex;
+  };
+
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    SearchRequest request;
+  };
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> conn);
+  /// Frame loop of one connection; returning means the peer is done
+  /// (clean EOF, fatal frame, or server shutdown).
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void worker_loop();
+  void send_frame_locked(Connection& conn, MsgType type,
+                         const mpi::Bytes& payload);
+  void send_error(Connection& conn, Status status, std::uint32_t request_id,
+                  const std::string& message);
+  bool try_enqueue(Job job);
+
+  ServerConfig config_;
+  SearchService service_;
+  Fd listener_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+
+  // Counters behind the kStatsResponse frame.
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> batches_served_{0};
+  std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> batches_rejected_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+};
+
+}  // namespace lbe::serve

@@ -85,7 +85,12 @@ class ByteReader {
   std::vector<T> vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto count = pod<std::uint64_t>();
-    require(count * sizeof(T));
+    // Divide instead of multiplying: `count * sizeof(T)` can wrap for an
+    // adversarial count, slipping past the underrun check into a huge
+    // allocation. Malformed input must fail as CommError, never OOM.
+    if (count > remaining() / sizeof(T)) {
+      throw CommError("message underrun: truncated or mis-typed payload");
+    }
     std::vector<T> v(static_cast<std::size_t>(count));
     if (count) {
       std::memcpy(v.data(), in_.data() + pos_,
@@ -100,7 +105,10 @@ class ByteReader {
 
  private:
   void require(std::uint64_t bytes) const {
-    if (pos_ + bytes > in_.size()) {
+    // Compare against the remaining span rather than `pos_ + bytes`, which
+    // can wrap for an adversarial 64-bit length prefix and sail past the
+    // check into a huge string/vector allocation.
+    if (bytes > in_.size() - pos_) {
       throw CommError("message underrun: truncated or mis-typed payload");
     }
   }

@@ -169,6 +169,45 @@ TEST(BenchReport, RegressionGateFlagsOnlyRealRegressions) {
   EXPECT_TRUE(find_regressions(baseline, extra, 0.25).empty());
 }
 
+TEST(BenchReport, LowerIsBetterGateMirrorsTheTolerance) {
+  BenchReport baseline;
+  baseline.suite = "serve";
+  BenchResult open_loop;
+  open_loop.name = "serve_open_loop";
+  open_loop.wall_samples = {0.2};
+  open_loop.wall_seconds = summarize(open_loop.wall_samples);
+  open_loop.add_metric("p99_latency_ms", 10.0);
+  baseline.benchmarks.push_back(open_loop);
+
+  const auto gate = [&](double current_ms) {
+    BenchReport current = baseline;
+    current.benchmarks[0].metrics.clear();
+    current.benchmarks[0].add_metric("p99_latency_ms", current_ms);
+    return find_regressions(baseline, current, 0.5, "p99_latency_ms",
+                            /*flag_missing=*/true, /*lower_is_better=*/true);
+  };
+
+  // The ceiling for max_regress 0.5 is baseline / 0.5 = 2x baseline.
+  EXPECT_TRUE(gate(10.0).empty());   // unchanged
+  EXPECT_TRUE(gate(3.0).empty());    // faster is never a finding
+  EXPECT_TRUE(gate(19.9).empty());   // below the ceiling
+  const auto slow = gate(25.0);      // beyond the ceiling: flagged
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].benchmark, "serve_open_loop");
+  EXPECT_EQ(slow[0].metric, "p99_latency_ms");
+  EXPECT_NEAR(slow[0].ratio, 2.5, 1e-9);
+
+  // A vanished latency metric is still a finding: the latency gate must
+  // not pass because the benchmark stopped reporting it.
+  BenchReport missing = baseline;
+  missing.benchmarks[0].metrics.clear();
+  const auto lost =
+      find_regressions(baseline, missing, 0.5, "p99_latency_ms",
+                       /*flag_missing=*/true, /*lower_is_better=*/true);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_DOUBLE_EQ(lost[0].current, 0.0);
+}
+
 TEST(BenchReport, ParsesCheckedInBaselineWhenPresent) {
   // The repo ships bench/baseline/BENCH_smoke.json; exercise the real file
   // if the test runs from the build tree next to the sources.

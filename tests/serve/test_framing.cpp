@@ -1,0 +1,296 @@
+// Wire-protocol edge cases for the serve daemon: codec round trips, strict
+// decoding (trailing bytes, adversarial counts), and frame I/O over a real
+// socketpair (partial delivery, oversized/garbage length prefix, EOF).
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace lbe::serve {
+namespace {
+
+chem::Spectrum sample_spectrum(std::uint32_t scan_id) {
+  chem::Spectrum spectrum;
+  spectrum.scan_id = scan_id;
+  spectrum.title = "scan=" + std::to_string(scan_id);
+  spectrum.precursor.mz = 523.77;
+  spectrum.precursor.charge = 2;
+  spectrum.precursor.neutral_mass = 1045.53;
+  spectrum.add_peak(147.11, 120.0f);
+  spectrum.add_peak(245.08, 88.5f);
+  spectrum.add_peak(376.19, 430.25f);
+  return spectrum;
+}
+
+search::ResolvedPsm sample_row() {
+  search::ResolvedPsm row;
+  row.query_id = 7;
+  row.psm_rank = 1;
+  row.peptide = "PEPT[79.96633]IDEK";
+  row.base_sequence = "PEPTIDEK";
+  row.neutral_mass = 1006.48;
+  row.shared_peaks = 9;
+  row.score = 31.5f;
+  row.source_rank = 3;
+  row.is_decoy = true;
+  return row;
+}
+
+TEST(ServeFraming, FrameHeaderRoundTrip) {
+  const auto raw = encode_frame_header(MsgType::kSearchRequest, 12345);
+  const FrameHeader header = decode_frame_header(raw);
+  EXPECT_EQ(header.type, MsgType::kSearchRequest);
+  EXPECT_EQ(header.payload_size, 12345u);
+}
+
+TEST(ServeFraming, FrameHeaderRejectsBadMagicAndUnknownType) {
+  auto raw = encode_frame_header(MsgType::kPing, 0);
+  raw[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_THROW(decode_frame_header(raw), CommError);
+
+  raw = encode_frame_header(MsgType::kPing, 0);
+  const std::uint32_t bogus_type = 99;
+  std::memcpy(raw.data() + 4, &bogus_type, sizeof(bogus_type));
+  EXPECT_THROW(decode_frame_header(raw), CommError);
+
+  const std::uint32_t zero_type = 0;
+  std::memcpy(raw.data() + 4, &zero_type, sizeof(zero_type));
+  EXPECT_THROW(decode_frame_header(raw), CommError);
+}
+
+TEST(ServeFraming, PongRoundTrip) {
+  PongInfo info;
+  info.ranks = 8;
+  info.top_k = 5;
+  info.queue_depth = 64;
+  info.max_frame_bytes = 1 << 20;
+  const PongInfo back = decode_pong(encode_pong(info));
+  EXPECT_EQ(back.protocol_version, kProtocolVersion);
+  EXPECT_EQ(back.ranks, 8u);
+  EXPECT_EQ(back.top_k, 5u);
+  EXPECT_EQ(back.queue_depth, 64u);
+  EXPECT_EQ(back.max_frame_bytes, std::uint64_t{1} << 20);
+}
+
+TEST(ServeFraming, SearchRequestRoundTrip) {
+  SearchRequest request;
+  request.start_id = 42;
+  request.spectra = {sample_spectrum(1), sample_spectrum(2)};
+  const SearchRequest back =
+      decode_search_request(encode_search_request(request));
+  ASSERT_EQ(back.spectra.size(), 2u);
+  EXPECT_EQ(back.start_id, 42u);
+  for (std::size_t i = 0; i < back.spectra.size(); ++i) {
+    const chem::Spectrum& a = back.spectra[i];
+    const chem::Spectrum& b = request.spectra[i];
+    EXPECT_EQ(a.scan_id, b.scan_id);
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_DOUBLE_EQ(a.precursor.mz, b.precursor.mz);
+    EXPECT_EQ(a.precursor.charge, b.precursor.charge);
+    EXPECT_DOUBLE_EQ(a.precursor.neutral_mass, b.precursor.neutral_mass);
+    // Peak order survives verbatim: the decoder must NOT re-finalize (a
+    // second merge pass could desync daemon rows from one-shot rows).
+    EXPECT_EQ(a.mzs(), b.mzs());
+    EXPECT_EQ(a.intensities(), b.intensities());
+  }
+}
+
+TEST(ServeFraming, SearchResponseRoundTrip) {
+  SearchResponse response;
+  response.start_id = 40;
+  response.queries = 8;
+  response.candidates = 12345;
+  response.rows = {sample_row()};
+  const SearchResponse back =
+      decode_search_response(encode_search_response(response));
+  EXPECT_EQ(back.start_id, 40u);
+  EXPECT_EQ(back.queries, 8u);
+  EXPECT_EQ(back.candidates, 12345u);
+  ASSERT_EQ(back.rows.size(), 1u);
+  const search::ResolvedPsm& row = back.rows[0];
+  const search::ResolvedPsm want = sample_row();
+  EXPECT_EQ(row.query_id, want.query_id);
+  EXPECT_EQ(row.psm_rank, want.psm_rank);
+  EXPECT_EQ(row.peptide, want.peptide);
+  EXPECT_EQ(row.base_sequence, want.base_sequence);
+  EXPECT_DOUBLE_EQ(row.neutral_mass, want.neutral_mass);
+  EXPECT_EQ(row.shared_peaks, want.shared_peaks);
+  EXPECT_FLOAT_EQ(row.score, want.score);
+  EXPECT_EQ(row.source_rank, want.source_rank);
+  EXPECT_TRUE(row.is_decoy);
+}
+
+TEST(ServeFraming, ErrorAndStatsRoundTrip) {
+  ErrorBody error;
+  error.status = Status::kQueueFull;
+  error.request_id = 16;
+  error.message = "bounded queue is full";
+  const ErrorBody back = decode_error(encode_error(error));
+  EXPECT_EQ(back.status, Status::kQueueFull);
+  EXPECT_EQ(back.request_id, 16u);
+  EXPECT_EQ(back.message, "bounded queue is full");
+  EXPECT_STREQ(status_name(back.status), "queue-full");
+
+  StatsBody stats;
+  stats.connections_accepted = 3;
+  stats.batches_served = 10;
+  stats.queries_served = 80;
+  stats.batches_rejected = 2;
+  stats.malformed_frames = 1;
+  stats.reloads = 4;
+  stats.queue_length = 5;
+  stats.ranks = 8;
+  stats.queue_depth = 64;
+  stats.workers = 2;
+  const StatsBody sback = decode_stats(encode_stats(stats));
+  EXPECT_EQ(sback.batches_served, 10u);
+  EXPECT_EQ(sback.batches_rejected, 2u);
+  EXPECT_EQ(sback.reloads, 4u);
+  EXPECT_EQ(sback.workers, 2u);
+}
+
+TEST(ServeFraming, DecodersRejectTrailingBytes) {
+  mpi::Bytes payload = encode_pong(PongInfo{});
+  payload.push_back(std::uint8_t{0});
+  EXPECT_THROW(decode_pong(payload), CommError);
+
+  SearchRequest request;
+  request.spectra = {sample_spectrum(1)};
+  payload = encode_search_request(request);
+  payload.push_back(std::uint8_t{0});
+  EXPECT_THROW(decode_search_request(payload), CommError);
+}
+
+TEST(ServeFraming, DecodersRejectAdversarialCounts) {
+  // A forged query count far beyond the ceiling must throw before any
+  // allocation proportional to the claimed count happens.
+  mpi::Bytes payload;
+  mpi::ByteWriter writer(payload);
+  writer.pod(std::uint32_t{0});             // start_id
+  writer.pod(~std::uint64_t{0});            // query count: 2^64 - 1
+  EXPECT_THROW(decode_search_request(payload), CommError);
+
+  mpi::Bytes response;
+  mpi::ByteWriter rwriter(response);
+  rwriter.pod(std::uint32_t{0});            // start_id
+  rwriter.pod(std::uint64_t{1});            // queries
+  rwriter.pod(std::uint64_t{2});            // candidates
+  rwriter.pod(std::uint64_t{1} << 62);      // row count
+  EXPECT_THROW(decode_search_response(response), CommError);
+}
+
+/// Connected socketpair with RAII on both ends.
+struct Pair {
+  Fd a;
+  Fd b;
+  Pair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      ADD_FAILURE() << "socketpair failed";
+      return;
+    }
+    a = Fd(fds[0]);
+    b = Fd(fds[1]);
+  }
+};
+
+TEST(ServeFraming, FrameRoundTripOverSocket) {
+  Pair pair;
+  const mpi::Bytes payload = encode_pong(PongInfo{});
+  write_frame(pair.a.get(), MsgType::kPong, payload);
+  Frame frame;
+  ASSERT_TRUE(read_frame(pair.b.get(), frame));
+  EXPECT_EQ(frame.type, MsgType::kPong);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ServeFraming, PartialDeliveryStillYieldsWholeFrame) {
+  // Stream sockets may deliver a frame in arbitrarily small pieces;
+  // read_frame must loop until the full header + payload arrive.
+  Pair pair;
+  SearchRequest request;
+  request.start_id = 9;
+  request.spectra = {sample_spectrum(3)};
+  const mpi::Bytes payload = encode_search_request(request);
+  const auto header =
+      encode_frame_header(MsgType::kSearchRequest, payload.size());
+
+  std::vector<std::uint8_t> wire;
+  wire.reserve(header.size() + payload.size());
+  wire.insert(wire.end(), header.begin(), header.end());
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  std::thread dribble([&] {
+    for (std::size_t i = 0; i < wire.size(); i += 3) {
+      const std::size_t n = std::min<std::size_t>(3, wire.size() - i);
+      write_all(pair.a.get(), wire.data() + i, n);
+      std::this_thread::yield();
+    }
+  });
+
+  Frame frame;
+  ASSERT_TRUE(read_frame(pair.b.get(), frame));
+  dribble.join();
+  EXPECT_EQ(frame.type, MsgType::kSearchRequest);
+  const SearchRequest back = decode_search_request(frame.payload);
+  ASSERT_EQ(back.spectra.size(), 1u);
+  EXPECT_EQ(back.spectra[0].scan_id, 3u);
+}
+
+TEST(ServeFraming, OversizedLengthPrefixThrowsTooLarge) {
+  Pair pair;
+  // Claim a payload just past the bound; send no payload bytes at all —
+  // read_frame must throw from the header alone, without trying to
+  // allocate or read the claimed size.
+  const auto header = encode_frame_header(MsgType::kSearchRequest, 1025);
+  write_all(pair.a.get(), header.data(), header.size());
+  Frame frame;
+  EXPECT_THROW(read_frame(pair.b.get(), frame, /*max_payload=*/1024),
+               FrameTooLargeError);
+}
+
+TEST(ServeFraming, AdversarialLengthPrefixThrowsTooLarge) {
+  Pair pair;
+  const auto header =
+      encode_frame_header(MsgType::kSearchRequest, ~std::uint64_t{0});
+  write_all(pair.a.get(), header.data(), header.size());
+  Frame frame;
+  EXPECT_THROW(read_frame(pair.b.get(), frame), FrameTooLargeError);
+}
+
+TEST(ServeFraming, GarbageHeaderThrowsCommError) {
+  Pair pair;
+  std::array<std::uint8_t, kFrameHeaderBytes> junk;
+  junk.fill(0x5A);
+  write_all(pair.a.get(), junk.data(), junk.size());
+  Frame frame;
+  EXPECT_THROW(read_frame(pair.b.get(), frame), CommError);
+}
+
+TEST(ServeFraming, CleanEofReturnsFalse) {
+  Pair pair;
+  pair.a.reset();  // peer closes between frames
+  Frame frame;
+  EXPECT_FALSE(read_frame(pair.b.get(), frame));
+}
+
+TEST(ServeFraming, MidFrameDisconnectThrowsIoError) {
+  Pair pair;
+  const mpi::Bytes payload = encode_pong(PongInfo{});
+  const auto header = encode_frame_header(MsgType::kPong, payload.size());
+  write_all(pair.a.get(), header.data(), header.size());
+  write_all(pair.a.get(), payload.data(), payload.size() / 2);
+  pair.a.reset();  // vanish mid-payload
+  Frame frame;
+  EXPECT_THROW(read_frame(pair.b.get(), frame), IoError);
+}
+
+}  // namespace
+}  // namespace lbe::serve

@@ -97,6 +97,36 @@ TEST(Bytes, TruncatedVectorThrows) {
   EXPECT_THROW(reader.vector<std::uint64_t>(), CommError);
 }
 
+TEST(Bytes, AdversarialStringSizeThrowsInsteadOfWrapping) {
+  // A hand-crafted frame can carry any 64-bit length prefix. Sizes near
+  // 2^64 must fail the bounds check (CommError), not wrap `pos_ + bytes`
+  // around zero and pass it — that path ends in a multi-exabyte
+  // std::string allocation.
+  for (const std::uint64_t evil :
+       {~std::uint64_t{0}, ~std::uint64_t{0} - 7, std::uint64_t{1} << 63}) {
+    Bytes buffer;
+    ByteWriter writer(buffer);
+    writer.pod(evil);  // string() reads this as the byte count
+    ByteReader reader(buffer);
+    EXPECT_THROW(reader.string(), CommError);
+  }
+}
+
+TEST(Bytes, AdversarialVectorCountThrowsInsteadOfOverflowing) {
+  // Same attack on vector(): a count like 2^61 times sizeof(u64) wraps a
+  // naive `count * sizeof(T)` to a small number. The reader must reject
+  // the count against remaining()/sizeof(T) before sizing anything.
+  for (const std::uint64_t evil :
+       {~std::uint64_t{0}, std::uint64_t{1} << 61, std::uint64_t{1} << 32}) {
+    Bytes buffer;
+    ByteWriter writer(buffer);
+    writer.pod(evil);                 // element count
+    writer.pod(std::uint64_t{0xAB});  // a few bytes of "payload"
+    ByteReader reader(buffer);
+    EXPECT_THROW(reader.vector<std::uint64_t>(), CommError);
+  }
+}
+
 TEST(Bytes, RemainingTracksPosition) {
   Bytes buffer;
   ByteWriter writer(buffer);
