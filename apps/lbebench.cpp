@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "index/posting_codec.hpp"
 #include "perf/bench_registry.hpp"
 
 namespace {
@@ -26,6 +27,7 @@ constexpr const char* kUsage =
     "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
     "                [--gate-lower METRIC[,METRIC...]]\n"
     "                [--lower-max-regress FRAC]\n"
+    "                [--simd auto|scalar|sse|avx2]\n"
     "\n"
     "Runs a registered benchmark suite and writes BENCH_<suite>.json\n"
     "(schema v1: wall time min/median/stddev per benchmark, queries/sec,\n"
@@ -102,6 +104,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "lbebench: --lower-max-regress must be in [0, 1)\n");
         return 1;
+      }
+    } else if (arg == "--simd") {
+      namespace codec = lbe::index::codec;
+      const std::string name = value();
+      codec::SimdLevel level = codec::SimdLevel::kAuto;
+      if (!codec::parse_simd_level(name, level)) {
+        std::fprintf(stderr,
+                     "lbebench: unknown simd level '%s' "
+                     "(expected auto|scalar|sse|avx2)\n",
+                     name.c_str());
+        return 1;
+      }
+      codec::set_simd_level(level);
+      if (level != codec::SimdLevel::kAuto &&
+          codec::resolved_simd_level() != level) {
+        std::fprintf(stderr,
+                     "lbebench: simd level '%s' is not supported by this "
+                     "CPU; using '%s'\n",
+                     name.c_str(),
+                     codec::simd_level_name(codec::resolved_simd_level()));
       }
     } else if (arg == "--no-json") {
       options.write_json = false;

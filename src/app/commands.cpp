@@ -13,8 +13,10 @@
 
 #include "app/pipeline.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "core/partition.hpp"
 #include "digest/variants.hpp"
+#include "index/posting_codec.hpp"
 #include "index/serialize.hpp"
 #include "perf/metrics.hpp"
 #include "search/report.hpp"
@@ -370,6 +372,18 @@ int dispatch(const CliInvocation& cli) {
     return 0;
   }
   const AppOptions opts = options_from_config(cli.config);
+  {
+    namespace codec = index::codec;
+    codec::SimdLevel level = codec::SimdLevel::kAuto;
+    codec::parse_simd_level(opts.simd, level);  // validated at parse
+    codec::set_simd_level(level);
+    if (level != codec::SimdLevel::kAuto &&
+        codec::resolved_simd_level() != level) {
+      log::warn("simd level '", opts.simd,
+                "' is not supported by this CPU; using '",
+                codec::simd_level_name(codec::resolved_simd_level()), "'");
+    }
+  }
   if (cli.subcommand == "prepare") return run_prepare(opts);
   if (cli.subcommand == "search") return run_search(opts);
   if (cli.subcommand == "stats") return run_stats(opts);

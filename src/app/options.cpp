@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "index/posting_codec.hpp"
 
 namespace lbe::app {
 
@@ -15,9 +16,10 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 43> kKnownKeys = {
+constexpr std::array<std::string_view, 44> kKnownKeys = {
     "db",          "queries",       "plan",
     "index",       "index_out",     "mmap",
+    "simd",
     "out",         "entries",       "num_queries",
     "seed",        "enzyme",        "missed_cleavages",
     "min_length",  "max_length",    "min_mass",
@@ -107,6 +109,14 @@ AppOptions options_from_config(const Config& config) {
   opts.index_dir = config.get_string("index", "");
   opts.index_out_dir = config.get_string("index_out", "");
   opts.index_mmap = config.get_bool("mmap", true);
+  opts.simd = config.get_string("simd", "auto");
+  {
+    index::codec::SimdLevel level;
+    if (!index::codec::parse_simd_level(opts.simd, level)) {
+      throw ConfigError("unknown simd level: " + opts.simd +
+                        " (expected auto|scalar|sse|avx2)");
+    }
+  }
   opts.out_dir = config.get_string("out", ".");
 
   opts.target_entries =
@@ -268,6 +278,10 @@ dashes in CLI option names are accepted as underscores):
                        lazily on first query touch (on, the default), or
                        eagerly stream every array into memory (off).
                        Results are byte-identical either way
+  --simd LEVEL         posting-decode kernel for packed (v4) indexes:
+                       auto|scalar|sse|avx2 (default auto = widest ISA the
+                       CPU supports). Results are byte-identical at every
+                       level; unsupported requests degrade with a notice
   --index_out DIR      prepare: index bundle directory (default: --out)
   --out DIR            output directory (default .)
   --entries N          synthetic index-entry target        (default 50000)

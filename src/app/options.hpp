@@ -36,6 +36,11 @@ struct AppOptions {
   /// streaming every array into heap vectors. Results are identical; only
   /// time-to-first-query and peak RSS change.
   bool index_mmap = true;
+  /// `--simd auto|scalar|sse|avx2`: posting-decode kernel for packed
+  /// (format v4) indexes (index/posting_codec.hpp). `auto` (default)
+  /// resolves to the widest ISA the CPU supports; results are
+  /// byte-identical at every level — CI proves it per commit.
+  std::string simd = "auto";
 
   // ---- synthetic workload (used when fasta_path is empty) ----
   std::uint64_t target_entries = 50000;

@@ -344,10 +344,24 @@ index::IndexBundle build_index_bundle(const PlanBundle& plan,
 std::unique_ptr<index::IndexBundle> try_load_warm_indexes(
     const std::string& dir, const PlanBundle& plan, const DatabaseBundle& db,
     const AppOptions& opts) {
-  auto bundle = std::make_unique<index::IndexBundle>(index::load_index_bundle(
-      dir, db.mods,
-      opts.index_mmap ? index::BundleLoadMode::kMapped
-                      : index::BundleLoadMode::kEager));
+  std::unique_ptr<index::IndexBundle> bundle;
+  try {
+    bundle = std::make_unique<index::IndexBundle>(index::load_index_bundle(
+        dir, db.mods,
+        opts.index_mmap ? index::BundleLoadMode::kMapped
+                        : index::BundleLoadMode::kEager));
+  } catch (const index::serialize::FormatVersionError& e) {
+    // A bundle from an older (or newer) format is stale, not corrupt:
+    // warn and rebuild, exactly like a plan-parameter mismatch below.
+    // Every other IoError still propagates — a bundle the user explicitly
+    // pointed at must not be silently ignored when its bytes are bad.
+    log::warn(e.what());
+    log::warn("index bundle in ", dir,
+              " uses an unsupported on-disk format version; rebuilding "
+              "per-rank indexes from the plan (re-run `lbectl prepare` to "
+              "refresh it)");
+    return nullptr;
+  }
 
   const auto reject = [&](const char* what) {
     log::warn("index bundle in ", dir, " was built under a different ", what,

@@ -106,6 +106,14 @@ std::uint64_t ChunkedIndex::num_postings() const {
   return total;
 }
 
+std::uint64_t ChunkedIndex::packed_posting_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    total += chunk_index(c).packed_posting_bytes();
+  }
+  return total;
+}
+
 std::size_t ChunkedIndex::num_chunks_loaded() const noexcept {
   std::size_t loaded = 0;
   for (const auto& live : live_) {
@@ -232,7 +240,8 @@ void validate_dir_entry(const ChunkDirEntry& entry, std::uint64_t& expected,
   namespace sz = serialize;
   sz::require(entry.offset == expected, "chunk extent out of order");
   sz::require(entry.offset % 8 == 0, "misaligned chunk extent");
-  sz::require(entry.size % 8 == 0 && entry.size >= 16 &&
+  // A v4 arrays payload is at least its 32-byte count header.
+  sz::require(entry.size % 8 == 0 && entry.size >= 32 &&
                   entry.size <= bin::kMaxSectionBytes,
               "implausible chunk extent size");
   sz::require(!(entry.mass_hi < entry.mass_lo), "inverted chunk mass range");

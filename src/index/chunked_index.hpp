@@ -91,6 +91,11 @@ class ChunkedIndex {
   /// Mapped, not-yet-touched chunks cost no heap and are not counted.
   std::uint64_t memory_bytes() const noexcept;
 
+  /// Packed-stream footprint of every chunk's postings, block directories
+  /// included (the numerator of the index_io suite's bytes_per_posting
+  /// metric). Forces materialization on a mapped index.
+  std::uint64_t packed_posting_bytes() const;
+
   /// Postings per m/z bin summed over chunks (chunks share one binning).
   /// Feeds the load-prediction model (search/load_model.hpp). 64-bit:
   /// per-chunk counts are u32 by construction, but a large multi-chunk

@@ -100,7 +100,8 @@ class QueryArena {
            ref_intensity_.capacity() * sizeof(float) +
            reached.capacity() * sizeof(LocalPeptideId) +
            spans.capacity() * sizeof(BinSpan) +
-           windows.capacity() * sizeof(Window);
+           windows.capacity() * sizeof(Window) +
+           decoded.capacity() * sizeof(std::uint32_t);
   }
 
   /// Peptides that crossed the shared-peak threshold this query.
@@ -117,6 +118,12 @@ class QueryArena {
   };
   std::vector<Window> windows;
   std::vector<BinSpan> spans;
+
+  /// Span-decode scratch for packed (format v4) indexes: the covering
+  /// posting blocks of one span, unpacked (index/posting_codec.hpp).
+  /// Sized in whole 128-value blocks; grows to the largest span seen and
+  /// stays allocated, so steady-state decode allocates nothing.
+  std::vector<std::uint32_t> decoded;
 
   /// Candidate buffer reused by QueryEngine between queries.
   std::vector<Candidate> candidates;

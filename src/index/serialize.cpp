@@ -26,7 +26,8 @@ void check_header_fields(std::uint32_t magic, std::uint32_t version,
     throw IoError("not an LBE index file (bad magic)");
   }
   if (version != kFormatVersion) {
-    throw IoError("unsupported LBE index format version " +
+    throw FormatVersionError(
+        "unsupported LBE index format version " +
                   std::to_string(version) + " (this build reads version " +
                   std::to_string(kFormatVersion) +
                   "; regenerate with `lbectl prepare`)");

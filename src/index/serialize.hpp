@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/lbe_layer.hpp"
 #include "index/chunked_index.hpp"
 
@@ -60,8 +61,13 @@ inline constexpr std::uint32_t kMagic = 0x5845424Cu;
 /// offset-addressable extent so a warm start can bind them straight out of
 /// an mmap (common/mmap_file.hpp) instead of copying them into vectors,
 /// and moves per-chunk metadata into an eagerly-validated chunk directory
-/// so chunks can be materialized lazily, on first query touch.
-inline constexpr std::uint32_t kFormatVersion = 3;
+/// so chunks can be materialized lazily, on first query touch. Version 4
+/// replaces each chunk's raw u32 posting array with bit-packed
+/// frame-of-reference blocks plus a per-block directory
+/// (index/posting_codec.hpp): eager loads decode back to u32 once at
+/// parse, mapped loads bind the packed extents in place and decode spans
+/// at query time through the runtime-selected scalar/SSE4.1/AVX2 kernel.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// What a stream claims to contain; read_header rejects mismatches so a
 /// rank file can never be mistaken for a manifest.
@@ -89,9 +95,22 @@ inline constexpr std::uint32_t kSecChunkDir = 0x07;
 /// Bytes write_header emits (three u32 fields).
 inline constexpr std::uint64_t kHeaderBytes = 12;
 
+/// Refinement of IoError for a well-formed header whose format version is
+/// not the one this build reads. Version bumps are strict (no in-place
+/// migration), but a *stale* bundle is not a *corrupt* one: the warm-start
+/// path catches exactly this type, warns, and rebuilds from the plan —
+/// the PR 3 plan-mismatch semantics — while every other IoError stays
+/// fatal, because a bundle the user pointed at must not be silently
+/// ignored.
+class FormatVersionError : public IoError {
+ public:
+  explicit FormatVersionError(const std::string& msg) : IoError(msg) {}
+};
+
 void write_header(std::ostream& out, Kind kind);
 
-/// Throws IoError on bad magic, unsupported version, or wrong kind.
+/// Throws IoError on bad magic or wrong kind, FormatVersionError on an
+/// unsupported format version.
 void read_header(std::istream& in, Kind expected);
 
 /// Mapped twin of read_header, consuming from a byte cursor.

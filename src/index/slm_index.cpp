@@ -100,6 +100,7 @@ SlmIndex::SlmIndex(const PeptideStore& store,
 void SlmIndex::bind_owned() noexcept {
   bin_offsets_ = bin_offsets_storage_;
   postings_ = postings_storage_;
+  posting_count_ = postings_storage_.size();
 }
 
 void SlmIndex::build_spans(const chem::Spectrum& spectrum,
@@ -217,9 +218,6 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
   const std::uint32_t threshold = std::max<std::uint32_t>(
       1, params.shared_peak_min);
   const std::uint32_t epoch = arena.epoch();
-  // Raw restrict pointers: posting loads cannot alias scorecard stores, so
-  // the compiler keeps loop state in registers across slot writes.
-  const LocalPeptideId* __restrict postings = postings_.data();
   QueryArena::Slot* __restrict slots = arena.slots_data();
   for (const BinSpan& span : arena.spans) {
     const std::uint32_t begin = bin_offsets_[span.lo];
@@ -231,12 +229,20 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
         static_cast<std::uint64_t>(span.multiplicity) * (span.hi - span.lo);
     work.postings_touched +=
         static_cast<std::uint64_t>(span.multiplicity) * (end - begin);
+    // Raw restrict pointers: posting loads (from the CSR array, or from
+    // the span's blocks decoded into arena scratch — the scratch stays
+    // L1-hot, so the scorecard's cache misses still dominate) cannot
+    // alias scorecard stores, so the compiler keeps loop state in
+    // registers across slot writes.
+    const std::uint32_t* __restrict postings =
+        posting_slice(begin, end, arena);
+    const std::uint32_t count = end - begin;
     if (span.multiplicity == 1) {
       // Non-overlapping windows (the common case at ΔF = 0.05 / r = 0.01):
       // identical per-posting arithmetic to the reference walk, but one
       // contiguous slice instead of a loop per bin and one interleaved
       // scorecard slot instead of three parallel arrays.
-      for (std::uint32_t i = begin; i < end; ++i) {
+      for (std::uint32_t i = 0; i < count; ++i) {
         const LocalPeptideId pep = postings[i];
         QueryArena::Slot& slot = slots[pep];
         if (slot.stamp != epoch) {
@@ -249,7 +255,7 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
       }
       continue;
     }
-    for (std::uint32_t i = begin; i < end; ++i) {
+    for (std::uint32_t i = 0; i < count; ++i) {
       const LocalPeptideId pep = postings[i];
       QueryArena::Slot& slot = slots[pep];
       if (slot.stamp != epoch) {
@@ -301,8 +307,12 @@ void SlmIndex::query_reference(const chem::Spectrum& spectrum,
       ++work.bins_visited;
       const std::uint32_t begin = bin_offsets_[b];
       const std::uint32_t end = bin_offsets_[b + 1];
-      for (std::uint32_t i = begin; i < end; ++i) {
-        const LocalPeptideId pep = postings_[i];
+      // Per-bin decode (a packed block may be decoded once per covering
+      // bin): wasteful on purpose — the reference walk optimizes for
+      // being obviously faithful to the pre-batching engine, not speed.
+      const std::uint32_t* postings = posting_slice(begin, end, arena);
+      for (std::uint32_t i = 0; i < end - begin; ++i) {
+        const LocalPeptideId pep = postings[i];
         ++work.postings_touched;
         if (!arena.ref_stamped(pep)) arena.ref_stamp(pep);
         arena.ref_intensity(pep) += peak_intensity;
@@ -332,7 +342,45 @@ std::uint64_t SlmIndex::memory_bytes() const noexcept {
   // and are charged to the file, not the process heap.
   return bin_offsets_storage_.capacity() * sizeof(std::uint32_t) +
          postings_storage_.capacity() * sizeof(LocalPeptideId) +
-         internal_arena_.memory_bytes();
+         blocks_storage_.capacity() * sizeof(codec::BlockMeta) +
+         packed_storage_.capacity() + internal_arena_.memory_bytes();
+}
+
+const std::uint32_t* SlmIndex::posting_slice(std::uint32_t begin,
+                                             std::uint32_t end,
+                                             QueryArena& arena) const {
+  if (!packed_mode_) return postings_.data() + begin;
+  if (begin == end) return arena.decoded.data();
+  const std::size_t block_first = begin / codec::kBlockValues;
+  const std::size_t block_count = (end - 1) / codec::kBlockValues -
+                                  block_first + 1;
+  const std::size_t needed = block_count * codec::kBlockValues;
+  if (arena.decoded.size() < needed) arena.decoded.resize(needed);
+  codec::decode_range(blocks_, packed_, posting_count_, begin, end,
+                      arena.decoded.data());
+  return arena.decoded.data() + (begin - block_first * codec::kBlockValues);
+}
+
+void SlmIndex::ensure_packed() const {
+  if (packed_mode_ || packed_cached_) return;
+  codec::encode(postings_, blocks_storage_, packed_storage_);
+  blocks_ = blocks_storage_;
+  packed_ = packed_storage_;
+  packed_cached_ = true;
+}
+
+std::uint64_t SlmIndex::packed_posting_bytes() const {
+  ensure_packed();
+  return packed_.size() + blocks_.size() * sizeof(codec::BlockMeta);
+}
+
+void SlmIndex::compress_in_memory() {
+  if (packed_mode_) return;
+  ensure_packed();
+  postings_storage_.clear();
+  postings_storage_.shrink_to_fit();
+  postings_ = {};
+  packed_mode_ = true;
 }
 
 SlmIndex::SlmIndex(const PeptideStore& store,
@@ -347,32 +395,41 @@ constexpr std::uint64_t padded8(std::uint64_t n) { return (n + 7) & ~7ull; }
 
 }  // namespace
 
-std::uint64_t SlmIndex::arrays_payload_size() const noexcept {
-  return 16 + padded8(bin_offsets_.size() * sizeof(std::uint32_t)) +
-         padded8(postings_.size() * sizeof(LocalPeptideId));
+std::uint64_t SlmIndex::arrays_payload_size() const {
+  ensure_packed();
+  return 32 + padded8(bin_offsets_.size() * sizeof(std::uint32_t)) +
+         padded8(blocks_.size() * sizeof(codec::BlockMeta)) +
+         padded8(packed_.size());
 }
 
-std::uint32_t SlmIndex::arrays_payload_crc() const noexcept {
-  const std::uint64_t counts[2] = {bin_offsets_.size(), postings_.size()};
+std::uint32_t SlmIndex::arrays_payload_crc() const {
+  ensure_packed();
+  const std::uint64_t counts[4] = {bin_offsets_.size(), posting_count_,
+                                   blocks_.size(), packed_.size()};
   std::uint64_t cursor = 0;
   std::uint32_t crc = 0;
   bin::crc32_padded(counts, sizeof(counts), cursor, crc);
   bin::crc32_padded(bin_offsets_.data(),
                     bin_offsets_.size() * sizeof(std::uint32_t), cursor, crc);
-  bin::crc32_padded(postings_.data(),
-                    postings_.size() * sizeof(LocalPeptideId), cursor, crc);
+  bin::crc32_padded(blocks_.data(),
+                    blocks_.size() * sizeof(codec::BlockMeta), cursor, crc);
+  bin::crc32_padded(packed_.data(), packed_.size(), cursor, crc);
   return crc;
 }
 
 void SlmIndex::write_arrays_payload(std::ostream& out) const {
+  ensure_packed();
   std::uint64_t cursor = 0;
   bin::write_pod(out, static_cast<std::uint64_t>(bin_offsets_.size()));
-  bin::write_pod(out, static_cast<std::uint64_t>(postings_.size()));
-  cursor += 16;
+  bin::write_pod(out, posting_count_);
+  bin::write_pod(out, static_cast<std::uint64_t>(blocks_.size()));
+  bin::write_pod(out, static_cast<std::uint64_t>(packed_.size()));
+  cursor += 32;
   bin::write_padded(out, bin_offsets_.data(),
                     bin_offsets_.size() * sizeof(std::uint32_t), cursor);
-  bin::write_padded(out, postings_.data(),
-                    postings_.size() * sizeof(LocalPeptideId), cursor);
+  bin::write_padded(out, blocks_.data(),
+                    blocks_.size() * sizeof(codec::BlockMeta), cursor);
+  bin::write_padded(out, packed_.data(), packed_.size(), cursor);
 }
 
 SlmIndex SlmIndex::parse_arrays_payload(
@@ -382,26 +439,48 @@ SlmIndex SlmIndex::parse_arrays_payload(
   namespace sz = serialize;
   const auto offsets_count = payload.read_pod<std::uint64_t>();
   const auto postings_count = payload.read_pod<std::uint64_t>();
+  const auto block_count = payload.read_pod<std::uint64_t>();
+  const auto packed_bytes = payload.read_pod<std::uint64_t>();
   sz::require(offsets_count <= bin::kMaxElements &&
-                  postings_count <= bin::kMaxElements,
+                  postings_count <= bin::kMaxElements &&
+                  block_count <= bin::kMaxElements &&
+                  packed_bytes <= bin::kMaxSectionBytes,
               "implausible array count");
   const auto offsets_view = payload.view_array<std::uint32_t>(
       static_cast<std::size_t>(offsets_count));
   payload.align();
-  const auto postings_view = payload.view_array<LocalPeptideId>(
-      static_cast<std::size_t>(postings_count));
+  const auto blocks_view = payload.view_array<codec::BlockMeta>(
+      static_cast<std::size_t>(block_count));
   payload.align();
+  const auto packed_view =
+      payload.take(static_cast<std::size_t>(packed_bytes));
+  payload.align();
+
+  // Structural validation before any decode: the block directory must
+  // tile the packed stream exactly and carry only legal encodings.
+  codec::validate_blocks(blocks_view, postings_count, packed_bytes);
 
   SlmIndex index(store, mods, params, nullptr);
   if (keepalive != nullptr) {
     index.bin_offsets_ = offsets_view;
-    index.postings_ = postings_view;
+    index.blocks_ = blocks_view;
+    index.packed_ = packed_view;
+    index.posting_count_ = postings_count;
+    index.packed_mode_ = true;
+    index.packed_cached_ = true;
     index.keepalive_ = std::move(keepalive);
   } else {
+    // Eager load: decode back to the raw u32 array once, then query at
+    // full resident speed with no decode in the walk.
     index.bin_offsets_storage_.assign(offsets_view.begin(),
                                       offsets_view.end());
-    index.postings_storage_.assign(postings_view.begin(),
-                                   postings_view.end());
+    index.postings_storage_.resize(
+        static_cast<std::size_t>(block_count) * codec::kBlockValues);
+    codec::decode_blocks(blocks_view, packed_view, postings_count, 0,
+                         static_cast<std::size_t>(block_count),
+                         index.postings_storage_.data());
+    index.postings_storage_.resize(
+        static_cast<std::size_t>(postings_count));
     index.bind_owned();
   }
 
@@ -409,14 +488,32 @@ SlmIndex SlmIndex::parse_arrays_payload(
                   std::size_t{index.binning_.num_bins()} + 1,
               "bin count mismatch (different IndexParams?)");
   sz::require(!index.bin_offsets_.empty() &&
-                  index.bin_offsets_.back() == index.postings_.size(),
+                  index.bin_offsets_.back() == postings_count,
               "postings size mismatch");
   for (std::size_t b = 1; b < index.bin_offsets_.size(); ++b) {
     sz::require(index.bin_offsets_[b] >= index.bin_offsets_[b - 1],
                 "non-monotone bin offsets");
   }
-  for (const LocalPeptideId id : index.postings_) {
-    sz::require(id < store.size(), "posting out of range");
+  // Every decoded posting must be a valid store id BEFORE any query runs:
+  // the scorecard indexes slots by posting with no bounds check. The
+  // mapped path decodes once into scratch for exactly this validation —
+  // queries re-decode per span — so corruption that survives the CRC
+  // (a stale-but-valid file for a different store) still fails at first
+  // touch, never mid-walk.
+  if (index.packed_mode_) {
+    std::vector<std::uint32_t> scratch(
+        static_cast<std::size_t>(block_count) * codec::kBlockValues);
+    codec::decode_blocks(blocks_view, packed_view, postings_count, 0,
+                         static_cast<std::size_t>(block_count),
+                         scratch.data());
+    for (std::uint64_t i = 0; i < postings_count; ++i) {
+      sz::require(scratch[static_cast<std::size_t>(i)] < store.size(),
+                  "posting out of range");
+    }
+  } else {
+    for (const LocalPeptideId id : index.postings_) {
+      sz::require(id < store.size(), "posting out of range");
+    }
   }
   return index;
 }

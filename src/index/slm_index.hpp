@@ -24,6 +24,7 @@
 #include "chem/spectrum.hpp"
 #include "index/binning.hpp"
 #include "index/peptide_store.hpp"
+#include "index/posting_codec.hpp"
 #include "index/query_arena.hpp"
 #include "index/query_work.hpp"
 #include "theospec/fragmenter.hpp"
@@ -93,7 +94,23 @@ class SlmIndex {
   const PeptideStore& store() const noexcept { return *store_; }
   const IndexParams& params() const noexcept { return params_; }
   std::size_t num_peptides() const noexcept { return store_->size(); }
-  std::uint64_t num_postings() const noexcept { return postings_.size(); }
+  std::uint64_t num_postings() const noexcept { return posting_count_; }
+
+  /// True when queries decode bit-packed posting blocks (a v4 warm start
+  /// bound from an mmap, or after compress_in_memory); false while the
+  /// raw u32 array is resident.
+  bool packed() const noexcept { return packed_mode_; }
+
+  /// Packed-stream footprint of the postings (block directory included),
+  /// packing a raw-resident index once if needed — the numerator of the
+  /// index_io suite's bytes_per_posting metric.
+  std::uint64_t packed_posting_bytes() const;
+
+  /// Switches a raw-resident index to the packed query path in place:
+  /// encodes the postings, drops the raw array, and decodes spans at
+  /// query time exactly as a mapped v4 chunk does. Benches and tests use
+  /// this to exercise the decode kernels without a round trip to disk.
+  void compress_in_memory();
 
   /// Shared-peak filtration of one query spectrum. Appends candidates with
   /// shared_peaks >= params.shared_peak_min (and, unless open search, with
@@ -150,17 +167,33 @@ class SlmIndex {
   /// Points the spans at the owned storage vectors.
   void bind_owned() noexcept;
 
-  // Raw transformed-array payload (format v3, no framing): what `save`
+  // Raw transformed-array payload (format v4, no framing): what `save`
   // wraps in a checksummed raw section and ChunkedIndex records per chunk
   // in its directory. Layout, starting 8-aligned:
   //   [bin_offset_count u64][posting_count u64]
-  //   bin_offsets u32[], zero-padded to 8
-  //   postings    u32[], zero-padded to 8
-  // Size and CRC are computable without materializing the payload, so the
-  // chunk directory (which precedes the payloads) can be written first.
-  std::uint64_t arrays_payload_size() const noexcept;
-  std::uint32_t arrays_payload_crc() const noexcept;
+  //   [block_count u64][packed_byte_count u64]
+  //   bin_offsets u32[],             zero-padded to 8
+  //   blocks      codec::BlockMeta[] (16 B each, inherently 8-aligned)
+  //   packed posting stream bytes,   zero-padded to 8
+  // Size and CRC are computable without materializing the payload (the
+  // pack runs once and is cached), so the chunk directory — which
+  // precedes the payloads — can be written first.
+  std::uint64_t arrays_payload_size() const;
+  std::uint32_t arrays_payload_crc() const;
   void write_arrays_payload(std::ostream& out) const;
+
+  /// Guarantees blocks_/packed_ describe the postings: a no-op when the
+  /// index is already packed (or the pack is cached), one deterministic
+  /// codec::encode otherwise. Const because `save` needs it; the cache
+  /// lives in mutable storage and never changes observable query results.
+  void ensure_packed() const;
+
+  /// Postings [begin, end) as a contiguous u32 slice: the raw array when
+  /// resident, otherwise the covering packed blocks decoded into
+  /// arena.decoded (slice pointer adjusted to `begin`). The slice is
+  /// valid until the next call with the same arena.
+  const std::uint32_t* posting_slice(std::uint32_t begin, std::uint32_t end,
+                                     QueryArena& arena) const;
 
   /// Parses one arrays payload from `payload` (positioned at its start,
   /// 8-aligned phase) and validates structure. With a `keepalive` mapping
@@ -201,6 +234,21 @@ class SlmIndex {
   std::vector<std::uint32_t> bin_offsets_storage_;
   std::vector<LocalPeptideId> postings_storage_;
   std::shared_ptr<const bin::MmapFile> keepalive_;
+
+  // Bit-packed posting blocks (format v4, index/posting_codec.hpp). A
+  // built index stays raw u32 — the zero-overhead path — and packs once,
+  // lazily, when saved (mutable cache below). A v4 warm start arrives
+  // packed: eager loads decode back to u32 at parse and discard the
+  // packed form; mapped loads bind these spans into the mapping and the
+  // span walk decodes through posting_slice at query time. In packed
+  // mode postings_ is empty and posting_count_ carries the total.
+  mutable std::span<const codec::BlockMeta> blocks_;
+  mutable std::span<const std::byte> packed_;
+  mutable std::vector<codec::BlockMeta> blocks_storage_;
+  mutable std::vector<std::byte> packed_storage_;
+  mutable bool packed_cached_ = false;
+  std::uint64_t posting_count_ = 0;
+  bool packed_mode_ = false;
 
   // Backs the no-arena convenience overload only (mutable: query is
   // logically const). Untouched by the arena-passing hot paths.

@@ -5,6 +5,7 @@
 // search over the loaded indexes is identical to one over freshly built
 // ones. CI runs it in the test matrix (ctest `lbebench_index_io`) so the
 // equivalence check executes under every compiler/build-type combination.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -109,6 +110,23 @@ void index_io_warm_start(BenchContext& ctx) {
         index::bundle_rank_path(dir, rank));
   }
 
+  // Compression economics of the v4 packed posting format: stream + block
+  // directory bytes per posting, vs the 4 bytes a raw u32 posting costs.
+  // CI gates bytes_per_posting lower-is-better against the checked-in
+  // baseline so a codec regression (or an accidental raw fallback) fails
+  // the perf-smoke job.
+  std::uint64_t packed_bytes = 0;
+  std::uint64_t num_postings = 0;
+  for (const auto& rank : loaded.per_rank) {
+    packed_bytes += rank->packed_posting_bytes();
+    num_postings += rank->num_postings();
+  }
+  const double bytes_per_posting =
+      static_cast<double>(packed_bytes) /
+      static_cast<double>(std::max<std::uint64_t>(num_postings, 1));
+  fig.check("packed postings beat raw u32 (<= 0.6x of 4 bytes)",
+            bytes_per_posting <= 0.6 * 4.0);
+
   // Loaded-vs-rebuilt equivalence: the whole distributed search, not just
   // one query — any drift in the serialized arrays shows up here.
   const auto cold = run_once(plan, workload, params, nullptr);
@@ -126,14 +144,19 @@ void index_io_warm_start(BenchContext& ctx) {
   fig.row({"load_seconds", bench::fmt(load_stats.median)});
   fig.row({"bundle_mib",
            bench::fmt(static_cast<double>(bundle_bytes) / (1024.0 * 1024.0))});
+  fig.row({"bytes_per_posting", bench::fmt(bytes_per_posting)});
   fig.note("warm start loads " + bench::fmt(warm_speedup) +
-           "x faster than rebuilding");
+           "x faster than rebuilding; packed postings at " +
+           bench::fmt(bytes_per_posting) + " B/posting vs 4 B raw");
   fig.finish();
   ctx.absorb_checks(fig);
   ctx.result.add_metric("build_seconds", build_seconds);
   ctx.result.add_metric("save_seconds", save_stats.median);
   ctx.result.add_metric("load_seconds", load_stats.median);
   ctx.result.add_metric("bundle_bytes", static_cast<double>(bundle_bytes));
+  ctx.result.add_metric("bundle_bytes_total",
+                        static_cast<double>(bundle_bytes));
+  ctx.result.add_metric("bytes_per_posting", bytes_per_posting);
   ctx.result.add_metric("warm_speedup_vs_build", warm_speedup);
 }
 

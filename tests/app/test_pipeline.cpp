@@ -196,6 +196,46 @@ TEST(LbectlPipeline, WarmStartRejectsMismatchedBundle) {
   fs::remove_all(dir);
 }
 
+// Format-version policy at the warm-start boundary: a bundle written in an
+// older on-disk layout is stale, not corrupt — the loader warns and falls
+// back to a rebuild (nullptr) — while a flipped payload bit in the very
+// same files stays a hard IoError. Stale must never mask corrupt.
+TEST(LbectlPipeline, StaleFormatVersionRebuildsButCorruptionStillThrows) {
+  const AppOptions opts = small_options();
+  const PipelineInputs inputs = prepare_inputs(opts);
+  const PlanBundle plan = build_plan(inputs.database, opts);
+
+  const std::string dir = ::testing::TempDir() + "/lbe_warm_version";
+  index::save_index_bundle(dir,
+                           build_index_bundle(plan, inputs.database, opts));
+  const std::string manifest = index::bundle_manifest_path(dir);
+  const std::string pristine = slurp(manifest);
+  const auto rewrite = [&](const std::string& bytes) {
+    std::ofstream out(manifest, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Patch the header's format-version field (bytes 4..8) down to v3: the
+  // previous layout, recognizably LBEX, but not this reader's version.
+  std::string stale = pristine;
+  stale[4] = 3;
+  rewrite(stale);
+  EXPECT_EQ(try_load_warm_indexes(dir, plan, inputs.database, opts), nullptr);
+
+  // A flipped bit mid-manifest is a checksum failure, not staleness.
+  std::string corrupt = pristine;
+  corrupt[pristine.size() / 2] =
+      static_cast<char>(corrupt[pristine.size() / 2] ^ 0x20);
+  rewrite(corrupt);
+  EXPECT_THROW(try_load_warm_indexes(dir, plan, inputs.database, opts),
+               IoError);
+
+  // Restored, the bundle warm-starts again.
+  rewrite(pristine);
+  EXPECT_NE(try_load_warm_indexes(dir, plan, inputs.database, opts), nullptr);
+  fs::remove_all(dir);
+}
+
 TEST(LbectlPipeline, PlanFileRoundTrips) {
   const AppOptions opts =
       small_options("policy = chunk\nranks = 6\ngsize = 12\n");

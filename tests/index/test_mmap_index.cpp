@@ -1,8 +1,9 @@
-// The mmap warm-start path (format v3): mapped indexes must answer queries
-// identically to eagerly loaded ones, materialize only the chunks a
-// precursor window touches, and turn EVERY corruption — flipped bit,
-// truncation, wrong version — into IoError at map time or first touch,
-// never a silently different result.
+// The mmap warm-start path (format v4): mapped indexes must answer queries
+// identically to eagerly loaded ones — decoding bit-packed posting spans
+// per query — materialize only the chunks a precursor window touches, and
+// turn EVERY corruption — flipped bit (including inside a packed posting
+// extent), truncation, wrong version — into IoError at map time or first
+// touch, never a silently different result.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -196,6 +197,53 @@ TEST_F(MmapIndexTest, EveryFlippedBitFailsAtMapOrFirstTouch) {
         },
         IoError)
         << "flipped bit at byte " << pos << " went undetected";
+  }
+  fs::remove(corrupt_path);
+}
+
+TEST_F(MmapIndexTest, PackedExtentBitFlipFailsAtFirstTouch) {
+  // A v4 chunk payload ends with its bit-packed posting stream, so the
+  // file's trailing bytes sit inside the last chunk's packed extent (or
+  // its checksummed padding). Flipping them must leave the map itself
+  // clean — header, directory and store metadata are untouched — and
+  // surface as IoError exactly when the lazy first touch materializes
+  // (and checksums) that chunk, never as a quietly different decode.
+  const std::string path = save_chunked("mmap_packed_flip.idx");
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/mmap_packed_flip_c.idx";
+  QueryParams open_filter;
+  open_filter.shared_peak_min = 1;
+  const auto spectrum = theo("PEPTIDEK");
+  for (std::size_t back = 1; back <= 24; ++back) {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - back] =
+        static_cast<char>(corrupt[corrupt.size() - back] ^ 0x04);
+    {
+      std::ofstream out(corrupt_path, std::ios::binary);
+      out.write(corrupt.data(),
+                static_cast<std::streamsize>(corrupt.size()));
+    }
+    std::unique_ptr<ChunkedIndex> mapped;
+    ASSERT_NO_THROW(mapped =
+                        ChunkedIndex::map_file(corrupt_path, mods_, params_))
+        << "metadata-only map rejected a payload flip " << back
+        << " bytes from EOF";
+    EXPECT_THROW(
+        {
+          std::vector<Candidate> candidates;
+          QueryWork work;
+          mapped->query(spectrum, open_filter, candidates, work);
+          (void)mapped->num_postings();
+        },
+        IoError)
+        << "flip " << back << " bytes from EOF went undetected";
   }
   fs::remove(corrupt_path);
 }

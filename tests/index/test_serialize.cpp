@@ -199,6 +199,37 @@ TEST_F(SerializeTest, LoadRejectsWrongFormatVersion) {
   EXPECT_THROW(ChunkedIndex::load(buffer, mods_, params_), IoError);
 }
 
+TEST_F(SerializeTest, StaleVersionAndCorruptionAreDistinctErrors) {
+  // The pipeline's warm-start path treats FormatVersionError as
+  // "regenerate quietly" but lets any other IoError propagate, so the two
+  // must stay distinguishable: a stale version field throws the subtype, a
+  // flipped payload bit throws plain IoError.
+  const ChunkedIndex original(make_store(), mods_, params_,
+                              ChunkingParams{});
+  std::stringstream buffer;
+  original.save(buffer);
+  const std::string bytes = buffer.str();
+
+  std::string stale = bytes;
+  stale[4] = 3;  // version u32 follows the 4-byte magic
+  std::istringstream stale_in(stale);
+  EXPECT_THROW(ChunkedIndex::load(stale_in, mods_, params_),
+               serialize::FormatVersionError);
+
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] =
+      static_cast<char>(corrupt[bytes.size() / 2] ^ 0x20);
+  std::istringstream corrupt_in(corrupt);
+  try {
+    ChunkedIndex::load(corrupt_in, mods_, params_);
+    FAIL() << "corrupted stream loaded successfully";
+  } catch (const serialize::FormatVersionError&) {
+    FAIL() << "payload corruption misreported as a version mismatch";
+  } catch (const IoError&) {
+    // Expected: corruption is fatal, not a rebuild trigger.
+  }
+}
+
 TEST_F(SerializeTest, LoadRejectsWrongComponentKind) {
   const PeptideStore store = make_store();
   std::stringstream buffer;
