@@ -1,6 +1,7 @@
 // lbebench — unified benchmark driver.
 //
-//   lbebench --suite smoke|micro|index_io|figures|ablation [--filter SUBSTR]
+//   lbebench --suite smoke|micro|index_io|serve|mpi_backend|figures|ablation
+//            [--filter SUBSTR]
 //            [--repeat N] [--out DIR]
 //            [--baseline FILE --max-regress FRAC] [--no-json] [--list]
 //
@@ -15,14 +16,17 @@
 #include <exception>
 #include <string>
 
+#include "app/rank_programs.hpp"
 #include "common/logging.hpp"
 #include "index/posting_codec.hpp"
 #include "perf/bench_registry.hpp"
+#include "simmpi/process.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: lbebench [--suite smoke|micro|index_io|serve|figures|ablation]\n"
+    "usage: lbebench [--suite smoke|micro|index_io|serve|mpi_backend|\n"
+    "                         figures|ablation]\n"
     "                [--list] [--filter SUBSTR] [--repeat N] [--out DIR]\n"
     "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
     "                [--gate-lower METRIC[,METRIC...]]\n"
@@ -51,6 +55,11 @@ int list_benches() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Process-backend benches re-exec this binary once per worker rank.
+  if (lbe::mpi::is_rank_worker(argc, argv)) {
+    lbe::app::register_rank_programs();
+    return lbe::mpi::rank_worker_main(argc, argv);
+  }
   lbe::log::set_level(lbe::log::Level::kWarn);
   lbe::perf::BenchRunOptions options;
   bool list = false;

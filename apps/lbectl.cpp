@@ -9,10 +9,18 @@
 
 #include "app/commands.hpp"
 #include "app/options.hpp"
+#include "app/rank_programs.hpp"
 #include "common/error.hpp"
+#include "simmpi/process.hpp"
 
 int main(int argc, char** argv) {
   using namespace lbe;
+  // `search --backend process` re-execs this binary once per worker rank;
+  // the worker entry point must run before any CLI parsing.
+  if (mpi::is_rank_worker(argc, argv)) {
+    app::register_rank_programs();
+    return mpi::rank_worker_main(argc, argv);
+  }
   try {
     return app::dispatch(app::parse_cli(argc, argv));
   } catch (const Error& error) {

@@ -1,0 +1,23 @@
+// Rank-transport driver — runs the "mpi_backend" suite (virtual vs threads
+// vs process backends over one shared mmap'd bundle, plus the aggregate
+// resident-index scaling point). The benchmarks live in
+// src/perf/bench_suites_mpi_backend.cpp; `lbebench --suite mpi_backend`
+// runs the same set and additionally writes BENCH_mpi_backend.json.
+#include "app/rank_programs.hpp"
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
+#include "simmpi/process.hpp"
+
+int main(int argc, char** argv) {
+  // The process backend re-execs this binary once per worker rank.
+  if (lbe::mpi::is_rank_worker(argc, argv)) {
+    lbe::app::register_rank_programs();
+    return lbe::mpi::rank_worker_main(argc, argv);
+  }
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  lbe::perf::BenchRunOptions options;
+  options.suite = "mpi_backend";
+  options.repeat = 1;
+  options.write_json = false;
+  return lbe::perf::run_suite(options);
+}

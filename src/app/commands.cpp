@@ -308,6 +308,21 @@ int run_query(const AppOptions& opts) {
   std::printf("query: connected to daemon on %s (%u ranks, top_k %u)\n",
               opts.socket_path.c_str(), info.ranks, info.top_k);
 
+  // The PR 6 footgun, made loud: `query` builds its query set from *this*
+  // invocation's plan/config, but the PSMs come from whatever database the
+  // daemon has resident. If the fingerprints disagree, the psms.tsv below
+  // will NOT match a one-shot `search --plan` of the client's plan — warn
+  // on every such run instead of letting the mismatch pass silently.
+  const std::uint32_t local_crc = database_fingerprint(inputs.database);
+  if (info.database_crc != local_crc) {
+    log::warn("database mismatch: the daemon on ", opts.socket_path,
+              " serves database crc32 ", info.database_crc,
+              " but this invocation's plan/config has crc32 ", local_crc,
+              " — its psms.tsv will not match a one-shot `lbectl search` of "
+              "this plan. Point --plan/--config at the files the daemon was "
+              "started with (or restart the daemon).");
+  }
+
   std::vector<search::ResolvedPsm> rows;
   std::vector<double> batch_ms;
   std::uint64_t candidates = 0;

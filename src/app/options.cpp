@@ -16,7 +16,7 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 44> kKnownKeys = {
+constexpr std::array<std::string_view, 45> kKnownKeys = {
     "db",          "queries",       "plan",
     "index",       "index_out",     "mmap",
     "simd",
@@ -30,9 +30,9 @@ constexpr std::array<std::string_view, 44> kKnownKeys = {
     "gsize",       "resolution",    "max_fragment_mz",
     "max_fragment_charge", "fragment_tolerance", "shared_peak_min",
     "precursor_tolerance", "top_k", "fdr",
-    "threads",     "batch",         "report",
-    "verify",      "socket",        "queue_depth",
-    "workers",     "shutdown",
+    "threads",     "batch",         "backend",
+    "report",      "verify",        "socket",
+    "queue_depth", "workers",       "shutdown",
 };
 
 bool known_key(std::string_view key) {
@@ -175,6 +175,12 @@ AppOptions options_from_config(const Config& config) {
 
   opts.threads = get_u32(config, "threads", 1);
   opts.batch = get_u32(config, "batch", 64);
+  opts.backend = config.get_string("backend", "virtual");
+  if (opts.backend != "virtual" && opts.backend != "threads" &&
+      opts.backend != "process") {
+    throw ConfigError("unknown backend: " + opts.backend +
+                      " (expected virtual|threads|process)");
+  }
   opts.socket_path = config.get_string("socket", "");
   opts.queue_depth = get_u32(config, "queue_depth", 64);
   opts.serve_workers = get_u32(config, "workers", 1);
@@ -289,6 +295,12 @@ dashes in CLI option names are accepted as underscores):
   --seed N             synthetic workload seed             (default 2019)
   --policy NAME        chunk|cyclic|random|weighted        (default cyclic)
   --ranks N            simulated MPI ranks                 (default 4)
+  --backend NAME       search rank transport: virtual|threads|process.
+                       virtual/threads simulate the cluster in-process;
+                       process forks one OS worker per rank, exchanging the
+                       same messages over Unix-domain sockets while all
+                       ranks share one read-only mmap of the index bundle.
+                       Results are byte-identical across backends
   --threads N          threads per rank (hybrid mode)      (default 1)
   --batch N            queries per result batch            (default 64)
   --decoy NAME         none|reverse|pseudo|shuffle         (default pseudo)
@@ -307,6 +319,7 @@ Examples:
   lbectl prepare --db proteins.fasta --out run1
   lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
   lbectl search --plan run1/plan.lbe --index run1 --out run1
+  lbectl search --plan run1/plan.lbe --index run1 --backend process
   lbectl serve --plan run1/plan.lbe --index run1 --socket /tmp/lbe.sock
   lbectl query --plan run1/plan.lbe --socket /tmp/lbe.sock --out client
   lbectl stats --policy chunk --ranks 16

@@ -65,6 +65,13 @@ struct AppOptions {
   // ---- runtime ----
   std::uint32_t threads = 1;  ///< threads per simulated rank
   std::uint32_t batch = 64;   ///< queries per result batch on the wire
+  /// `--backend virtual|threads|process`: rank transport for `search`.
+  /// `virtual` (default) and `threads` are the in-process simulated
+  /// engines (simmpi/cluster.hpp); `process` forks one OS worker process
+  /// per rank over Unix-domain sockets, with co-located ranks sharing one
+  /// read-only mmap of the index bundle (simmpi/process.hpp). Results are
+  /// byte-identical across backends — CI proves it per commit.
+  std::string backend = "virtual";
 
   // ---- serving (`lbectl serve` / `lbectl query`) ----
   std::string socket_path;          ///< Unix-domain socket the daemon binds

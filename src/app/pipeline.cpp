@@ -14,9 +14,13 @@
 #include "digest/dedup.hpp"
 #include "digest/digestor.hpp"
 #include "digest/enzyme.hpp"
+#include "app/rank_programs.hpp"
+#include "index/posting_codec.hpp"
 #include "io/fasta.hpp"
 #include "io/ms2.hpp"
 #include "search/report.hpp"
+#include "search/wire.hpp"
+#include "simmpi/process.hpp"
 #include "synth/spectra.hpp"
 #include "synth/workload.hpp"
 
@@ -389,22 +393,93 @@ std::unique_ptr<index::IndexBundle> try_load_warm_indexes(
   return bundle;
 }
 
+namespace {
+
+/// Stages a cold-start bundle for the process backend: worker processes
+/// need on-disk rank files to mmap, so when no warm bundle was given the
+/// search writes one under out_dir first. Rank files are built and saved
+/// one at a time (prepare's streaming idiom), so staging's peak memory is
+/// one partial index; the saved arrays are the built ones, so results are
+/// identical to an in-memory cold build.
+std::string stage_process_bundle(const PlanBundle& plan,
+                                 const AppOptions& opts) {
+  const std::string dir = opts.out_dir + "/rank-bundle";
+  std::filesystem::create_directories(dir);
+  for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
+    const index::ChunkedIndex partial(plan.plan->build_rank_store(rank),
+                                      plan.plan->mods(), opts.search.index,
+                                      opts.search.chunking);
+    partial.save_file(index::bundle_rank_path(dir, rank));
+  }
+  return dir;
+}
+
+}  // namespace
+
 SearchOutcome run_search_pipeline(const PlanBundle& plan,
                                   const QueryBundle& queries,
                                   const AppOptions& opts,
                                   const index::IndexBundle* warm) {
-  mpi::ClusterOptions cluster_options;
-  cluster_options.ranks = plan.plan->ranks();
-  cluster_options.engine = mpi::Engine::kVirtual;
-  mpi::Cluster cluster(cluster_options);
-
   search::DistributedParams params = opts.search;
   params.prep_seconds = plan.prep_seconds;
   if (warm != nullptr) params.preloaded = &warm->per_rank;
 
+  std::unique_ptr<mpi::Transport> transport;
+  // Keeps the process backend's mapped staging indexes alive through the
+  // search — params.preloaded points into it.
+  std::vector<std::unique_ptr<index::ChunkedIndex>> staged;
+
+  if (opts.backend == "process") {
+    // Every rank — forked workers and the master alike — mmaps its rank
+    // file from one shared read-only bundle, so co-located ranks keep a
+    // single page-cache copy of the index between them: the warm bundle
+    // the user pointed at, or a freshly staged one on a cold start.
+    std::string bundle_dir;
+    if (warm != nullptr && !opts.index_dir.empty()) {
+      bundle_dir = opts.index_dir;
+    } else {
+      bundle_dir = stage_process_bundle(plan, opts);
+      staged.reserve(static_cast<std::size_t>(plan.plan->ranks()));
+      for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
+        staged.push_back(index::ChunkedIndex::map_file(
+            index::bundle_rank_path(bundle_dir, rank), plan.plan->mods(),
+            opts.search.index));
+      }
+      params.preloaded = &staged;
+    }
+
+    search::wire::SearchSetup setup;
+    setup.bundle_dir = bundle_dir;
+    // Ship the *resolved* level, never "auto": all ranks must take the
+    // same decode kernels even if dispatch defaults ever diverge.
+    setup.simd_level =
+        index::codec::simd_level_name(index::codec::resolved_simd_level());
+    setup.mods = plan.plan->mods();
+    setup.index_params = opts.search.index;
+    setup.search = opts.search.search;
+    setup.result_batch = opts.search.result_batch;
+    setup.threads_per_rank = opts.search.threads_per_rank;
+    setup.queries = queries.spectra;
+
+    mpi::ProcessTransportOptions process_options;
+    process_options.ranks = plan.plan->ranks();
+    process_options.program = kSearchRankProgram;
+    process_options.setup = search::wire::encode_search_setup(setup);
+    transport =
+        std::make_unique<mpi::ProcessTransport>(std::move(process_options));
+  } else {
+    mpi::ClusterOptions cluster_options;
+    cluster_options.ranks = plan.plan->ranks();
+    cluster_options.engine = opts.backend == "threads"
+                                 ? mpi::Engine::kThreads
+                                 : mpi::Engine::kVirtual;
+    transport = std::make_unique<mpi::Cluster>(cluster_options);
+  }
+
   SearchOutcome outcome;
-  outcome.report = search::run_distributed_search(cluster, *plan.plan,
+  outcome.report = search::run_distributed_search(*transport, *plan.plan,
                                                   queries.spectra, params);
+  outcome.comm = transport->reports();
 
   for (const auto& result : outcome.report.results) {
     if (result.top.empty()) continue;
@@ -449,16 +524,27 @@ void write_reports(const std::string& out_dir, const PlanBundle& plan,
   {
     std::ofstream out(out_dir + "/metrics.csv");
     if (!out) throw IoError("cannot write " + out_dir + "/metrics.csv");
+    // comm_* are the transport's measured per-rank totals (messages and
+    // payload bytes actually sent), reported next to the Eq. 1 predicted
+    // loads; peak_rss_bytes is per worker process (0 on in-process
+    // backends, where ranks share one address space).
     CsvWriter csv(out, {"rank", "entries", "index_bytes", "build_seconds",
-                        "query_seconds", "work_units"});
+                        "query_seconds", "work_units", "comm_messages",
+                        "comm_bytes", "peak_rss_bytes"});
     const auto& report = outcome.report;
     for (std::size_t rank = 0; rank < report.times.size(); ++rank) {
+      const mpi::RankReport comm = rank < outcome.comm.size()
+                                       ? outcome.comm[rank]
+                                       : mpi::RankReport{};
       csv.row({CsvWriter::field(static_cast<std::uint64_t>(rank)),
                CsvWriter::field(report.index_entries[rank]),
                CsvWriter::field(report.index_bytes[rank]),
                CsvWriter::field(report.times[rank].build_seconds()),
                CsvWriter::field(report.times[rank].query_seconds()),
-               CsvWriter::field(report.work[rank].cost_units())});
+               CsvWriter::field(report.work[rank].cost_units()),
+               CsvWriter::field(comm.messages_sent),
+               CsvWriter::field(comm.bytes_sent),
+               CsvWriter::field(comm.peak_rss_bytes)});
     }
   }
 }

@@ -27,6 +27,7 @@
 #include "perf/metrics.hpp"
 #include "search/distributed.hpp"
 #include "search/fdr.hpp"
+#include "simmpi/transport.hpp"
 
 namespace lbe::app {
 
@@ -96,6 +97,11 @@ DatabaseBundle load_plan_file(const std::string& path);
 /// One end-to-end distributed search plus its derived statistics.
 struct SearchOutcome {
   search::DistributedReport report;
+  /// Per-rank transport accounting (messages/bytes actually sent, peak RSS
+  /// for real worker processes) — what metrics.csv's comm_* columns report
+  /// next to the Eq. 1 predicted loads. Same on every backend: the SPMD
+  /// program is identical, only the transport underneath changes.
+  std::vector<mpi::RankReport> comm;
   /// Best PSM per answered query, in query order (input to FDR).
   std::vector<search::FdrInput> fdr_inputs;
   std::vector<double> qvalues;        ///< parallel to fdr_inputs

@@ -1,0 +1,25 @@
+// Rank programs the app's binaries can run as forked worker processes.
+//
+// The multi-process transport (simmpi/process.hpp) cannot ship a C++
+// closure across an exec boundary, so the worker side of a distributed
+// search is a *named* program registered in the binary: the master ships
+// `kSearchRankProgram` plus a serialized search::wire::SearchSetup, and the
+// worker decodes it, pins the requested SIMD level, mmaps its rank's file
+// from the shared bundle (one page-cache copy across all co-located
+// ranks), and runs search::run_search_worker_rank — the exact SPMD body
+// the in-process engines execute, so results are byte-identical.
+//
+// Any binary that may act as a process-transport host calls
+// register_rank_programs() before mpi::rank_worker_main at the top of
+// main().
+#pragma once
+
+namespace lbe::app {
+
+/// Name the search pipeline's worker program is registered under.
+inline constexpr const char* kSearchRankProgram = "lbe.search";
+
+/// Registers every app rank program (currently just kSearchRankProgram).
+void register_rank_programs();
+
+}  // namespace lbe::app

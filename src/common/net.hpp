@@ -1,0 +1,76 @@
+// Shared POSIX socket plumbing: an RAII fd, Unix-domain listen/connect
+// helpers, and exact-length I/O loops that retry EINTR and never raise
+// SIGPIPE (MSG_NOSIGNAL).
+//
+// Two subsystems frame their protocols on top of these primitives: the
+// serving daemon (serve/socket.hpp, "LBES" frames) and the multi-process
+// rank transport (simmpi/process.hpp, "LBEW" frames). The error split is
+// shared too: a peer disconnect mid-frame surfaces as IoError, a frame
+// that decodes badly as CommError, and a length prefix beyond the bound as
+// FrameTooLargeError — callers can tell "the connection died" from "the
+// peer sent garbage" from "the peer asked for too much".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lbe::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path`, unlinking any stale
+/// socket file first. Throws IoError on failure (e.g. path too long for
+/// sockaddr_un, permission denied).
+Fd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the socket at `path`. Throws IoError on failure.
+Fd connect_unix(const std::string& path);
+
+/// Accepts one pending connection; returns an invalid Fd if the accept was
+/// interrupted or would block (listener is used with poll()).
+Fd accept_connection(const Fd& listener);
+
+/// Reads exactly `size` bytes. Returns false on clean EOF at offset 0 (peer
+/// closed between frames); throws IoError on mid-buffer EOF or errors.
+bool read_exact(int fd, void* data, std::size_t size);
+
+/// Writes all of `size` bytes (send with MSG_NOSIGNAL, EINTR retried).
+/// Throws IoError when the peer is gone.
+void write_all(int fd, const void* data, std::size_t size);
+
+/// Thrown by framed readers when a length prefix exceeds the admission
+/// bound. Distinct from plain CommError so callers can answer specifically
+/// (the serve daemon replies kTooLarge, not kMalformed; the process
+/// transport reports which worker overflowed).
+struct FrameTooLargeError : CommError {
+  using CommError::CommError;
+};
+
+}  // namespace lbe::net

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "search/wire.hpp"
 #include "simmpi/bytes.hpp"
 
 namespace lbe::search {
@@ -17,6 +18,7 @@ bool global_psm_better(const GlobalPsm& a, const GlobalPsm& b) {
 namespace {
 
 constexpr int kResultTag = 1;
+constexpr int kStatsTag = 2;
 
 // One result batch on the wire: [count] then per query
 // [query_id, psm_count, (local_id, shared, score)*].
@@ -68,12 +70,69 @@ std::vector<double> DistributedReport::query_phase_seconds() const {
   return out;
 }
 
+void run_search_worker_rank(mpi::Comm& comm,
+                            const std::vector<chem::Spectrum>& queries,
+                            const chem::ModificationSet& mods,
+                            const WorkerSearchConfig& config,
+                            const RankIndexSource& index_source) {
+  LBE_CHECK(comm.rank() != 0, "rank 0 runs the master protocol, not this");
+  LBE_CHECK(config.result_batch >= 1, "result_batch must be >= 1");
+  const std::size_t num_queries = queries.size();
+  const std::uint32_t batch = config.result_batch;
+
+  PhaseTimes times;
+  index::QueryWork work;
+  comm.barrier();
+  times.start = comm.vclock();
+
+  // [build] Partial index over this rank's LBE assignment — built, mapped
+  // from the shared bundle, or adopted, depending on the backend.
+  const RankIndex rank_index = index_source(comm.rank());
+  const index::ChunkedIndex& partial = *rank_index.view;
+  wire::RankStats stats;
+  stats.index_entries = partial.num_peptides();
+  stats.index_bytes = partial.memory_bytes();
+  times.build_done = comm.vclock();
+  comm.barrier();
+  times.query_start = comm.vclock();
+
+  // [query] Search the whole query set against the partial index, shipping
+  // each result batch to the master as soon as it is complete.
+  const QueryEngine engine(partial, mods, config.search);
+  std::vector<QueryResult> local(num_queries);
+  if (config.threads_per_rank > 1) {
+    ThreadPool pool(config.threads_per_rank);
+    for (std::size_t lo = 0; lo < num_queries; lo += batch) {
+      const std::size_t hi = std::min<std::size_t>(lo + batch, num_queries);
+      engine.search_range(queries, lo, hi, local, work, &pool);
+      comm.send(0, kResultTag, encode_batch(local, lo, hi));
+    }
+  } else {
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      local[q] = engine.search(queries[q], static_cast<std::uint32_t>(q),
+                               work);
+      if ((q + 1) % batch == 0 || q + 1 == num_queries) {
+        const std::size_t lo = (q / batch) * batch;
+        comm.send(0, kResultTag, encode_batch(local, lo, q + 1));
+      }
+    }
+  }
+  times.query_done = comm.vclock();
+  times.finish = comm.vclock();
+
+  // [stats] Shipped after `finish` is captured, so the phase times a rank
+  // reports never include the reporting itself.
+  stats.times = times;
+  stats.work = work;
+  comm.send(0, kStatsTag, wire::encode_rank_stats(stats));
+}
+
 DistributedReport run_distributed_search(
-    mpi::Cluster& cluster, const core::LbePlan& plan,
+    mpi::Transport& transport, const core::LbePlan& plan,
     const std::vector<chem::Spectrum>& queries,
     const DistributedParams& params) {
   const int p = plan.ranks();
-  LBE_CHECK(cluster.options().ranks == p,
+  LBE_CHECK(transport.ranks() == p,
             "cluster size must match the partition plan");
   LBE_CHECK(params.result_batch >= 1, "result_batch must be >= 1");
   LBE_CHECK(params.preloaded == nullptr ||
@@ -92,32 +151,48 @@ DistributedReport run_distributed_search(
   const std::size_t batches_per_rank =
       num_queries == 0 ? 0 : (num_queries + batch - 1) / batch;
 
-  cluster.run([&](mpi::Comm& comm) {
+  // Builds (or adopts) rank `rank`'s partial index; shared by the master
+  // below and the in-process worker ranks.
+  const RankIndexSource index_source = [&](int rank) {
+    RankIndex out;
+    if (params.preloaded == nullptr) {
+      index::PeptideStore store = plan.build_rank_store(rank);
+      out.owned = std::make_unique<index::ChunkedIndex>(
+          std::move(store), plan.mods(), params.index, params.chunking);
+      out.view = out.owned.get();
+    } else {
+      out.view = (*params.preloaded)[static_cast<std::size_t>(rank)].get();
+    }
+    return out;
+  };
+
+  transport.run([&](mpi::Comm& comm) {
     const int rank = comm.rank();
-    const auto slot = static_cast<std::size_t>(rank);
-    auto& times = report.times[slot];
+    if (rank != 0) {
+      // In-process worker ranks (the process backend's workers run the
+      // same body via the registered rank program instead).
+      run_search_worker_rank(
+          comm, queries, plan.mods(),
+          WorkerSearchConfig{params.search, batch, params.threads_per_rank},
+          index_source);
+      return;
+    }
+
+    auto& times = report.times[0];
 
     // [prep] Serial master work (grouping/partitioning happened outside;
     // its measured cost is charged here so total-time figures include it).
-    if (rank == 0 && params.prep_seconds > 0.0) {
+    if (params.prep_seconds > 0.0) {
       comm.charge(params.prep_seconds);
     }
     comm.barrier();
     times.start = comm.vclock();
 
-    // [build] Partial index over this rank's LBE assignment — or, on a
-    // warm start, adopt the preloaded index and skip construction
-    // entirely (the paper's disk-resident chunks swapping back in).
-    std::unique_ptr<index::ChunkedIndex> built;
-    if (params.preloaded == nullptr) {
-      index::PeptideStore store = plan.build_rank_store(rank);
-      built = std::make_unique<index::ChunkedIndex>(
-          std::move(store), plan.mods(), params.index, params.chunking);
-    }
-    const index::ChunkedIndex& partial =
-        built ? *built : *(*params.preloaded)[slot];
-    report.index_entries[slot] = partial.num_peptides();
-    report.index_bytes[slot] = partial.memory_bytes();
+    // [build] The master's own partial index.
+    const RankIndex rank_index = index_source(0);
+    const index::ChunkedIndex& partial = *rank_index.view;
+    report.index_entries[0] = partial.num_peptides();
+    report.index_bytes[0] = partial.memory_bytes();
     times.build_done = comm.vclock();
     comm.barrier();
     times.query_start = comm.vclock();
@@ -126,54 +201,55 @@ DistributedReport run_distributed_search(
     // index ("all compute units read the query spectra", §III-E).
     const QueryEngine engine(partial, plan.mods(), params.search);
     std::vector<QueryResult> local(num_queries);
-    auto& work = report.work[slot];
+    auto& work = report.work[0];
     if (params.threads_per_rank > 1) {
       // Hybrid batched runtime: each result batch fans its preprocessing +
-      // filtration out over an in-rank pool, then ships immediately, so
-      // batch b+1's compute overlaps batch b's (buffered, non-blocking)
-      // delivery. ThreadPool(n) has size n — the calling thread works one
-      // block alongside n-1 spawned workers.
+      // filtration out over an in-rank pool; the master keeps its results
+      // local, so batching only changes worker-side comm granularity.
       ThreadPool pool(params.threads_per_rank);
       for (std::size_t lo = 0; lo < num_queries; lo += batch) {
         const std::size_t hi = std::min<std::size_t>(lo + batch, num_queries);
         engine.search_range(queries, lo, hi, local, work, &pool);
-        if (rank != 0) {
-          comm.send(0, kResultTag, encode_batch(local, lo, hi));
-        }
       }
     } else {
       for (std::size_t q = 0; q < num_queries; ++q) {
         local[q] = engine.search(queries[q], static_cast<std::uint32_t>(q),
                                  work);
-        // Ship a full batch as soon as it is complete (workers only).
-        if (rank != 0 && ((q + 1) % batch == 0 || q + 1 == num_queries)) {
-          const std::size_t lo = (q / batch) * batch;
-          comm.send(0, kResultTag, encode_batch(local, lo, q + 1));
-        }
       }
     }
     times.query_done = comm.vclock();
 
-    // [merge] Master folds its own results plus every worker batch through
-    // the mapping table.
-    if (rank == 0) {
-      std::vector<GlobalQueryResult> merged(num_queries);
-      decode_batch_into(encode_batch(local, 0, num_queries), 0,
-                        plan.mapping(), merged);
-      for (int src = 1; src < p; ++src) {
-        for (std::size_t b = 0; b < batches_per_rank; ++b) {
-          decode_batch_into(comm.recv(src, kResultTag), src, plan.mapping(),
-                            merged);
-        }
+    // [merge] Fold the master's own results plus every worker batch
+    // through the mapping table.
+    std::vector<GlobalQueryResult> merged(num_queries);
+    decode_batch_into(encode_batch(local, 0, num_queries), 0, plan.mapping(),
+                      merged);
+    for (int src = 1; src < p; ++src) {
+      for (std::size_t b = 0; b < batches_per_rank; ++b) {
+        decode_batch_into(comm.recv(src, kResultTag), src, plan.mapping(),
+                          merged);
       }
-      const std::size_t top_k = params.search.top_k;
-      for (auto& result : merged) {
-        std::sort(result.top.begin(), result.top.end(), global_psm_better);
-        if (result.top.size() > top_k) result.top.resize(top_k);
-      }
-      report.results = std::move(merged);
     }
+    const std::size_t top_k = params.search.top_k;
+    for (auto& result : merged) {
+      std::sort(result.top.begin(), result.top.end(), global_psm_better);
+      if (result.top.size() > top_k) result.top.resize(top_k);
+    }
+    report.results = std::move(merged);
     times.finish = comm.vclock();
+
+    // [stats] Collect every worker's phase/work accounting. Received after
+    // `finish` so the master's own phase times stay merge-bounded; workers
+    // sent these after capturing their own `finish` for the same reason.
+    for (int src = 1; src < p; ++src) {
+      const mpi::Bytes payload = comm.recv(src, kStatsTag);
+      const wire::RankStats stats = wire::decode_rank_stats(payload);
+      const auto slot = static_cast<std::size_t>(src);
+      report.times[slot] = stats.times;
+      report.work[slot] = stats.work;
+      report.index_bytes[slot] = stats.index_bytes;
+      report.index_entries[slot] = stats.index_entries;
+    }
   });
 
   report.makespan = 0.0;

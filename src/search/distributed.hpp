@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "index/chunked_index.hpp"
 #include "search/query_engine.hpp"
 #include "simmpi/cluster.hpp"
+#include "simmpi/transport.hpp"
 
 namespace lbe::search {
 
@@ -94,13 +96,49 @@ struct DistributedReport {
   std::vector<double> query_phase_seconds() const;
 };
 
-/// Runs the full protocol on `cluster` (which must have plan.ranks() ranks).
-/// `queries` plays the role of the MS2 file on shared storage: every rank
-/// reads it directly. Results are deterministic given deterministic clocks.
+/// Runs the full protocol on any rank transport (which must have
+/// plan.ranks() ranks): the simulated engines run every rank in-process; a
+/// ProcessTransport runs only rank 0 here while its worker processes run
+/// the matching registered rank program (app/rank_programs.hpp), which
+/// drives run_search_worker_rank below — the same protocol, so results are
+/// byte-identical across backends. `queries` plays the role of the MS2 file
+/// on shared storage: every rank reads it directly. Results are
+/// deterministic given deterministic clocks.
 DistributedReport run_distributed_search(
-    mpi::Cluster& cluster, const core::LbePlan& plan,
+    mpi::Transport& transport, const core::LbePlan& plan,
     const std::vector<chem::Spectrum>& queries,
     const DistributedParams& params);
+
+/// The subset of DistributedParams a worker rank needs.
+struct WorkerSearchConfig {
+  SearchParams search;
+  std::uint32_t result_batch = 256;
+  std::uint32_t threads_per_rank = 1;
+};
+
+/// A worker rank's partial index: `view` is always valid; `owned` keeps a
+/// freshly built (or freshly mapped) index alive and is null when the view
+/// borrows a caller-owned (preloaded) index.
+struct RankIndex {
+  std::unique_ptr<index::ChunkedIndex> owned;
+  const index::ChunkedIndex* view = nullptr;
+};
+
+/// Produces rank `rank`'s partial index; called between the prep barrier
+/// and the build barrier so its cost lands in the build phase.
+using RankIndexSource = std::function<RankIndex(int rank)>;
+
+/// The worker half of the distributed protocol: prep barrier, acquire the
+/// partial index, build barrier, search every query shipping result batches
+/// to rank 0, then ship this rank's phase/work stats. Called by the
+/// in-process engines (from inside run_distributed_search's rank function)
+/// and by worker processes (via the registered rank program) — one body, so
+/// the SPMD program cannot drift between backends.
+void run_search_worker_rank(mpi::Comm& comm,
+                            const std::vector<chem::Spectrum>& queries,
+                            const chem::ModificationSet& mods,
+                            const WorkerSearchConfig& config,
+                            const RankIndexSource& index_source);
 
 /// Shared-memory baseline: the same engine over the global index, single
 /// address space. Returns merged-format results for equivalence checks.

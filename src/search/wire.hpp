@@ -1,0 +1,80 @@
+// Wire codecs for search jobs crossing a process boundary.
+//
+// Two consumers frame these payloads: the serving daemon (serve/protocol.hpp
+// ships spectra inside "LBES" search requests) and the multi-process rank
+// transport (simmpi/process.hpp ships a whole SearchSetup to every worker
+// and gets RankStats back). Keeping the codecs here — not duplicated per
+// consumer — is what guarantees a spectrum serialized by the daemon and one
+// serialized for a rank worker are the same bytes.
+//
+// All decoders are defensive: a malformed payload throws CommError (via
+// ByteReader underrun checks plus explicit shape checks), never UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/modification.hpp"
+#include "chem/spectrum.hpp"
+#include "index/slm_index.hpp"
+#include "search/distributed.hpp"
+#include "simmpi/bytes.hpp"
+
+namespace lbe::search::wire {
+
+/// Serializes one spectrum: scan id, precursor, title, parallel peak arrays.
+void write_spectrum(mpi::ByteWriter& writer, const chem::Spectrum& spectrum);
+
+/// Rebuilds a spectrum *without* finalize(): a finalized source spectrum
+/// arrives already sorted and merged, and re-merging could fuse peaks that
+/// only became 1e-6-close after the first merge — desyncing the receiver
+/// from the sender's one-shot results. Unsorted (hand-crafted) input is
+/// still safe: preprocessing sorts and drops non-finite peaks defensively.
+chem::Spectrum read_spectrum(mpi::ByteReader& reader);
+
+void write_modifications(mpi::ByteWriter& writer,
+                         const chem::ModificationSet& mods);
+/// Rebuilds the set via add() in serialized order, so ModIds — which index
+/// entries encode — survive the hop.
+chem::ModificationSet read_modifications(mpi::ByteReader& reader);
+
+void write_index_params(mpi::ByteWriter& writer,
+                        const index::IndexParams& params);
+index::IndexParams read_index_params(mpi::ByteReader& reader);
+
+void write_search_params(mpi::ByteWriter& writer, const SearchParams& params);
+SearchParams read_search_params(mpi::ByteReader& reader);
+
+/// Everything a worker rank needs to reproduce the master's search exactly:
+/// where the shared bundle lives, the SIMD decode level to pin (so all
+/// ranks take the same kernels), the full parameter set, and the query
+/// spectra (standing in for the MS2 file on shared storage).
+struct SearchSetup {
+  std::string bundle_dir;
+  std::string simd_level;  ///< "" = leave the worker's default dispatch
+  chem::ModificationSet mods;
+  index::IndexParams index_params;
+  SearchParams search;
+  std::uint32_t result_batch = 256;
+  std::uint32_t threads_per_rank = 1;
+  std::vector<chem::Spectrum> queries;
+};
+
+mpi::Bytes encode_search_setup(const SearchSetup& setup);
+SearchSetup decode_search_setup(const mpi::Bytes& payload);
+
+/// Per-rank phase/work accounting shipped to the master at the end of a
+/// distributed search (kStatsTag), on every backend, so metrics and reports
+/// are backend-independent.
+struct RankStats {
+  PhaseTimes times;
+  index::QueryWork work;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t index_entries = 0;
+};
+
+mpi::Bytes encode_rank_stats(const RankStats& stats);
+RankStats decode_rank_stats(const mpi::Bytes& payload);
+
+}  // namespace lbe::search::wire

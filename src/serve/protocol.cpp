@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "search/wire.hpp"
 
 namespace lbe::serve {
 
@@ -22,36 +23,16 @@ void require_exhausted(const mpi::ByteReader& reader) {
   require(reader.exhausted(), "malformed payload: trailing bytes");
 }
 
+// The spectrum codec is shared with the rank-worker transport: the daemon
+// and a worker process must agree byte-for-byte on what a spectrum looks
+// like on a wire (see search/wire.hpp, including the deliberate
+// no-finalize() rebuild on the read side).
 void write_spectrum(mpi::ByteWriter& writer, const chem::Spectrum& spectrum) {
-  writer.pod(spectrum.scan_id);
-  writer.pod(spectrum.precursor.mz);
-  writer.pod(spectrum.precursor.charge);
-  writer.pod(spectrum.precursor.neutral_mass);
-  writer.string(spectrum.title);
-  writer.vector(spectrum.mzs());
-  writer.vector(spectrum.intensities());
+  search::wire::write_spectrum(writer, spectrum);
 }
 
 chem::Spectrum read_spectrum(mpi::ByteReader& reader) {
-  chem::Spectrum spectrum;
-  spectrum.scan_id = reader.pod<std::uint32_t>();
-  spectrum.precursor.mz = reader.pod<Mz>();
-  spectrum.precursor.charge = reader.pod<Charge>();
-  spectrum.precursor.neutral_mass = reader.pod<Mass>();
-  spectrum.title = reader.string();
-  const auto mzs = reader.vector<Mz>();
-  const auto intensities = reader.vector<float>();
-  require(mzs.size() == intensities.size(),
-          "malformed spectrum: mz/intensity length mismatch");
-  // Rebuild without finalize(): a finalized client spectrum arrives already
-  // sorted and merged, and re-merging could fuse peaks that only became
-  // 1e-6-close after the first merge — which would desync daemon results
-  // from the one-shot pipeline. Unsorted (hand-crafted) input is still
-  // safe: preprocessing sorts and drops non-finite peaks defensively.
-  for (std::size_t i = 0; i < mzs.size(); ++i) {
-    spectrum.add_peak(mzs[i], intensities[i]);
-  }
-  return spectrum;
+  return search::wire::read_spectrum(reader);
 }
 
 void write_row(mpi::ByteWriter& writer, const search::ResolvedPsm& row) {
@@ -130,6 +111,7 @@ mpi::Bytes encode_pong(const PongInfo& info) {
   writer.pod(info.top_k);
   writer.pod(info.queue_depth);
   writer.pod(info.max_frame_bytes);
+  writer.pod(info.database_crc);
   return bytes;
 }
 
@@ -141,6 +123,7 @@ PongInfo decode_pong(const mpi::Bytes& payload) {
   info.top_k = reader.pod<std::uint32_t>();
   info.queue_depth = reader.pod<std::uint32_t>();
   info.max_frame_bytes = reader.pod<std::uint64_t>();
+  info.database_crc = reader.pod<std::uint32_t>();
   require_exhausted(reader);
   return info;
 }

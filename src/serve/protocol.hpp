@@ -88,6 +88,13 @@ struct PongInfo {
   std::uint32_t top_k = 0;
   std::uint32_t queue_depth = 0;
   std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// CRC-32 fingerprint of the database the daemon's resident indexes were
+  /// built from (app::database_fingerprint). `lbectl query` compares this
+  /// against the plan *it* loaded and warns loudly on a mismatch — a
+  /// client pointed at the wrong daemon (or a daemon serving a stale
+  /// bundle) otherwise writes a psms.tsv that silently disagrees with a
+  /// one-shot `search --plan` of the client's plan.
+  std::uint32_t database_crc = 0;
 };
 
 /// One query batch. Spectra must be finalized (peaks in m/z order) on the

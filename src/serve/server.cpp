@@ -186,6 +186,9 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
           info.top_k = snapshot->top_k();
           info.queue_depth = config_.queue_depth;
           info.max_frame_bytes = config_.max_frame_bytes;
+          // The warm bundle carries the fingerprint of the database it was
+          // built from (validated at load), so no recompute per ping.
+          info.database_crc = snapshot->warm->database_crc;
           send_frame_locked(*conn, MsgType::kPong, encode_pong(info));
           break;
         }

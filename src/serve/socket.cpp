@@ -1,116 +1,10 @@
 #include "serve/socket.hpp"
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <array>
 
 #include "common/error.hpp"
 
 namespace lbe::serve {
-
-namespace {
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw IoError(what + ": " + std::strerror(errno));
-}
-
-sockaddr_un make_address(const std::string& path) {
-  sockaddr_un address{};
-  address.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(address.sun_path)) {
-    throw IoError("socket path too long for sockaddr_un: " + path);
-  }
-  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
-  return address;
-}
-
-}  // namespace
-
-void Fd::reset() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
-Fd listen_unix(const std::string& path, int backlog) {
-  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
-  if (!fd.valid()) throw_errno("socket");
-  const sockaddr_un address = make_address(path);
-  // A previous daemon that died without cleanup leaves the socket file
-  // behind; bind() would fail with EADDRINUSE on a file nobody answers.
-  ::unlink(path.c_str());
-  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    throw_errno("bind " + path);
-  }
-  if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + path);
-  return fd;
-}
-
-Fd connect_unix(const std::string& path) {
-  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
-  if (!fd.valid()) throw_errno("socket");
-  const sockaddr_un address = make_address(path);
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-                   sizeof(address));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) throw_errno("connect " + path);
-  return fd;
-}
-
-Fd accept_connection(const Fd& listener) {
-  const int fd = ::accept(listener.get(), nullptr, nullptr);
-  if (fd < 0) {
-    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
-        errno == ECONNABORTED) {
-      return Fd();
-    }
-    throw_errno("accept");
-  }
-  return Fd(fd);
-}
-
-bool read_exact(int fd, void* data, std::size_t size) {
-  auto* bytes = static_cast<std::uint8_t*>(data);
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::read(fd, bytes + done, size - done);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n == 0) {
-      if (done == 0) return false;  // clean EOF between frames
-      throw IoError("peer disconnected mid-frame");
-    }
-    if (errno == EINTR) continue;
-    throw_errno("read");
-  }
-  return true;
-}
-
-void write_all(int fd, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  std::size_t done = 0;
-  while (done < size) {
-    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE here, not kill
-    // the whole daemon with SIGPIPE.
-    const ssize_t n =
-        ::send(fd, bytes + done, size - done, MSG_NOSIGNAL);
-    if (n >= 0) {
-      done += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    throw_errno("send");
-  }
-}
 
 bool read_frame(int fd, Frame& frame, std::uint64_t max_payload) {
   std::array<std::uint8_t, kFrameHeaderBytes> raw;

@@ -1,66 +1,29 @@
 // Unix-domain socket plumbing for the serving daemon and its client.
 //
-// Thin wrappers over the POSIX API: an RAII fd, listen/connect helpers, and
-// exact-length frame I/O built on read()/send() loops that retry EINTR and
-// never raise SIGPIPE (MSG_NOSIGNAL). A peer disconnect mid-frame surfaces
-// as IoError; a frame that decodes badly surfaces as CommError — callers
-// can tell "the connection died" from "the peer sent garbage".
+// The POSIX primitives — RAII fd, listen/connect helpers, EINTR-safe
+// exact-length I/O, the FrameTooLargeError bound — live in common/net.hpp
+// and are shared with the multi-process rank transport; this header aliases
+// them into lbe::serve and adds the daemon's "LBES" frame layer on top. A
+// peer disconnect mid-frame surfaces as IoError; a frame that decodes badly
+// surfaces as CommError — callers can tell "the connection died" from "the
+// peer sent garbage".
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <utility>
 
+#include "common/net.hpp"
 #include "serve/protocol.hpp"
 #include "simmpi/bytes.hpp"
 
 namespace lbe::serve {
 
-/// Owning file descriptor. Move-only; closes on destruction.
-class Fd {
- public:
-  Fd() = default;
-  explicit Fd(int fd) : fd_(fd) {}
-  ~Fd() { reset(); }
-
-  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
-  Fd& operator=(Fd&& other) noexcept {
-    if (this != &other) {
-      reset();
-      fd_ = std::exchange(other.fd_, -1);
-    }
-    return *this;
-  }
-  Fd(const Fd&) = delete;
-  Fd& operator=(const Fd&) = delete;
-
-  int get() const noexcept { return fd_; }
-  bool valid() const noexcept { return fd_ >= 0; }
-  void reset();
-
- private:
-  int fd_ = -1;
-};
-
-/// Binds and listens on a Unix-domain socket at `path`, unlinking any stale
-/// socket file first. Throws IoError on failure (e.g. path too long for
-/// sockaddr_un, permission denied).
-Fd listen_unix(const std::string& path, int backlog = 16);
-
-/// Connects to the daemon socket at `path`. Throws IoError on failure.
-Fd connect_unix(const std::string& path);
-
-/// Accepts one pending connection; returns an invalid Fd if the accept was
-/// interrupted or would block (listener is used with poll()).
-Fd accept_connection(const Fd& listener);
-
-/// Reads exactly `size` bytes. Returns false on clean EOF at offset 0 (peer
-/// closed between frames); throws IoError on mid-buffer EOF or errors.
-bool read_exact(int fd, void* data, std::size_t size);
-
-/// Writes all of `size` bytes (send with MSG_NOSIGNAL, EINTR retried).
-/// Throws IoError when the peer is gone.
-void write_all(int fd, const void* data, std::size_t size);
+using net::accept_connection;
+using net::connect_unix;
+using net::Fd;
+using net::listen_unix;
+using net::read_exact;
+using net::write_all;
 
 /// One whole frame: header + payload.
 struct Frame {
@@ -70,9 +33,7 @@ struct Frame {
 
 /// Thrown by read_frame when the length prefix exceeds the bound. Distinct
 /// from plain CommError so the server answers kTooLarge, not kMalformed.
-struct FrameTooLargeError : CommError {
-  using CommError::CommError;
-};
+using FrameTooLargeError = net::FrameTooLargeError;
 
 /// Reads a frame. Returns false on clean EOF before a header. Throws
 /// CommError for bad magic/type, FrameTooLargeError for a payload size

@@ -3,101 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/error.hpp"
+
 namespace lbe::mpi {
 
 namespace {
 constexpr std::size_t kNoMatch = std::numeric_limits<std::size_t>::max();
-// Internal collective tags live below kAnyTag so user tags (>= 0) and the
-// wildcard (-1) never collide with them.
-constexpr int kBcastTag = -2;
-constexpr int kGatherTag = -3;
-constexpr int kReduceTag = -4;
 }  // namespace
-
-// ---------------------------------------------------------------- Comm ----
-
-int Comm::size() const noexcept { return cluster_->options().ranks; }
-
-void Comm::send(int dest, int tag, Bytes payload) {
-  cluster_->do_send(rank_, dest, tag, std::move(payload), false);
-}
-
-Bytes Comm::recv(int src, int tag, RecvInfo* info) {
-  return cluster_->do_recv(rank_, src, tag, info);
-}
-
-bool Comm::probe(int src, int tag) {
-  return cluster_->do_probe(rank_, src, tag);
-}
-
-void Comm::barrier() { cluster_->do_barrier(rank_); }
-
-void Comm::bcast(Bytes& data, int root) {
-  if (rank_ == root) {
-    for (int dest = 0; dest < size(); ++dest) {
-      if (dest == root) continue;
-      cluster_->do_send(rank_, dest, kBcastTag, data, true);
-    }
-  } else {
-    data = cluster_->do_recv(rank_, root, kBcastTag, nullptr);
-  }
-}
-
-std::vector<Bytes> Comm::gather(Bytes mine, int root) {
-  if (rank_ != root) {
-    cluster_->do_send(rank_, root, kGatherTag, std::move(mine), true);
-    return {};
-  }
-  std::vector<Bytes> out(static_cast<std::size_t>(size()));
-  out[static_cast<std::size_t>(root)] = std::move(mine);
-  // Rank order keeps the collective deterministic.
-  for (int src = 0; src < size(); ++src) {
-    if (src == root) continue;
-    out[static_cast<std::size_t>(src)] =
-        cluster_->do_recv(rank_, src, kGatherTag, nullptr);
-  }
-  return out;
-}
-
-double Comm::reduce_impl(double value, bool is_sum) {
-  // Gather to rank 0, reduce, broadcast back. Linear but cost-model exact.
-  const int p = size();
-  double result = value;
-  if (rank_ == 0) {
-    for (int src = 1; src < p; ++src) {
-      const Bytes bytes = cluster_->do_recv(rank_, src, kReduceTag, nullptr);
-      ByteReader reader(bytes);
-      const double other = reader.pod<double>();
-      result = is_sum ? result + other : std::max(result, other);
-    }
-    Bytes out;
-    ByteWriter out_writer(out);
-    out_writer.pod(result);
-    bcast(out, 0);
-  } else {
-    Bytes mine;
-    ByteWriter writer(mine);
-    writer.pod(value);
-    cluster_->do_send(rank_, 0, kReduceTag, std::move(mine), true);
-    Bytes in;
-    bcast(in, 0);
-    ByteReader reader(in);
-    result = reader.pod<double>();
-  }
-  return result;
-}
-
-double Comm::allreduce_max(double value) {
-  return reduce_impl(value, /*is_sum=*/false);
-}
-
-double Comm::allreduce_sum(double value) {
-  return reduce_impl(value, /*is_sum=*/true);
-}
-
-double Comm::vclock() const { return cluster_->do_vclock(rank_); }
-
-void Comm::charge(double seconds) { cluster_->do_charge(rank_, seconds); }
 
 // ------------------------------------------------------------- Cluster ----
 
@@ -227,7 +139,7 @@ void Cluster::rank_thread(int rank,
 
   std::exception_ptr error;
   try {
-    Comm comm(this, rank);
+    RankComm comm(this, rank);
     rank_main(comm);
   } catch (...) {
     error = std::current_exception();
@@ -281,18 +193,14 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-// ------------------------------------------------------- Comm backends ----
+// --------------------------------------------------- RankComm backends ----
 
-void Cluster::do_send(int rank, int dest, int tag, Bytes payload,
-                      bool internal) {
+void Cluster::do_send(int rank, int dest, int tag, Bytes payload) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& sender = ranks_[static_cast<std::size_t>(rank)];
   meter_locked(rank);
   if (dest < 0 || dest >= options_.ranks) {
     throw CommError("send to invalid rank " + std::to_string(dest));
-  }
-  if (!internal && tag < 0) {
-    throw CommError("user tags must be >= 0");
   }
 
   Envelope env;

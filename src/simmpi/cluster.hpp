@@ -1,4 +1,5 @@
-// Simulated distributed-memory cluster (the MPI substitution).
+// Simulated distributed-memory cluster (the MPI substitution) — the two
+// in-process implementations of the mpi::Transport abstraction.
 //
 // `Cluster::run(fn)` executes `fn(Comm&)` once per rank, SPMD style. Ranks
 // have private address spaces by construction: the only way data crosses is
@@ -22,6 +23,9 @@
 //    true concurrency. Virtual clocks advance only via explicit charge()
 //    and the cost model.
 //
+// (The third Transport implementation — real OS processes over Unix-domain
+// sockets — lives in simmpi/process.hpp.)
+//
 // With `measured_time = false`, metering is disabled and clocks move only
 // through `Comm::charge`, making simulations bit-deterministic for tests.
 //
@@ -43,13 +47,11 @@
 
 #include "simmpi/bytes.hpp"
 #include "simmpi/cost_model.hpp"
+#include "simmpi/transport.hpp"
 
 namespace lbe::mpi {
 
 enum class Engine { kVirtual, kThreads };
-
-inline constexpr int kAnySource = -1;
-inline constexpr int kAnyTag = -1;
 
 struct Envelope {
   int src = 0;
@@ -78,82 +80,55 @@ struct ClusterOptions {
   FaultInjection faults;
 };
 
-struct RankReport {
-  double vclock = 0.0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_received = 0;
-};
-
-struct RecvInfo {
-  int src = 0;
-  int tag = 0;
-};
-
-class Cluster;
-
-/// Per-rank communicator handle (the MPI_Comm analogue). Only valid inside
-/// Cluster::run's rank function.
-class Comm {
- public:
-  int rank() const noexcept { return rank_; }
-  int size() const noexcept;
-
-  /// Buffered send; never blocks. Tags must be >= 0 (negative = internal).
-  void send(int dest, int tag, Bytes payload);
-
-  /// Blocks until a matching message arrives. kAnySource/kAnyTag wildcard.
-  Bytes recv(int src, int tag, RecvInfo* info = nullptr);
-
-  /// Non-blocking: true if recv(src, tag) would not block.
-  bool probe(int src, int tag);
-
-  void barrier();
-
-  /// Linear broadcast from root; all ranks must call.
-  void bcast(Bytes& data, int root);
-
-  /// Gather to root; returns per-rank payloads at root, empty elsewhere.
-  std::vector<Bytes> gather(Bytes mine, int root);
-
-  double allreduce_max(double value);
-  double allreduce_sum(double value);
-
-  /// Current virtual time of this rank.
-  double vclock() const;
-
-  /// Explicitly advances this rank's virtual clock (deterministic cost).
-  void charge(double seconds);
-
- private:
-  friend class Cluster;
-  Comm(Cluster* cluster, int rank) : cluster_(cluster), rank_(rank) {}
-
-  double reduce_impl(double value, bool is_sum);
-
-  Cluster* cluster_;
-  int rank_;
-};
-
-class Cluster {
+class Cluster final : public Transport {
  public:
   explicit Cluster(ClusterOptions options);
 
   /// Runs one SPMD program; rethrows the first rank exception (other ranks
   /// are aborted). May be called repeatedly; clocks carry over between
   /// calls (use reset_clocks() in between if undesired).
-  void run(const std::function<void(Comm&)>& rank_main);
+  void run(const std::function<void(Comm&)>& rank_main) override;
 
   const ClusterOptions& options() const noexcept { return options_; }
-  const std::vector<RankReport>& reports() const noexcept { return reports_; }
+
+  int ranks() const noexcept override { return options_.ranks; }
+  const std::vector<RankReport>& reports() const noexcept override {
+    return reports_;
+  }
 
   /// Max final virtual clock over ranks — the simulated wall time.
-  double makespan() const;
+  double makespan() const override;
 
   void reset_clocks();
 
  private:
-  friend class Comm;
+  /// The per-rank Comm handed to rank_main: every operation delegates to
+  /// the cluster's scheduler under its lock.
+  class RankComm final : public Comm {
+   public:
+    RankComm(Cluster* cluster, int rank) : Comm(rank), cluster_(cluster) {}
+
+    int size() const noexcept override { return cluster_->options_.ranks; }
+    bool probe(int src, int tag) override {
+      return cluster_->do_probe(rank(), src, tag);
+    }
+    void barrier() override { cluster_->do_barrier(rank()); }
+    double vclock() override { return cluster_->do_vclock(rank()); }
+    void charge(double seconds) override {
+      cluster_->do_charge(rank(), seconds);
+    }
+
+   protected:
+    void send_any(int dest, int tag, Bytes payload) override {
+      cluster_->do_send(rank(), dest, tag, std::move(payload));
+    }
+    Bytes recv_any(int src, int tag, RecvInfo* info) override {
+      return cluster_->do_recv(rank(), src, tag, info);
+    }
+
+   private:
+    Cluster* cluster_;
+  };
 
   enum class State : std::uint8_t {
     kReady,    ///< runnable, waiting for the token (virtual engine)
@@ -187,9 +162,9 @@ class Cluster {
 
   void rank_thread(int rank, const std::function<void(Comm&)>& rank_main);
 
-  // Comm backends.
-  void do_send(int rank, int dest, int tag, Bytes payload,
-               bool internal = false);
+  // RankComm backends. Tag validation happens in Comm::send, so `tag` may
+  // legitimately be negative here (internal collective traffic).
+  void do_send(int rank, int dest, int tag, Bytes payload);
   Bytes do_recv(int rank, int src, int tag, RecvInfo* info);
   bool do_probe(int rank, int src, int tag);
   void do_barrier(int rank);

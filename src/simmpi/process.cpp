@@ -1,0 +1,890 @@
+#include "simmpi/process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/net.hpp"
+
+namespace lbe::mpi {
+
+namespace {
+
+// ------------------------------------------------------- "LBEW" frames ----
+//
+// Same 16-byte shape as the serve daemon's "LBES" frames (magic u32, type
+// u32, payload size u64) with a distinct magic, so a worker socket and a
+// serve socket can never be confused for one another.
+
+constexpr std::uint32_t kWorkerMagic = 0x5745424Cu;  // "LBEW"
+constexpr std::size_t kWorkerHeaderBytes = 16;
+
+enum class WireType : std::uint32_t {
+  kHello = 0,       ///< worker -> master: {rank}
+  kSetup,           ///< master -> worker: {program, setup payload}
+  kSend,            ///< worker -> master: {dest, tag, payload}
+  kDeliver,         ///< master -> worker: {src, tag, payload}
+  kBarrierEnter,    ///< worker -> master
+  kBarrierRelease,  ///< master -> worker
+  kDone,            ///< worker -> master: final RankReport stats
+  kError,           ///< worker -> master: {message}
+};
+
+struct WireFrame {
+  WireType type = WireType::kHello;
+  Bytes payload;
+};
+
+std::array<std::uint8_t, kWorkerHeaderBytes> encode_worker_header(
+    WireType type, std::uint64_t payload_size) {
+  std::array<std::uint8_t, kWorkerHeaderBytes> raw{};
+  const std::uint32_t magic = kWorkerMagic;
+  const auto type_value = static_cast<std::uint32_t>(type);
+  std::memcpy(raw.data(), &magic, sizeof(magic));
+  std::memcpy(raw.data() + 4, &type_value, sizeof(type_value));
+  std::memcpy(raw.data() + 8, &payload_size, sizeof(payload_size));
+  return raw;
+}
+
+/// Reads one frame. Returns false on clean EOF before a header; throws
+/// CommError on garbage, FrameTooLargeError past the bound, IoError when
+/// the peer vanishes mid-frame.
+bool read_worker_frame(int fd, WireFrame& frame, std::uint64_t max_payload) {
+  std::array<std::uint8_t, kWorkerHeaderBytes> raw;
+  if (!net::read_exact(fd, raw.data(), raw.size())) return false;
+  std::uint32_t magic = 0;
+  std::uint32_t type_value = 0;
+  std::uint64_t payload_size = 0;
+  std::memcpy(&magic, raw.data(), sizeof(magic));
+  std::memcpy(&type_value, raw.data() + 4, sizeof(type_value));
+  std::memcpy(&payload_size, raw.data() + 8, sizeof(payload_size));
+  if (magic != kWorkerMagic) {
+    throw CommError("bad rank-worker frame magic (peer sent garbage)");
+  }
+  if (type_value > static_cast<std::uint32_t>(WireType::kError)) {
+    throw CommError("unknown rank-worker frame type");
+  }
+  if (payload_size > max_payload) {
+    throw net::FrameTooLargeError(
+        "rank-worker frame payload exceeds the size bound");
+  }
+  frame.type = static_cast<WireType>(type_value);
+  frame.payload.resize(static_cast<std::size_t>(payload_size));
+  if (payload_size > 0 &&
+      !net::read_exact(fd, frame.payload.data(), frame.payload.size())) {
+    throw IoError("rank-worker peer disconnected mid-frame");
+  }
+  return true;
+}
+
+void write_worker_frame(int fd, WireType type, const Bytes& payload) {
+  const auto header = encode_worker_header(type, payload.size());
+  net::write_all(fd, header.data(), header.size());
+  if (!payload.empty()) net::write_all(fd, payload.data(), payload.size());
+}
+
+std::uint64_t self_peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+/// One in-flight message, master-side or worker-side.
+struct Msg {
+  int src = 0;
+  int tag = 0;
+  Bytes payload;
+};
+
+bool msg_matches(const Msg& msg, int src, int tag) {
+  return (src == kAnySource || msg.src == src) &&
+         (tag == kAnyTag || msg.tag == tag);
+}
+
+// ------------------------------------------------------ program registry ----
+
+std::unordered_map<std::string, RankProgram>& program_registry() {
+  static auto* registry = new std::unordered_map<std::string, RankProgram>();
+  return *registry;
+}
+
+// --------------------------------------------------------- master side ----
+
+struct WorkerConn {
+  net::Fd fd;
+  pid_t pid = -1;
+  /// Serializes frame writes to this worker: the router thread (forwarded
+  /// Deliver frames) and the master comm (rank-0 sends, barrier releases)
+  /// both write here.
+  std::mutex write_mutex;
+};
+
+struct MasterState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Msg> mailbox;  ///< messages addressed to rank 0, arrival order
+  int barrier_entered = 0;  ///< includes the master
+  std::uint64_t barrier_generation = 0;
+  int done_workers = 0;
+  std::vector<RankReport> worker_reports;  ///< indexed by rank
+  std::vector<bool> worker_done;
+  std::exception_ptr error;
+  bool shutdown = false;
+};
+
+void abort_master_locked(MasterState& state, std::exception_ptr error) {
+  if (!state.error) state.error = error;
+  state.cv.notify_all();
+}
+
+[[noreturn]] void rethrow_master_error(const MasterState& state) {
+  std::rethrow_exception(state.error);
+}
+
+/// Sends BarrierRelease to every worker and releases the master waiter.
+/// Requires state.mutex held (write mutexes nest inside it).
+void release_barrier_locked(
+    MasterState& state, std::vector<std::unique_ptr<WorkerConn>>& conns) {
+  for (auto& conn : conns) {
+    if (!conn->fd.valid()) continue;
+    std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+    write_worker_frame(conn->fd.get(), WireType::kBarrierRelease, {});
+  }
+  state.barrier_entered = 0;
+  ++state.barrier_generation;
+  state.cv.notify_all();
+}
+
+class MasterComm final : public Comm {
+ public:
+  MasterComm(MasterState* state, std::vector<std::unique_ptr<WorkerConn>>* conns,
+             int ranks)
+      : Comm(0), state_(state), conns_(conns), ranks_(ranks),
+        start_(std::chrono::steady_clock::now()) {}
+
+  int size() const noexcept override { return ranks_; }
+
+  bool probe(int src, int tag) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->error) rethrow_master_error(*state_);
+    for (const auto& msg : state_->mailbox) {
+      if (msg_matches(msg, src, tag)) return true;
+    }
+    return false;
+  }
+
+  void barrier() override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->error) rethrow_master_error(*state_);
+    const std::uint64_t generation = state_->barrier_generation;
+    if (++state_->barrier_entered == ranks_) {
+      release_barrier_locked(*state_, *conns_);
+      return;
+    }
+    state_->cv.wait(lock, [&] {
+      return state_->error || state_->barrier_generation != generation;
+    });
+    if (state_->error) rethrow_master_error(*state_);
+  }
+
+  double vclock() override { return elapsed_seconds(start_) + charged_; }
+  void charge(double seconds) override {
+    if (seconds < 0.0) throw CommError("cannot charge negative time");
+    charged_ += seconds;
+  }
+
+  RankReport report() {
+    RankReport out;
+    out.vclock = vclock();
+    out.messages_sent = messages_sent_;
+    out.bytes_sent = bytes_sent_;
+    out.messages_received = messages_received_;
+    out.peak_rss_bytes = self_peak_rss_bytes();
+    return out;
+  }
+
+ protected:
+  void send_any(int dest, int tag, Bytes payload) override {
+    if (dest < 0 || dest >= ranks_) {
+      throw CommError("send to invalid rank " + std::to_string(dest));
+    }
+    ++messages_sent_;
+    bytes_sent_ += payload.size();
+    if (dest == 0) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->mailbox.push_back(Msg{0, tag, std::move(payload)});
+      state_->cv.notify_all();
+      return;
+    }
+    Bytes frame;
+    ByteWriter writer(frame);
+    writer.pod(0);  // src
+    writer.pod(tag);
+    writer.vector(payload);
+    auto& conn = *(*conns_)[static_cast<std::size_t>(dest - 1)];
+    std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+    write_worker_frame(conn.fd.get(), WireType::kDeliver, frame);
+  }
+
+  Bytes recv_any(int src, int tag, RecvInfo* info) override {
+    if (src != kAnySource && (src < 0 || src >= ranks_)) {
+      throw CommError("recv from invalid rank " + std::to_string(src));
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    while (true) {
+      if (state_->error) rethrow_master_error(*state_);
+      for (auto it = state_->mailbox.begin(); it != state_->mailbox.end();
+           ++it) {
+        if (!msg_matches(*it, src, tag)) continue;
+        Msg msg = std::move(*it);
+        state_->mailbox.erase(it);
+        ++messages_received_;
+        if (info) {
+          info->src = msg.src;
+          info->tag = msg.tag;
+        }
+        return std::move(msg.payload);
+      }
+      state_->cv.wait(lock);
+    }
+  }
+
+ private:
+  MasterState* state_;
+  std::vector<std::unique_ptr<WorkerConn>>* conns_;
+  int ranks_;
+  std::chrono::steady_clock::time_point start_;
+  double charged_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+};
+
+/// Master router: owns all worker fds for reading, forwards worker-to-worker
+/// traffic, counts barrier arrivals, and collects Done reports. Any protocol
+/// violation or premature EOF aborts the whole run with a typed error.
+void route_worker_traffic(MasterState& state,
+                          std::vector<std::unique_ptr<WorkerConn>>& conns,
+                          std::uint64_t max_frame_bytes) {
+  const int workers = static_cast<int>(conns.size());
+  std::vector<bool> closed(conns.size(), false);
+  while (true) {
+    std::vector<pollfd> fds;
+    std::vector<int> owners;  // worker index per pollfd
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.shutdown || state.error ||
+          state.done_workers == workers) {
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (closed[i]) continue;
+      fds.push_back(pollfd{conns[i]->fd.get(), POLLIN, 0});
+      owners.push_back(static_cast<int>(i));
+    }
+    if (fds.empty()) return;
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::lock_guard<std::mutex> lock(state.mutex);
+      abort_master_locked(
+          state, std::make_exception_ptr(
+                     IoError(std::string("poll: ") + std::strerror(errno))));
+      return;
+    }
+    if (ready == 0) continue;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int worker = owners[i];
+      const int rank = worker + 1;
+      try {
+        WireFrame frame;
+        if (!read_worker_frame(fds[i].fd, frame, max_frame_bytes)) {
+          closed[static_cast<std::size_t>(worker)] = true;
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.worker_done[static_cast<std::size_t>(rank)]) {
+            abort_master_locked(
+                state,
+                std::make_exception_ptr(CommError(
+                    "rank " + std::to_string(rank) +
+                    " worker exited before finishing (crashed or killed)")));
+            return;
+          }
+          continue;  // clean EOF after Done
+        }
+        switch (frame.type) {
+          case WireType::kSend: {
+            ByteReader reader(frame.payload);
+            const int dest = reader.pod<int>();
+            const int tag = reader.pod<int>();
+            Bytes payload = reader.vector<std::uint8_t>();
+            if (dest == 0) {
+              std::lock_guard<std::mutex> lock(state.mutex);
+              state.mailbox.push_back(Msg{rank, tag, std::move(payload)});
+              state.cv.notify_all();
+            } else {
+              auto& conn = *conns[static_cast<std::size_t>(dest - 1)];
+              Bytes deliver;
+              ByteWriter writer(deliver);
+              writer.pod(rank);
+              writer.pod(tag);
+              writer.vector(payload);
+              std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+              write_worker_frame(conn.fd.get(), WireType::kDeliver, deliver);
+            }
+            break;
+          }
+          case WireType::kBarrierEnter: {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            const int total = workers + 1;
+            if (++state.barrier_entered == total) {
+              release_barrier_locked(state, conns);
+            }
+            break;
+          }
+          case WireType::kDone: {
+            ByteReader reader(frame.payload);
+            RankReport report;
+            report.messages_sent = reader.pod<std::uint64_t>();
+            report.bytes_sent = reader.pod<std::uint64_t>();
+            report.messages_received = reader.pod<std::uint64_t>();
+            report.vclock = reader.pod<double>();
+            report.peak_rss_bytes = reader.pod<std::uint64_t>();
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.worker_reports[static_cast<std::size_t>(rank)] = report;
+            state.worker_done[static_cast<std::size_t>(rank)] = true;
+            ++state.done_workers;
+            state.cv.notify_all();
+            break;
+          }
+          case WireType::kError: {
+            ByteReader reader(frame.payload);
+            const std::string message = reader.string();
+            std::lock_guard<std::mutex> lock(state.mutex);
+            abort_master_locked(
+                state, std::make_exception_ptr(CommError(
+                           "rank " + std::to_string(rank) +
+                           " worker failed: " + message)));
+            return;
+          }
+          default: {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            abort_master_locked(
+                state, std::make_exception_ptr(CommError(
+                           "unexpected frame from rank " +
+                           std::to_string(rank) + " worker")));
+            return;
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        abort_master_locked(state, std::current_exception());
+        return;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- worker side ----
+
+class WorkerComm final : public Comm {
+ public:
+  WorkerComm(int fd, int rank, int ranks, std::uint64_t max_frame_bytes)
+      : Comm(rank), fd_(fd), ranks_(ranks), max_frame_bytes_(max_frame_bytes),
+        start_(std::chrono::steady_clock::now()) {}
+
+  int size() const noexcept override { return ranks_; }
+
+  bool probe(int src, int tag) override {
+    if (scan_pending(src, tag) != pending_.size()) return true;
+    // Drain whatever the master has already pushed, then re-check.
+    while (socket_readable()) {
+      buffer_one_frame();
+      if (scan_pending(src, tag) != pending_.size()) return true;
+    }
+    return false;
+  }
+
+  void barrier() override {
+    write_worker_frame(fd_, WireType::kBarrierEnter, {});
+    // Deliveries racing the release are buffered, not dropped.
+    while (true) {
+      WireFrame frame = read_one_frame();
+      if (frame.type == WireType::kBarrierRelease) return;
+      buffer_deliver(std::move(frame));
+    }
+  }
+
+  double vclock() override { return elapsed_seconds(start_) + charged_; }
+  void charge(double seconds) override {
+    if (seconds < 0.0) throw CommError("cannot charge negative time");
+    charged_ += seconds;
+  }
+
+  RankReport report() {
+    RankReport out;
+    out.vclock = vclock();
+    out.messages_sent = messages_sent_;
+    out.bytes_sent = bytes_sent_;
+    out.messages_received = messages_received_;
+    out.peak_rss_bytes = self_peak_rss_bytes();
+    return out;
+  }
+
+ protected:
+  void send_any(int dest, int tag, Bytes payload) override {
+    if (dest < 0 || dest >= ranks_) {
+      throw CommError("send to invalid rank " + std::to_string(dest));
+    }
+    ++messages_sent_;
+    bytes_sent_ += payload.size();
+    if (dest == rank()) {
+      // Self-sends never touch the wire (parity with the mailbox engines).
+      pending_.push_back(Msg{rank(), tag, std::move(payload)});
+      return;
+    }
+    Bytes frame;
+    ByteWriter writer(frame);
+    writer.pod(dest);
+    writer.pod(tag);
+    writer.vector(payload);
+    write_worker_frame(fd_, WireType::kSend, frame);
+  }
+
+  Bytes recv_any(int src, int tag, RecvInfo* info) override {
+    if (src != kAnySource && (src < 0 || src >= ranks_)) {
+      throw CommError("recv from invalid rank " + std::to_string(src));
+    }
+    while (true) {
+      const std::size_t idx = scan_pending(src, tag);
+      if (idx != pending_.size()) {
+        auto it = pending_.begin() + static_cast<std::ptrdiff_t>(idx);
+        Msg msg = std::move(*it);
+        pending_.erase(it);
+        ++messages_received_;
+        if (info) {
+          info->src = msg.src;
+          info->tag = msg.tag;
+        }
+        return std::move(msg.payload);
+      }
+      buffer_one_frame();
+    }
+  }
+
+ private:
+  std::size_t scan_pending(int src, int tag) const {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (msg_matches(pending_[i], src, tag)) return i;
+    }
+    return pending_.size();
+  }
+
+  bool socket_readable() const {
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, 0);
+    } while (rc < 0 && errno == EINTR);
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+  }
+
+  WireFrame read_one_frame() {
+    WireFrame frame;
+    if (!read_worker_frame(fd_, frame, max_frame_bytes_)) {
+      throw CommError("master closed the rank-worker connection");
+    }
+    return frame;
+  }
+
+  void buffer_deliver(WireFrame frame) {
+    if (frame.type != WireType::kDeliver) {
+      throw CommError("unexpected frame type from master");
+    }
+    ByteReader reader(frame.payload);
+    Msg msg;
+    msg.src = reader.pod<int>();
+    msg.tag = reader.pod<int>();
+    msg.payload = reader.vector<std::uint8_t>();
+    pending_.push_back(std::move(msg));
+  }
+
+  void buffer_one_frame() { buffer_deliver(read_one_frame()); }
+
+  int fd_;
+  int ranks_;
+  std::uint64_t max_frame_bytes_;
+  std::chrono::steady_clock::time_point start_;
+  double charged_ = 0.0;
+  std::deque<Msg> pending_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_received_ = 0;
+};
+
+// ----------------------------------------------------- spawning helpers ----
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+std::string make_socket_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string pattern =
+      std::string(tmp && *tmp ? tmp : "/tmp") + "/lbe-ranks-XXXXXX";
+  std::vector<char> buffer(pattern.begin(), pattern.end());
+  buffer.push_back('\0');
+  if (::mkdtemp(buffer.data()) == nullptr) {
+    throw IoError(std::string("mkdtemp: ") + std::strerror(errno));
+  }
+  return std::string(buffer.data());
+}
+
+pid_t spawn_worker(const std::string& socket_path, int rank, int ranks,
+                   std::uint64_t max_frame_bytes) {
+  const std::string rank_arg = std::to_string(rank);
+  const std::string ranks_arg = std::to_string(ranks);
+  const std::string frame_arg = std::to_string(max_frame_bytes);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw IoError(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    // If the master dies (even SIGKILL), the kernel reaps us: no orphaned
+    // workers grinding on in the background.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    const char* argv[] = {"lbe-rank-worker",
+                          "--rank-worker",
+                          "--worker-socket",
+                          socket_path.c_str(),
+                          "--worker-rank",
+                          rank_arg.c_str(),
+                          "--worker-ranks",
+                          ranks_arg.c_str(),
+                          "--worker-max-frame",
+                          frame_arg.c_str(),
+                          nullptr};
+    ::execv("/proc/self/exe", const_cast<char* const*>(argv));
+    // exec failed; nothing sensible to clean up in a forked child.
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void reap_children(std::vector<std::unique_ptr<WorkerConn>>& conns,
+                   bool kill_first) {
+  for (auto& conn : conns) {
+    if (conn->pid <= 0) continue;
+    if (kill_first) ::kill(conn->pid, SIGKILL);
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(conn->pid, &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    conn->pid = -1;
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------- ProcessTransport ----
+
+ProcessTransport::ProcessTransport(ProcessTransportOptions options)
+    : options_(std::move(options)) {
+  if (options_.ranks < 1) {
+    throw CommError("process transport needs at least one rank");
+  }
+  if (options_.ranks > 1 && options_.program.empty()) {
+    throw CommError("process transport needs a rank program name");
+  }
+  reports_.resize(static_cast<std::size_t>(options_.ranks));
+}
+
+double ProcessTransport::makespan() const {
+  double best = 0.0;
+  for (const auto& report : reports_) best = std::max(best, report.vclock);
+  return best;
+}
+
+void ProcessTransport::run(const std::function<void(Comm&)>& rank_main) {
+  const int workers = options_.ranks - 1;
+
+  std::string socket_dir = options_.socket_dir;
+  bool own_dir = false;
+  if (socket_dir.empty()) {
+    socket_dir = make_socket_dir();
+    own_dir = true;
+  }
+  const std::string socket_path = socket_dir + "/ranks.sock";
+
+  MasterState state;
+  state.worker_reports.resize(static_cast<std::size_t>(options_.ranks));
+  state.worker_done.assign(static_cast<std::size_t>(options_.ranks), false);
+  std::vector<std::unique_ptr<WorkerConn>> conns;
+  conns.reserve(static_cast<std::size_t>(workers));
+  std::thread router;
+  std::exception_ptr failure;
+
+  auto cleanup = [&](bool kill_workers) {
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.shutdown = true;
+      state.cv.notify_all();
+    }
+    if (router.joinable()) router.join();
+    reap_children(conns, kill_workers);
+    conns.clear();
+    ::unlink(socket_path.c_str());
+    if (own_dir) ::rmdir(socket_dir.c_str());
+  };
+
+  try {
+    net::Fd listener = net::listen_unix(socket_path);
+    set_cloexec(listener.get());
+
+    for (int rank = 1; rank <= workers; ++rank) {
+      auto conn = std::make_unique<WorkerConn>();
+      conn->pid = spawn_worker(socket_path, rank, options_.ranks,
+                               options_.max_frame_bytes);
+      conns.push_back(std::move(conn));
+    }
+
+    // Accept every worker; each introduces itself with Hello{rank}. A
+    // worker that dies before connecting must fail the spawn, not hang it.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(options_.spawn_timeout_seconds);
+    int connected = 0;
+    while (connected < workers) {
+      for (const auto& conn : conns) {
+        if (conn->pid <= 0 || conn->fd.valid()) continue;
+        int status = 0;
+        if (::waitpid(conn->pid, &status, WNOHANG) == conn->pid) {
+          conn->pid = -1;
+          throw CommError("rank worker exited during startup");
+        }
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw CommError("timed out waiting for rank workers to connect");
+      }
+      pollfd pfd{listener.get(), POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready < 0 && errno != EINTR) {
+        throw IoError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (ready <= 0) continue;
+      net::Fd accepted = net::accept_connection(listener);
+      if (!accepted.valid()) continue;
+      set_cloexec(accepted.get());
+      WireFrame hello;
+      if (!read_worker_frame(accepted.get(), hello, options_.max_frame_bytes) ||
+          hello.type != WireType::kHello) {
+        throw CommError("rank worker handshake failed");
+      }
+      ByteReader reader(hello.payload);
+      const int rank = reader.pod<int>();
+      if (rank < 1 || rank > workers ||
+          conns[static_cast<std::size_t>(rank - 1)]->fd.valid()) {
+        throw CommError("rank worker announced an invalid rank");
+      }
+      conns[static_cast<std::size_t>(rank - 1)]->fd = std::move(accepted);
+      ++connected;
+    }
+
+    // Ship the job description; only now do workers know what to run.
+    Bytes setup_frame;
+    ByteWriter writer(setup_frame);
+    writer.string(options_.program);
+    writer.vector(options_.setup);
+    for (auto& conn : conns) {
+      write_worker_frame(conn->fd.get(), WireType::kSetup, setup_frame);
+    }
+
+    if (workers > 0) {
+      router = std::thread([&] {
+        route_worker_traffic(state, conns, options_.max_frame_bytes);
+      });
+    }
+
+    MasterComm comm(&state, &conns, options_.ranks);
+    rank_main(comm);
+
+    // The master is done; wait for every worker's Done report (or the
+    // router's typed error if one died instead).
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.cv.wait(lock, [&] {
+        return state.error || state.done_workers == workers;
+      });
+      if (state.error) rethrow_master_error(state);
+    }
+    state.worker_reports[0] = comm.report();
+  } catch (...) {
+    failure = std::current_exception();
+    // Prefer the router's diagnosis (e.g. "rank 2 worker exited") over the
+    // secondary error the master thread hit because of it.
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.error) failure = state.error;
+  }
+
+  cleanup(/*kill_workers=*/failure != nullptr);
+  if (failure) std::rethrow_exception(failure);
+  reports_ = std::move(state.worker_reports);
+}
+
+// ------------------------------------------------------ worker process ----
+
+void register_rank_program(const std::string& name, RankProgram program) {
+  program_registry()[name] = std::move(program);
+}
+
+bool is_rank_worker(int argc, char** argv) {
+  return argc >= 2 && std::strcmp(argv[1], "--rank-worker") == 0;
+}
+
+namespace {
+
+struct WorkerArgs {
+  std::string socket_path;
+  int rank = -1;
+  int ranks = -1;
+  std::uint64_t max_frame_bytes = 256ull << 20;
+};
+
+WorkerArgs parse_worker_args(int argc, char** argv) {
+  WorkerArgs args;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--worker-socket") {
+      args.socket_path = value;
+    } else if (key == "--worker-rank") {
+      args.rank = std::stoi(value);
+    } else if (key == "--worker-ranks") {
+      args.ranks = std::stoi(value);
+    } else if (key == "--worker-max-frame") {
+      args.max_frame_bytes = std::stoull(value);
+    } else {
+      throw ConfigError("unknown rank-worker flag: " + key);
+    }
+  }
+  if (args.socket_path.empty() || args.rank < 1 || args.ranks <= args.rank) {
+    throw ConfigError("incomplete rank-worker arguments");
+  }
+  return args;
+}
+
+/// Test hook: LBE_RANK_WORKER_FAULT="exit:<rank>" | "garbage:<rank>" |
+/// "oversize:<rank>" makes that worker misbehave right after the handshake,
+/// so fault-path tests can exercise the master's typed-error handling.
+void maybe_inject_fault(int fd, int rank, std::uint64_t max_frame_bytes) {
+  const char* spec = std::getenv("LBE_RANK_WORKER_FAULT");
+  if (!spec || !*spec) return;
+  const std::string text(spec);
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return;
+  if (std::stoi(text.substr(colon + 1)) != rank) return;
+  const std::string mode = text.substr(0, colon);
+  if (mode == "exit") {
+    ::_exit(3);  // vanish without a Done: the master must see EOF
+  } else if (mode == "garbage") {
+    const char junk[] = "this is not an LBEW frame at all, sorry";
+    net::write_all(fd, junk, sizeof(junk));
+    ::_exit(4);
+  } else if (mode == "oversize") {
+    const auto header = encode_worker_header(WireType::kSend,
+                                             max_frame_bytes + 1);
+    net::write_all(fd, header.data(), header.size());
+    ::_exit(5);
+  }
+}
+
+}  // namespace
+
+int rank_worker_main(int argc, char** argv) {
+  WorkerArgs args;
+  net::Fd fd;
+  try {
+    args = parse_worker_args(argc, argv);
+    fd = net::connect_unix(args.socket_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "lbe-rank-worker: %s\n", error.what());
+    return 2;
+  }
+  try {
+    Bytes hello;
+    ByteWriter hello_writer(hello);
+    hello_writer.pod(args.rank);
+    write_worker_frame(fd.get(), WireType::kHello, hello);
+
+    WireFrame setup;
+    if (!read_worker_frame(fd.get(), setup, args.max_frame_bytes) ||
+        setup.type != WireType::kSetup) {
+      throw CommError("master handshake failed");
+    }
+    ByteReader reader(setup.payload);
+    const std::string program_name = reader.string();
+    const Bytes setup_payload = reader.vector<std::uint8_t>();
+
+    maybe_inject_fault(fd.get(), args.rank, args.max_frame_bytes);
+
+    const auto& registry = program_registry();
+    const auto it = registry.find(program_name);
+    if (it == registry.end()) {
+      throw ConfigError("no rank program registered under '" + program_name +
+                        "' in this binary");
+    }
+
+    WorkerComm comm(fd.get(), args.rank, args.ranks, args.max_frame_bytes);
+    it->second(comm, setup_payload);
+
+    const RankReport report = comm.report();
+    Bytes done;
+    ByteWriter writer(done);
+    writer.pod(report.messages_sent);
+    writer.pod(report.bytes_sent);
+    writer.pod(report.messages_received);
+    writer.pod(report.vclock);
+    writer.pod(report.peak_rss_bytes);
+    write_worker_frame(fd.get(), WireType::kDone, done);
+    return 0;
+  } catch (const std::exception& error) {
+    // Best effort: tell the master why before dying, so the run fails with
+    // this message instead of a bare "worker exited".
+    try {
+      Bytes message;
+      ByteWriter writer(message);
+      writer.string(error.what());
+      write_worker_frame(fd.get(), WireType::kError, message);
+    } catch (...) {
+    }
+    std::fprintf(stderr, "lbe-rank-worker: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace lbe::mpi

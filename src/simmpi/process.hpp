@@ -1,0 +1,96 @@
+// Multi-process rank transport: the real-OS-process implementation of
+// mpi::Transport.
+//
+// `ProcessTransport::run(fn)` executes `fn` as rank 0 on the calling thread
+// and forks one worker process per remaining rank (re-exec'ing the current
+// binary via /proc/self/exe with a `--rank-worker` argv). Ranks exchange the
+// exact same `Bytes` payloads as the simulated engines, framed over
+// Unix-domain sockets ("LBEW" frames on the primitives in common/net.hpp) in
+// a star topology: every worker connects to the master, which routes
+// worker-to-worker traffic on a dedicated router thread. Co-located ranks
+// share physical memory for the index by each mmap'ing the same read-only
+// bundle files (index/serialize.hpp) — the kernel keeps one page-cache copy.
+//
+// Because a C++ closure cannot cross an exec boundary, workers run a *rank
+// program* registered by name in the binary (`register_rank_program`); the
+// master ships the program name plus an opaque setup payload in the
+// handshake. Apps that want to be process-transport hosts call
+// `rank_worker_main` at the top of main() when `is_rank_worker` says so.
+//
+// Failure handling is fail-fast and typed: a worker that crashes or closes
+// its socket mid-run, a frame with a bad magic, or an oversized length
+// prefix all surface at the master as CommError (FrameTooLargeError for the
+// oversize case) instead of a hang; the master then SIGKILLs and reaps every
+// remaining worker, so no zombies outlive a failed run. Workers arrange a
+// parent-death signal so a dying master cannot strand them either.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simmpi/bytes.hpp"
+#include "simmpi/transport.hpp"
+
+namespace lbe::mpi {
+
+struct ProcessTransportOptions {
+  int ranks = 4;
+  /// Name of the registered rank program the worker processes execute.
+  std::string program;
+  /// Opaque payload handed to every worker's rank program (typically the
+  /// serialized job description; see search/wire.hpp for the search one).
+  Bytes setup;
+  /// Directory for the rendezvous socket; "" = fresh temp directory.
+  std::string socket_dir;
+  /// Admission bound for one frame's payload on the worker sockets.
+  std::uint64_t max_frame_bytes = 256ull << 20;
+  /// How long to wait for all workers to connect before giving up.
+  double spawn_timeout_seconds = 30.0;
+};
+
+class ProcessTransport final : public Transport {
+ public:
+  explicit ProcessTransport(ProcessTransportOptions options);
+
+  int ranks() const noexcept override { return options_.ranks; }
+
+  /// Spawns the workers, runs `rank_main` as rank 0, routes messages until
+  /// every worker reports done, reaps all children. Rethrows the first
+  /// failure (local or remote) as a typed error after cleanup.
+  void run(const std::function<void(Comm&)>& rank_main) override;
+
+  const std::vector<RankReport>& reports() const noexcept override {
+    return reports_;
+  }
+
+  /// Max final clock over ranks — here real elapsed seconds, so the
+  /// process backend's makespan is honest wall time, not simulated time.
+  double makespan() const override;
+
+  const ProcessTransportOptions& options() const noexcept { return options_; }
+
+ private:
+  ProcessTransportOptions options_;
+  std::vector<RankReport> reports_;
+};
+
+/// A named SPMD body a worker process can run: the worker-side counterpart
+/// of the closure the in-process engines execute on every rank.
+using RankProgram = std::function<void(Comm&, const Bytes& setup)>;
+
+/// Registers `program` under `name` (latest registration wins). Apps
+/// register their programs before dispatching to rank_worker_main.
+void register_rank_program(const std::string& name, RankProgram program);
+
+/// True when this process was spawned as a rank worker (argv[1] is
+/// "--rank-worker"). Check at the very top of main().
+bool is_rank_worker(int argc, char** argv);
+
+/// Worker-process entry point: connects back to the master, runs the
+/// requested registered rank program, reports stats, returns the exit code
+/// for main() to return. Only call when is_rank_worker() is true.
+int rank_worker_main(int argc, char** argv);
+
+}  // namespace lbe::mpi

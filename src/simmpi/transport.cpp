@@ -1,0 +1,89 @@
+#include "simmpi/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lbe::mpi {
+
+namespace {
+// Internal collective tags live below kAnyTag so user tags (>= 0) and the
+// wildcard (-1) never collide with them.
+constexpr int kBcastTag = -2;
+constexpr int kGatherTag = -3;
+constexpr int kReduceTag = -4;
+}  // namespace
+
+void Comm::send(int dest, int tag, Bytes payload) {
+  if (tag < 0) throw CommError("user tags must be >= 0");
+  send_any(dest, tag, std::move(payload));
+}
+
+Bytes Comm::recv(int src, int tag, RecvInfo* info) {
+  return recv_any(src, tag, info);
+}
+
+void Comm::bcast(Bytes& data, int root) {
+  if (rank_ == root) {
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest == root) continue;
+      send_any(dest, kBcastTag, data);
+    }
+  } else {
+    data = recv_any(root, kBcastTag, nullptr);
+  }
+}
+
+std::vector<Bytes> Comm::gather(Bytes mine, int root) {
+  if (rank_ != root) {
+    send_any(root, kGatherTag, std::move(mine));
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(mine);
+  // Rank order keeps the collective deterministic.
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    out[static_cast<std::size_t>(src)] = recv_any(src, kGatherTag, nullptr);
+  }
+  return out;
+}
+
+double Comm::reduce_impl(double value, bool is_sum) {
+  // Gather to rank 0, reduce, broadcast back. Linear but cost-model exact.
+  const int p = size();
+  double result = value;
+  if (rank_ == 0) {
+    for (int src = 1; src < p; ++src) {
+      const Bytes bytes = recv_any(src, kReduceTag, nullptr);
+      ByteReader reader(bytes);
+      const double other = reader.pod<double>();
+      result = is_sum ? result + other : std::max(result, other);
+    }
+    Bytes out;
+    ByteWriter out_writer(out);
+    out_writer.pod(result);
+    bcast(out, 0);
+  } else {
+    Bytes mine;
+    ByteWriter writer(mine);
+    writer.pod(value);
+    send_any(0, kReduceTag, std::move(mine));
+    Bytes in;
+    bcast(in, 0);
+    ByteReader reader(in);
+    result = reader.pod<double>();
+  }
+  return result;
+}
+
+double Comm::allreduce_max(double value) {
+  return reduce_impl(value, /*is_sum=*/false);
+}
+
+double Comm::allreduce_sum(double value) {
+  return reduce_impl(value, /*is_sum=*/true);
+}
+
+}  // namespace lbe::mpi

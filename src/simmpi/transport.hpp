@@ -1,0 +1,133 @@
+// The rank-communication abstraction every distributed phase is written
+// against.
+//
+// `Comm` is the per-rank communicator handle (the MPI_Comm analogue): point
+// to point send/recv/probe, a barrier, clock accounting, and collectives
+// (bcast/gather/allreduce) implemented once here on top of the point-to-
+// point virtuals so every backend shares one deterministic collective
+// algorithm — the exact same `Bytes` payloads cross every transport.
+//
+// `Transport` owns the rank fleet and runs one SPMD program. Three
+// implementations:
+//
+//  * simmpi::Cluster with Engine::kVirtual — token-serialized ranks with
+//    virtual clocks and the α–β cost model (the deterministic test double
+//    the paper's timing figures are built from);
+//  * simmpi::Cluster with Engine::kThreads — real concurrent threads with
+//    blocking mailboxes (validates messaging semantics under concurrency);
+//  * ProcessTransport (simmpi/process.hpp) — one OS process per rank,
+//    exchanging the same payloads over Unix-domain sockets, with co-located
+//    ranks sharing read-only mappings of the index bundle.
+//
+// For a process transport the SPMD function cannot cross the process
+// boundary, so `run(fn)` executes `fn` as rank 0 in the calling process
+// while the worker ranks run a *registered rank program* (see
+// simmpi/process.hpp) that must implement the same protocol. The in-process
+// engines run `fn` on every rank.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simmpi/bytes.hpp"
+
+namespace lbe::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct RecvInfo {
+  int src = 0;
+  int tag = 0;
+};
+
+/// Per-rank communication counters plus the rank's final (virtual or real)
+/// clock. For a process backend these are *real* observed bytes/messages,
+/// reported next to the Eq. 1 predicted loads.
+struct RankReport {
+  double vclock = 0.0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  /// Peak resident set of the rank's process (process backend only; 0 for
+  /// the in-process engines, where per-rank RSS is not meaningful).
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// Per-rank communicator handle. Only valid inside Transport::run's rank
+/// function (or a worker rank program). Collectives are non-virtual and
+/// built on the point-to-point primitives with internal (negative) tags, so
+/// user tags (>= 0) and the wildcard (-1) never collide with them.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  virtual int size() const noexcept = 0;
+
+  /// Buffered send; never blocks. Tags must be >= 0 (negative = internal).
+  void send(int dest, int tag, Bytes payload);
+
+  /// Blocks until a matching message arrives. kAnySource/kAnyTag wildcard.
+  Bytes recv(int src, int tag, RecvInfo* info = nullptr);
+
+  /// Non-blocking: true if recv(src, tag) would not block.
+  virtual bool probe(int src, int tag) = 0;
+
+  virtual void barrier() = 0;
+
+  /// Linear broadcast from root; all ranks must call.
+  void bcast(Bytes& data, int root);
+
+  /// Gather to root; returns per-rank payloads at root, empty elsewhere.
+  std::vector<Bytes> gather(Bytes mine, int root);
+
+  double allreduce_max(double value);
+  double allreduce_sum(double value);
+
+  /// Current clock of this rank: virtual time on the simulated engines,
+  /// real elapsed seconds on a process backend.
+  virtual double vclock() = 0;
+
+  /// Explicitly advances this rank's clock (deterministic cost; a no-op
+  /// offset on backends whose clock is real time).
+  virtual void charge(double seconds) = 0;
+
+ protected:
+  explicit Comm(int rank) : rank_(rank) {}
+
+  /// Backend send/recv. `tag` may be negative here: the collectives above
+  /// reserve tags <= -2 for themselves; user sends are validated first.
+  virtual void send_any(int dest, int tag, Bytes payload) = 0;
+  virtual Bytes recv_any(int src, int tag, RecvInfo* info) = 0;
+
+ private:
+  double reduce_impl(double value, bool is_sum);
+
+  int rank_;
+};
+
+/// A fleet of ranks that can execute one SPMD program. Implementations own
+/// scheduling, delivery, clocks and per-rank accounting.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int ranks() const noexcept = 0;
+
+  /// Runs one SPMD program; rethrows the first rank failure. In-process
+  /// engines run `rank_main` on every rank; a process backend runs it as
+  /// rank 0 only (workers execute their registered rank program).
+  virtual void run(const std::function<void(Comm&)>& rank_main) = 0;
+
+  /// Per-rank clocks and communication counters of the last run.
+  virtual const std::vector<RankReport>& reports() const noexcept = 0;
+
+  /// Max final clock over ranks — the (simulated or real) wall time.
+  virtual double makespan() const = 0;
+};
+
+}  // namespace lbe::mpi

@@ -1,0 +1,257 @@
+// ProcessTransport end to end: real forked worker processes over Unix-domain
+// sockets, including the fault paths the ISSUE demands stay *typed* — a
+// killed worker, a garbage frame and an oversized frame must each surface as
+// CommError (FrameTooLargeError for the oversize case) at the master, never
+// as a hang, and no run may leave zombie children behind.
+//
+// This binary is its own process-transport host: main() registers the test
+// rank programs and dispatches to rank_worker_main when re-exec'd with
+// --rank-worker, so gtest_main is not used here.
+#include "simmpi/process.hpp"
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/net.hpp"
+#include "simmpi/transport.hpp"
+
+namespace lbe::mpi {
+namespace {
+
+Bytes payload_of(std::uint64_t value) {
+  Bytes bytes;
+  ByteWriter writer(bytes);
+  writer.pod(value);
+  return bytes;
+}
+
+std::uint64_t value_of(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  return reader.pod<std::uint64_t>();
+}
+
+/// Worker-side check: a failed expectation inside a worker process cannot
+/// reach gtest in the parent, so it throws instead — the transport delivers
+/// it to the master as "rank N worker failed: <message>".
+void worker_check(bool condition, const char* message) {
+  if (!condition) throw CommError(message);
+}
+
+void register_test_programs() {
+  // Each worker: self-send round trip, ping-pong with the master, barrier,
+  // then an allreduce — every primitive over the real socket fabric.
+  register_rank_program("test.pingpong", [](Comm& comm, const Bytes& setup) {
+    const std::uint64_t base = value_of(setup);
+    const auto rank = static_cast<std::uint64_t>(comm.rank());
+
+    comm.send(comm.rank(), 9, payload_of(base * 2));
+    worker_check(value_of(comm.recv(comm.rank(), 9)) == base * 2,
+                 "self-send round trip corrupted the payload");
+
+    comm.send(0, 5, payload_of(base + rank));
+    worker_check(value_of(comm.recv(0, 6)) == base + rank + 100,
+                 "master reply carried the wrong value");
+
+    comm.barrier();
+    const double max = comm.allreduce_max(static_cast<double>(comm.rank()));
+    worker_check(max == static_cast<double>(comm.size() - 1),
+                 "allreduce_max disagreed with the fleet size");
+  });
+
+  // Worker-to-worker traffic through the master's router: 1 -> 2 -> 0.
+  register_rank_program("test.relay", [](Comm& comm, const Bytes& setup) {
+    const std::uint64_t base = value_of(setup);
+    if (comm.rank() == 1) {
+      comm.send(2, 3, payload_of(base + 1));
+    } else if (comm.rank() == 2) {
+      comm.send(0, 4, payload_of(value_of(comm.recv(1, 3)) + 1));
+    }
+  });
+
+  // Blocks on a message the master never sends — the victim program for
+  // the fault-injection tests (the faulted sibling dies first, and the
+  // master must kill + reap this one during cleanup).
+  register_rank_program("test.block", [](Comm& comm, const Bytes&) {
+    comm.recv(0, 99);
+  });
+
+  // A worker whose program itself throws: the typed message must surface
+  // verbatim at the master.
+  register_rank_program("test.fail", [](Comm&, const Bytes&) {
+    throw CommError("deliberate test failure");
+  });
+}
+
+/// Scoped LBE_RANK_WORKER_FAULT so one test's fault cannot leak into the
+/// next (workers inherit the environment at fork).
+class FaultInjection {
+ public:
+  explicit FaultInjection(const std::string& spec) {
+    ::setenv("LBE_RANK_WORKER_FAULT", spec.c_str(), 1);
+  }
+  ~FaultInjection() { ::unsetenv("LBE_RANK_WORKER_FAULT"); }
+};
+
+/// True when this process has no unreaped children left: every fork the
+/// transport made was waited on (zombies would still be our children).
+bool all_children_reaped() {
+  return ::waitpid(-1, nullptr, WNOHANG) == -1 && errno == ECHILD;
+}
+
+ProcessTransportOptions options_for(int ranks, const std::string& program,
+                                    std::uint64_t setup_value = 7) {
+  ProcessTransportOptions options;
+  options.ranks = ranks;
+  options.program = program;
+  options.setup = payload_of(setup_value);
+  return options;
+}
+
+TEST(ProcessTransport, PingPongBarrierAndCollectivesAcrossProcesses) {
+  ProcessTransport transport(options_for(4, "test.pingpong", 1000));
+  std::uint64_t sum = 0;
+  transport.run([&](Comm& comm) {
+    ASSERT_EQ(comm.rank(), 0);  // only the master runs in-process
+    ASSERT_EQ(comm.size(), 4);
+    for (int src = 1; src < comm.size(); ++src) {
+      const std::uint64_t value = value_of(comm.recv(src, 5));
+      sum += value;
+      comm.send(src, 6, payload_of(value + 100));
+    }
+    comm.barrier();
+    EXPECT_EQ(comm.allreduce_max(0.0), 3.0);
+  });
+  EXPECT_EQ(sum, 3 * 1000u + 1 + 2 + 3);
+  EXPECT_TRUE(all_children_reaped());
+
+  const auto& reports = transport.reports();
+  ASSERT_EQ(reports.size(), 4u);
+  for (std::size_t rank = 1; rank < reports.size(); ++rank) {
+    EXPECT_GT(reports[rank].messages_sent, 0u) << "rank " << rank;
+    EXPECT_GT(reports[rank].bytes_sent, 0u) << "rank " << rank;
+    EXPECT_GT(reports[rank].messages_received, 0u) << "rank " << rank;
+    // Real processes report real resident memory.
+    EXPECT_GT(reports[rank].peak_rss_bytes, 0u) << "rank " << rank;
+  }
+  EXPECT_GT(reports[0].messages_sent, 0u);
+  EXPECT_GT(transport.makespan(), 0.0);
+}
+
+TEST(ProcessTransport, RoutesWorkerToWorkerTraffic) {
+  ProcessTransport transport(options_for(3, "test.relay", 40));
+  std::uint64_t relayed = 0;
+  transport.run([&](Comm& comm) { relayed = value_of(comm.recv(2, 4)); });
+  EXPECT_EQ(relayed, 42u);  // 40 staged, +1 at rank 1, +1 at rank 2
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, SingleRankRunsMasterOnly) {
+  ProcessTransport transport(options_for(1, ""));
+  int ran = 0;
+  transport.run([&](Comm& comm) {
+    ++ran;
+    EXPECT_EQ(comm.size(), 1);
+    comm.send(0, 1, payload_of(11));
+    EXPECT_EQ(value_of(comm.recv(0, 1)), 11u);
+  });
+  EXPECT_EQ(ran, 1);
+  ASSERT_EQ(transport.reports().size(), 1u);
+}
+
+TEST(ProcessTransport, KilledWorkerSurfacesAsTypedErrorNotHang) {
+  // Rank 1 exits right after its handshake, before sending anything; the
+  // master is left blocking on its message and the healthy rank 2 blocks
+  // forever by design — a hang here IS the regression this test guards.
+  FaultInjection fault("exit:1");
+  ProcessTransport transport(options_for(3, "test.block"));
+  try {
+    transport.run([&](Comm& comm) { comm.recv(1, 5); });
+    FAIL() << "run() returned despite a killed worker";
+  } catch (const CommError& error) {
+    EXPECT_NE(std::string(error.what()).find("rank 1 worker exited"),
+              std::string::npos)
+        << error.what();
+  }
+  // Cleanup must have SIGKILL'd and reaped rank 2 too — no zombies.
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, GarbageFrameSurfacesAsCommError) {
+  FaultInjection fault("garbage:1");
+  ProcessTransport transport(options_for(3, "test.block"));
+  try {
+    transport.run([&](Comm& comm) { comm.recv(1, 5); });
+    FAIL() << "run() returned despite a garbage frame";
+  } catch (const net::FrameTooLargeError&) {
+    FAIL() << "garbage magic misclassified as an oversized frame";
+  } catch (const CommError& error) {
+    EXPECT_NE(std::string(error.what()).find("garbage"), std::string::npos)
+        << error.what();
+  }
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, OversizedFrameSurfacesAsFrameTooLargeError) {
+  FaultInjection fault("oversize:2");
+  ProcessTransport transport(options_for(3, "test.block"));
+  EXPECT_THROW(transport.run([&](Comm& comm) { comm.recv(2, 5); }),
+               net::FrameTooLargeError);
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, WorkerProgramFailureCarriesItsMessage) {
+  ProcessTransport transport(options_for(2, "test.fail"));
+  try {
+    transport.run([&](Comm& comm) { comm.recv(1, 5); });
+    FAIL() << "run() returned despite a failing worker program";
+  } catch (const CommError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rank 1 worker failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("deliberate test failure"), std::string::npos)
+        << what;
+  }
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, UnregisteredProgramFailsTyped) {
+  ProcessTransport transport(options_for(2, "test.no-such-program"));
+  try {
+    transport.run([&](Comm& comm) { comm.recv(1, 5); });
+    FAIL() << "run() returned despite an unregistered program";
+  } catch (const CommError& error) {
+    EXPECT_NE(std::string(error.what()).find("no rank program registered"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_TRUE(all_children_reaped());
+}
+
+TEST(ProcessTransport, RejectsInvalidOptions) {
+  EXPECT_THROW(ProcessTransport(options_for(0, "test.pingpong")), CommError);
+  EXPECT_THROW(ProcessTransport(options_for(2, "")), CommError);
+}
+
+TEST(ProcessTransport, UserTagsMustBeNonNegativeOnTheWireToo) {
+  ProcessTransport transport(options_for(1, ""));
+  transport.run([&](Comm& comm) {
+    EXPECT_THROW(comm.send(0, -1, payload_of(1)), CommError);
+  });
+}
+
+}  // namespace
+}  // namespace lbe::mpi
+
+int main(int argc, char** argv) {
+  lbe::mpi::register_test_programs();
+  if (lbe::mpi::is_rank_worker(argc, argv)) {
+    return lbe::mpi::rank_worker_main(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
