@@ -1,6 +1,6 @@
 // lbebench — unified benchmark driver.
 //
-//   lbebench --suite smoke|micro|index_io|serve|mpi_backend|figures|ablation
+//   lbebench --suite smoke|micro|index_io|serve|mpi_backend|open|figures|ablation
 //            [--filter SUBSTR]
 //            [--repeat N] [--out DIR]
 //            [--baseline FILE --max-regress FRAC] [--no-json] [--list]
@@ -26,7 +26,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: lbebench [--suite smoke|micro|index_io|serve|mpi_backend|\n"
-    "                         figures|ablation]\n"
+    "                         open|figures|ablation]\n"
     "                [--list] [--filter SUBSTR] [--repeat N] [--out DIR]\n"
     "                [--baseline FILE] [--max-regress FRAC] [--no-json]\n"
     "                [--gate-lower METRIC[,METRIC...]]\n"

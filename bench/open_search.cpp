@@ -1,0 +1,12 @@
+// Open-search pruning ablation — thin driver. The benchmark body lives in
+// src/perf/ (registered on the lbebench harness); this binary preserves the
+// standalone reproduce-one-figure workflow and its exit-code contract (0 =
+// all shape checks passed, including PSM identity and the >= 1.3x pruning
+// speedup).
+#include "common/logging.hpp"
+#include "perf/bench_registry.hpp"
+
+int main() {
+  lbe::log::set_level(lbe::log::Level::kWarn);
+  return lbe::perf::run_single_benchmark("open_pruning_ablation");
+}

@@ -8,13 +8,30 @@
 //   2. generates queries from *modified* peptide forms,
 //   3. searches open-window and reports the identified modification state,
 //   4. shows the same spectra failing under a narrow ±0.1 Da search with an
-//      unmodified index — the "dark matter" the intro describes.
+//      unmodified index — the "dark matter" the intro describes,
+//   5. repeats the exercise with *unannounced* PTM-like shifts (deltas the
+//      database has no variant for), which only a wide precursor window can
+//      recover.
+//
+// Doubles as a ctest: every "must find" / "must miss" expectation below is
+// asserted, and a violation exits nonzero.
 #include <cstdio>
+#include <cstdlib>
 
 #include "digest/variants.hpp"
 #include "search/query_engine.hpp"
 #include "synth/spectra.hpp"
 #include "theospec/fragmenter.hpp"
+
+namespace {
+
+void expect(bool condition, const char* what) {
+  if (condition) return;
+  std::printf("EXPECTATION FAILED: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
 
 int main() {
   using namespace lbe;
@@ -101,5 +118,55 @@ int main() {
               "narrow+unmodified identified %zu/%zu\n",
               open_hits, generated.spectra.size(), narrow_hits,
               generated.spectra.size());
+  expect(open_hits == generated.spectra.size(),
+         "open-window search must identify every modified spectrum");
+  expect(narrow_hits == 0,
+         "narrow-window search over the unmodified index must miss every "
+         "modified spectrum");
+
+  // Part 2: unannounced shifts. The generator plants a PTM-like delta the
+  // database has *no variant for* (12-120 Da at a random residue); the
+  // precursor and site-containing fragments move together. A wide window
+  // still recovers the base peptide from the unshifted fragments; the
+  // narrow window cannot even form a candidate list.
+  synth::SpectraParams shifted_params;
+  shifted_params.num_spectra = 12;
+  shifted_params.modified_fraction = 0.0;
+  shifted_params.ptm_shift_fraction = 1.0;
+  shifted_params.fragments = index_params.fragments;
+  const auto shifted = synth::generate_spectra(peptides, mods,
+                                               shifted_params);
+
+  search::SearchParams wide_params = open_params;
+  wide_params.filter.precursor_tolerance = 150.0;  // covers every shift
+  const search::QueryEngine wide_engine(plain_index, mods, wide_params);
+  const search::QueryEngine narrow_plain_engine(plain_index, mods,
+                                                narrow_params);
+
+  std::size_t wide_correct = 0;
+  std::size_t narrow_shifted_hits = 0;
+  for (std::size_t q = 0; q < shifted.spectra.size(); ++q) {
+    index::QueryWork work;
+    const auto wide_result = wide_engine.search(
+        shifted.spectra[q], static_cast<std::uint32_t>(q), work);
+    const auto narrow_result = narrow_plain_engine.search(
+        shifted.spectra[q], static_cast<std::uint32_t>(q), work);
+    if (!wide_result.top.empty()) {
+      const auto peptide =
+          plain_index.store().materialize(wide_result.top[0].peptide);
+      if (peptide.sequence() == peptides[shifted.truth[q]]) ++wide_correct;
+    }
+    if (!narrow_result.top.empty()) ++narrow_shifted_hits;
+    expect(shifted.ptm_shift[q] >= 12.0 && shifted.ptm_shift[q] <= 120.0,
+           "every spectrum in this batch carries an unannounced shift");
+  }
+  std::printf("unannounced shifts: ±150 Da window recovered %zu/%zu base "
+              "peptides; ±0.1 Da window matched %zu\n",
+              wide_correct, shifted.spectra.size(), narrow_shifted_hits);
+  expect(wide_correct == shifted.spectra.size(),
+         "wide-window search must recover the base peptide under every "
+         "unannounced shift");
+  expect(narrow_shifted_hits == 0,
+         "narrow-window search must miss every unannounced-shift spectrum");
   return 0;
 }

@@ -16,7 +16,7 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 45> kKnownKeys = {
+constexpr std::array<std::string_view, 48> kKnownKeys = {
     "db",          "queries",       "plan",
     "index",       "index_out",     "mmap",
     "simd",
@@ -29,7 +29,8 @@ constexpr std::array<std::string_view, 45> kKnownKeys = {
     "criterion",   "d",             "d_prime",
     "gsize",       "resolution",    "max_fragment_mz",
     "max_fragment_charge", "fragment_tolerance", "shared_peak_min",
-    "precursor_tolerance", "top_k", "fdr",
+    "precursor_tolerance", "open_window", "prune",
+    "ptm_fraction", "top_k",        "fdr",
     "threads",     "batch",         "backend",
     "report",      "verify",        "socket",
     "queue_depth", "workers",       "shutdown",
@@ -169,6 +170,30 @@ AppOptions options_from_config(const Config& config) {
       get_u32(config, "shared_peak_min", 4);
   opts.search.search.filter.precursor_tolerance = config.get_double(
       "precursor_tolerance", std::numeric_limits<double>::infinity());
+  // --open-window is the open-search spelling of the precursor window: a
+  // half-width in Da, or "inf" for a fully open search. It wins over
+  // precursor_tolerance when both are given.
+  {
+    const std::string open_window = config.get_string("open_window", "");
+    if (!open_window.empty()) {
+      const std::string upper = str::to_upper(open_window);
+      if (upper == "INF" || upper == "INFINITY") {
+        opts.search.search.filter.precursor_tolerance =
+            std::numeric_limits<double>::infinity();
+      } else {
+        const double width = config.get_double("open_window", 0.0);
+        if (!(width >= 0.0)) {
+          throw ConfigError("open_window must be >= 0 Da (or 'inf')");
+        }
+        opts.search.search.filter.precursor_tolerance = width;
+      }
+    }
+  }
+  opts.search.search.filter.prune_blocks = config.get_bool("prune", true);
+  opts.ptm_fraction = config.get_double("ptm_fraction", 0.0);
+  if (opts.ptm_fraction < 0.0 || opts.ptm_fraction > 1.0) {
+    throw ConfigError("ptm_fraction must be in [0, 1]");
+  }
   opts.search.search.score.fragments = opts.search.index.fragments;
   opts.search.search.top_k = get_u32(config, "top_k", 5);
   opts.fdr_threshold = config.get_double("fdr", 0.02);
@@ -308,6 +333,16 @@ dashes in CLI option names are accepted as underscores):
   --verify             also run the shared-memory baseline and compare
   --report BOOL        write psms.tsv + metrics.csv        (default true)
 
+Open-search options:
+  --open-window W      precursor window half-width in Da, or `inf` for a
+                       fully open search (alias for --precursor_tolerance;
+                       wins when both are given)
+  --prune BOOL         block-max span pruning via v5 per-block bounds
+                       (default true). Results are byte-identical with
+                       pruning on or off — CI proves it per commit
+  --ptm_fraction F     synthetic spectra only: fraction of queries carrying
+                       an unannounced PTM-like mass shift   (default 0)
+
 Serving options:
   --socket PATH        serve/query: Unix-domain socket path (required)
   --queue_depth N      serve: bounded request-queue depth   (default 64)
@@ -316,6 +351,7 @@ Serving options:
 
 Examples:
   lbectl search --ranks 4 --threads 4 --verify
+  lbectl search --open-window 100 --ptm_fraction 0.5
   lbectl prepare --db proteins.fasta --out run1
   lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
   lbectl search --plan run1/plan.lbe --index run1 --out run1

@@ -46,6 +46,12 @@ struct AppOptions {
   std::uint64_t target_entries = 50000;
   std::uint32_t num_queries = 64;
   std::uint64_t seed = 2019;
+  /// `--ptm_fraction F`: fraction of synthetic queries carrying an
+  /// unannounced PTM-like mass shift (synth/spectra.hpp). Those spectra are
+  /// findable only with a precursor window wider than the shift — the
+  /// open-search workload. 0 (the default) leaves the generator's draw
+  /// sequence untouched, so existing workloads stay byte-identical.
+  double ptm_fraction = 0.0;
 
   // ---- digestion / database prep ----
   std::string enzyme_name = "trypsin";

@@ -114,7 +114,7 @@ DatabaseBundle database_from_fasta(const AppOptions& opts) {
 
 synth::Workload synthetic_workload(const AppOptions& opts) {
   return synth::make_paper_workload(opts.target_entries, opts.num_queries,
-                                    opts.seed);
+                                    opts.seed, opts.ptm_fraction);
 }
 
 QueryBundle queries_from_database(const DatabaseBundle& db,
@@ -128,6 +128,7 @@ QueryBundle queries_from_database(const DatabaseBundle& db,
   params.num_spectra = opts.num_queries;
   params.seed = opts.seed;
   params.fragments = opts.search.index.fragments;
+  params.ptm_shift_fraction = opts.ptm_fraction;
   QueryBundle queries;
   queries.spectra = synth::generate_spectra(targets, db.mods, params).spectra;
   queries.origin = "<synthetic>";
@@ -528,9 +529,12 @@ void write_reports(const std::string& out_dir, const PlanBundle& plan,
     // payload bytes actually sent), reported next to the Eq. 1 predicted
     // loads; peak_rss_bytes is per worker process (0 on in-process
     // backends, where ranks share one address space).
+    // spans_*/blocks_pruned/candidates_scored expose block-max pruning per
+    // rank (index/query_work.hpp); work_units deliberately excludes them.
     CsvWriter csv(out, {"rank", "entries", "index_bytes", "build_seconds",
-                        "query_seconds", "work_units", "comm_messages",
-                        "comm_bytes", "peak_rss_bytes"});
+                        "query_seconds", "work_units", "spans_walked",
+                        "spans_pruned", "blocks_pruned", "candidates_scored",
+                        "comm_messages", "comm_bytes", "peak_rss_bytes"});
     const auto& report = outcome.report;
     for (std::size_t rank = 0; rank < report.times.size(); ++rank) {
       const mpi::RankReport comm = rank < outcome.comm.size()
@@ -542,6 +546,10 @@ void write_reports(const std::string& out_dir, const PlanBundle& plan,
                CsvWriter::field(report.times[rank].build_seconds()),
                CsvWriter::field(report.times[rank].query_seconds()),
                CsvWriter::field(report.work[rank].cost_units()),
+               CsvWriter::field(report.work[rank].spans_walked),
+               CsvWriter::field(report.work[rank].spans_pruned),
+               CsvWriter::field(report.work[rank].blocks_pruned),
+               CsvWriter::field(report.work[rank].candidates_scored),
                CsvWriter::field(comm.messages_sent),
                CsvWriter::field(comm.bytes_sent),
                CsvWriter::field(comm.peak_rss_bytes)});

@@ -101,7 +101,8 @@ class QueryArena {
            reached.capacity() * sizeof(LocalPeptideId) +
            spans.capacity() * sizeof(BinSpan) +
            windows.capacity() * sizeof(Window) +
-           decoded.capacity() * sizeof(std::uint32_t);
+           decoded.capacity() * sizeof(std::uint32_t) +
+           prune_scores.capacity() * sizeof(double);
   }
 
   /// Peptides that crossed the shared-peak threshold this query.
@@ -124,6 +125,10 @@ class QueryArena {
   /// Sized in whole 128-value blocks; grows to the largest span seen and
   /// stays allocated, so steady-state decode allocates nothing.
   std::vector<std::uint32_t> decoded;
+
+  /// Score scratch for ChunkedIndex's block-max pruning floor (the K-th
+  /// best filter score among candidates of completed chunks).
+  std::vector<double> prune_scores;
 
   /// Candidate buffer reused by QueryEngine between queries.
   std::vector<Candidate> candidates;

@@ -16,12 +16,26 @@ struct QueryWork {
   std::uint64_t bins_visited = 0;
   std::uint64_t postings_touched = 0;
   std::uint64_t candidates = 0;
+  // Block-max pruning observability: spans/blocks the batched walk visited
+  // vs skipped via v5 bounds, and candidates the engine actually ranked.
+  // Pure telemetry — cost_units() deliberately excludes them so the Eq. 1
+  // load model keeps its meaning across pruning on/off.
+  std::uint64_t spans_walked = 0;
+  std::uint64_t spans_pruned = 0;
+  std::uint64_t blocks_walked = 0;
+  std::uint64_t blocks_pruned = 0;
+  std::uint64_t candidates_scored = 0;
 
   QueryWork& operator+=(const QueryWork& other) {
     peaks_processed += other.peaks_processed;
     bins_visited += other.bins_visited;
     postings_touched += other.postings_touched;
     candidates += other.candidates;
+    spans_walked += other.spans_walked;
+    spans_pruned += other.spans_pruned;
+    blocks_walked += other.blocks_walked;
+    blocks_pruned += other.blocks_pruned;
+    candidates_scored += other.candidates_scored;
     return *this;
   }
 

@@ -67,7 +67,13 @@ inline constexpr std::uint32_t kMagic = 0x5845424Cu;
 /// (index/posting_codec.hpp): eager loads decode back to u32 once at
 /// parse, mapped loads bind the packed extents in place and decode spans
 /// at query time through the runtime-selected scalar/SSE4.1/AVX2 kernel.
-inline constexpr std::uint32_t kFormatVersion = 4;
+/// Version 5 appends per-block bound metadata (BlockBound: precursor-mass
+/// range + max per-peptide fragment count, one record per 128-posting
+/// codec block) to each chunk's arrays payload, so the span walk can skip
+/// blocks that cannot contribute a reportable candidate (block-max
+/// pruning); bounds are validated at parse and bound in both eager and
+/// mapped loads.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// What a stream claims to contain; read_header rejects mismatches so a
 /// rank file can never be mistaken for a manifest.

@@ -94,6 +94,7 @@ SlmIndex::SlmIndex(const PeptideStore& store,
       return a < b2;
     });
   }
+  compute_block_bounds();
   bind_owned();
 }
 
@@ -101,6 +102,46 @@ void SlmIndex::bind_owned() noexcept {
   bin_offsets_ = bin_offsets_storage_;
   postings_ = postings_storage_;
   posting_count_ = postings_storage_.size();
+  bounds_ = bounds_storage_;
+}
+
+void SlmIndex::compute_block_bounds() {
+  const std::size_t n = postings_storage_.size();
+  bounds_storage_.assign((n + codec::kBlockValues - 1) / codec::kBlockValues,
+                         BlockBound{});
+  if (n == 0) return;
+  // Per-peptide posting count in THIS index: the cap on how many scorecard
+  // touches one peptide can receive in a single walk, since spans are
+  // disjoint bin ranges and each posting lies in at most one of them.
+  std::vector<std::uint32_t> nfrags(store_->size(), 0);
+  for (const LocalPeptideId id : postings_storage_) ++nfrags[id];
+  for (std::size_t b = 0; b < bounds_storage_.size(); ++b) {
+    const std::size_t begin = b * codec::kBlockValues;
+    const std::size_t end = std::min(n, begin + codec::kBlockValues);
+    Mass lo = store_->mass(postings_storage_[begin]);
+    Mass hi = lo;
+    std::uint32_t frags = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const LocalPeptideId id = postings_storage_[i];
+      const Mass mass = store_->mass(id);
+      lo = std::min(lo, mass);
+      hi = std::max(hi, mass);
+      frags = std::max(frags, nfrags[id]);
+    }
+    BlockBound& bound = bounds_storage_[b];
+    // Round outward so the float bounds cover the double masses.
+    bound.mass_lo = static_cast<float>(lo);
+    if (static_cast<double>(bound.mass_lo) > lo) {
+      bound.mass_lo = std::nextafter(
+          bound.mass_lo, -std::numeric_limits<float>::infinity());
+    }
+    bound.mass_hi = static_cast<float>(hi);
+    if (static_cast<double>(bound.mass_hi) < hi) {
+      bound.mass_hi = std::nextafter(
+          bound.mass_hi, std::numeric_limits<float>::infinity());
+    }
+    bound.max_frags = frags;
+  }
 }
 
 void SlmIndex::build_spans(const chem::Spectrum& spectrum,
@@ -208,10 +249,20 @@ void SlmIndex::query(const chem::Spectrum& spectrum,
   query_impl(spectrum, params, out, work, arena, /*rebuild_spans=*/true);
 }
 
+namespace {
+
+/// Absorbs float-accumulation and lgamma rounding slack in the score-bound
+/// test: a block is pruned only when its upper bound clears the floor by
+/// more than this, so the bound stays conservative.
+constexpr double kScoreBoundSlack = 1e-4;
+
+}  // namespace
+
 void SlmIndex::query_impl(const chem::Spectrum& spectrum,
                           const QueryParams& params,
                           std::vector<Candidate>& out, QueryWork& work,
-                          QueryArena& arena, bool rebuild_spans) const {
+                          QueryArena& arena, bool rebuild_spans,
+                          double score_floor) const {
   arena.begin_query(store_->size());
   if (rebuild_spans) build_spans(spectrum, params, work, arena);
 
@@ -219,6 +270,33 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
       1, params.shared_peak_min);
   const std::uint32_t epoch = arena.epoch();
   QueryArena::Slot* __restrict slots = arena.slots_data();
+
+  // Block-max pruning (v5 bounds). Both tests are exact w.r.t. psms.tsv:
+  // a mass-disjoint block holds only peptides the emit-time precursor
+  // filter drops, and a score-pruned block holds only peptides whose final
+  // filter score provably stays below the already-final K-th candidate —
+  // either way no surviving peptide loses a touch, and surviving postings
+  // are walked in the identical order, so accumulation is bit-identical.
+  const bool finite_window =
+      params.precursor_tolerance < std::numeric_limits<double>::infinity();
+  const bool mass_prune =
+      params.prune_blocks && !bounds_.empty() && finite_window;
+  const bool score_prune =
+      params.prune_blocks && !bounds_.empty() &&
+      score_floor > -std::numeric_limits<double>::infinity();
+  const Mass query_mass = spectrum.precursor.neutral_mass;
+  const double window_lo = query_mass - params.precursor_tolerance;
+  const double window_hi = query_mass + params.precursor_tolerance;
+  double mult_max = 0.0;
+  double span_intensity_max = 0.0;
+  if (score_prune) {
+    for (const BinSpan& span : arena.spans) {
+      mult_max = std::max(mult_max, static_cast<double>(span.multiplicity));
+      span_intensity_max =
+          std::max(span_intensity_max, static_cast<double>(span.intensity));
+    }
+  }
+
   for (const BinSpan& span : arena.spans) {
     const std::uint32_t begin = bin_offsets_[span.lo];
     const std::uint32_t end = bin_offsets_[span.hi];
@@ -227,21 +305,39 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
     // but hoisted out of the posting loop instead of bumped per touch.
     work.bins_visited +=
         static_cast<std::uint64_t>(span.multiplicity) * (span.hi - span.lo);
-    work.postings_touched +=
-        static_cast<std::uint64_t>(span.multiplicity) * (end - begin);
-    // Raw restrict pointers: posting loads (from the CSR array, or from
-    // the span's blocks decoded into arena scratch — the scratch stays
-    // L1-hot, so the scorecard's cache misses still dominate) cannot
-    // alias scorecard stores, so the compiler keeps loop state in
-    // registers across slot writes.
-    const std::uint32_t* __restrict postings =
-        posting_slice(begin, end, arena);
-    const std::uint32_t count = end - begin;
-    if (span.multiplicity == 1) {
-      // Non-overlapping windows (the common case at ΔF = 0.05 / r = 0.01):
-      // identical per-posting arithmetic to the reference walk, but one
-      // contiguous slice instead of a loop per bin and one interleaved
-      // scorecard slot instead of three parallel arrays.
+    if (begin == end) continue;
+
+    // Walks one contiguous slice of the span. Raw restrict pointers:
+    // posting loads (from the CSR array, or from the slice's blocks
+    // decoded into arena scratch — the scratch stays L1-hot, so the
+    // scorecard's cache misses still dominate) cannot alias scorecard
+    // stores, so the compiler keeps loop state in registers across slot
+    // writes.
+    const auto walk = [&](std::uint32_t slice_begin,
+                          std::uint32_t slice_end) {
+      work.postings_touched += static_cast<std::uint64_t>(span.multiplicity) *
+                               (slice_end - slice_begin);
+      const std::uint32_t* __restrict postings =
+          posting_slice(slice_begin, slice_end, arena);
+      const std::uint32_t count = slice_end - slice_begin;
+      if (span.multiplicity == 1) {
+        // Non-overlapping windows (the common case at ΔF = 0.05 /
+        // r = 0.01): identical per-posting arithmetic to the reference
+        // walk, but one contiguous slice instead of a loop per bin and one
+        // interleaved scorecard slot instead of three parallel arrays.
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const LocalPeptideId pep = postings[i];
+          QueryArena::Slot& slot = slots[pep];
+          if (slot.stamp != epoch) {
+            slot.stamp = epoch;
+            slot.count = 0;
+            slot.intensity = 0.0f;
+          }
+          slot.intensity += span.intensity;
+          if (++slot.count == threshold) arena.reached.push_back(pep);
+        }
+        return;
+      }
       for (std::uint32_t i = 0; i < count; ++i) {
         const LocalPeptideId pep = postings[i];
         QueryArena::Slot& slot = slots[pep];
@@ -251,24 +347,69 @@ void SlmIndex::query_impl(const chem::Spectrum& spectrum,
           slot.intensity = 0.0f;
         }
         slot.intensity += span.intensity;
-        if (++slot.count == threshold) arena.reached.push_back(pep);
+        const std::uint32_t before = slot.count;
+        slot.count = before + span.multiplicity;
+        if (before < threshold && slot.count >= threshold) {
+          arena.reached.push_back(pep);
+        }
       }
+    };
+
+    const std::uint32_t first_block = begin / codec::kBlockValues;
+    const std::uint32_t last_block = (end - 1) / codec::kBlockValues;
+    if (!mass_prune && !score_prune) {
+      work.blocks_walked += last_block - first_block + 1;
+      ++work.spans_walked;
+      walk(begin, end);
       continue;
     }
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const LocalPeptideId pep = postings[i];
-      QueryArena::Slot& slot = slots[pep];
-      if (slot.stamp != epoch) {
-        slot.stamp = epoch;
-        slot.count = 0;
-        slot.intensity = 0.0f;
+
+    // Pruned walk: test each covering block's bound and walk maximal runs
+    // of surviving blocks, so the decode granularity stays as coarse as
+    // the unpruned path allows and survivors keep their walk order.
+    std::uint32_t run_begin = begin;
+    bool walked_any = false;
+    for (std::uint32_t b = first_block; b <= last_block; ++b) {
+      const auto seg_begin = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+          begin, std::uint64_t{b} * codec::kBlockValues));
+      const auto seg_end = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          end, (std::uint64_t{b} + 1) * codec::kBlockValues));
+      const BlockBound& bound = bounds_[b];
+      bool skip = false;
+      if (mass_prune && (static_cast<double>(bound.mass_hi) < window_lo ||
+                         static_cast<double>(bound.mass_lo) > window_hi)) {
+        // Every peptide in the block fails the emit-time precursor filter.
+        skip = true;
+      } else if (score_prune) {
+        // Upper bound on any block peptide's final filter score: each of
+        // its <= max_frags postings is touched at most once per walk,
+        // adding <= mult_max to the count and <= span_intensity_max to
+        // the intensity.
+        const double count_bound = bound.max_frags * mult_max;
+        const double intensity_bound = bound.max_frags * span_intensity_max;
+        const double upper =
+            std::lgamma(count_bound + 1.0) + std::log1p(intensity_bound);
+        skip = upper + kScoreBoundSlack < score_floor;
       }
-      slot.intensity += span.intensity;
-      const std::uint32_t before = slot.count;
-      slot.count = before + span.multiplicity;
-      if (before < threshold && slot.count >= threshold) {
-        arena.reached.push_back(pep);
+      if (skip) {
+        ++work.blocks_pruned;
+        if (run_begin < seg_begin) {
+          walk(run_begin, seg_begin);
+          walked_any = true;
+        }
+        run_begin = seg_end;
+        continue;
       }
+      ++work.blocks_walked;
+    }
+    if (run_begin < end) {
+      walk(run_begin, end);
+      walked_any = true;
+    }
+    if (walked_any) {
+      ++work.spans_walked;
+    } else {
+      ++work.spans_pruned;
     }
   }
   emit_candidates(spectrum, params, out, work, arena);
@@ -343,6 +484,7 @@ std::uint64_t SlmIndex::memory_bytes() const noexcept {
   return bin_offsets_storage_.capacity() * sizeof(std::uint32_t) +
          postings_storage_.capacity() * sizeof(LocalPeptideId) +
          blocks_storage_.capacity() * sizeof(codec::BlockMeta) +
+         bounds_storage_.capacity() * sizeof(BlockBound) +
          packed_storage_.capacity() + internal_arena_.memory_bytes();
 }
 
@@ -399,11 +541,14 @@ std::uint64_t SlmIndex::arrays_payload_size() const {
   ensure_packed();
   return 32 + padded8(bin_offsets_.size() * sizeof(std::uint32_t)) +
          padded8(blocks_.size() * sizeof(codec::BlockMeta)) +
-         padded8(packed_.size());
+         padded8(packed_.size()) +
+         padded8(bounds_.size() * sizeof(BlockBound));
 }
 
 std::uint32_t SlmIndex::arrays_payload_crc() const {
   ensure_packed();
+  LBE_CHECK(bounds_.size() == blocks_.size(),
+            "block bounds out of step with the block directory");
   const std::uint64_t counts[4] = {bin_offsets_.size(), posting_count_,
                                    blocks_.size(), packed_.size()};
   std::uint64_t cursor = 0;
@@ -414,11 +559,15 @@ std::uint32_t SlmIndex::arrays_payload_crc() const {
   bin::crc32_padded(blocks_.data(),
                     blocks_.size() * sizeof(codec::BlockMeta), cursor, crc);
   bin::crc32_padded(packed_.data(), packed_.size(), cursor, crc);
+  bin::crc32_padded(bounds_.data(),
+                    bounds_.size() * sizeof(BlockBound), cursor, crc);
   return crc;
 }
 
 void SlmIndex::write_arrays_payload(std::ostream& out) const {
   ensure_packed();
+  LBE_CHECK(bounds_.size() == blocks_.size(),
+            "block bounds out of step with the block directory");
   std::uint64_t cursor = 0;
   bin::write_pod(out, static_cast<std::uint64_t>(bin_offsets_.size()));
   bin::write_pod(out, posting_count_);
@@ -430,6 +579,8 @@ void SlmIndex::write_arrays_payload(std::ostream& out) const {
   bin::write_padded(out, blocks_.data(),
                     blocks_.size() * sizeof(codec::BlockMeta), cursor);
   bin::write_padded(out, packed_.data(), packed_.size(), cursor);
+  bin::write_padded(out, bounds_.data(),
+                    bounds_.size() * sizeof(BlockBound), cursor);
 }
 
 SlmIndex SlmIndex::parse_arrays_payload(
@@ -455,16 +606,32 @@ SlmIndex SlmIndex::parse_arrays_payload(
   const auto packed_view =
       payload.take(static_cast<std::size_t>(packed_bytes));
   payload.align();
+  // v5: one BlockBound per directory block, trailing the packed stream.
+  const auto bounds_view = payload.view_array<BlockBound>(
+      static_cast<std::size_t>(block_count));
+  payload.align();
 
   // Structural validation before any decode: the block directory must
-  // tile the packed stream exactly and carry only legal encodings.
+  // tile the packed stream exactly and carry only legal encodings, and
+  // every block bound must be a plausible (mass range, fragment cap) pair
+  // — the pruning walk trusts them without further checks.
   codec::validate_blocks(blocks_view, postings_count, packed_bytes);
+  for (const BlockBound& bound : bounds_view) {
+    sz::require(bound.reserved == 0, "non-zero reserved block-bound field");
+    sz::require(std::isfinite(bound.mass_lo) &&
+                    std::isfinite(bound.mass_hi) &&
+                    !(bound.mass_hi < bound.mass_lo),
+                "invalid block mass bound");
+    sz::require(bound.max_frags >= 1 && bound.max_frags <= postings_count,
+                "implausible block fragment bound");
+  }
 
   SlmIndex index(store, mods, params, nullptr);
   if (keepalive != nullptr) {
     index.bin_offsets_ = offsets_view;
     index.blocks_ = blocks_view;
     index.packed_ = packed_view;
+    index.bounds_ = bounds_view;
     index.posting_count_ = postings_count;
     index.packed_mode_ = true;
     index.packed_cached_ = true;
@@ -474,6 +641,7 @@ SlmIndex SlmIndex::parse_arrays_payload(
     // full resident speed with no decode in the walk.
     index.bin_offsets_storage_.assign(offsets_view.begin(),
                                       offsets_view.end());
+    index.bounds_storage_.assign(bounds_view.begin(), bounds_view.end());
     index.postings_storage_.resize(
         static_cast<std::size_t>(block_count) * codec::kBlockValues);
     codec::decode_blocks(blocks_view, packed_view, postings_count, 0,

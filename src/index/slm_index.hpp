@@ -15,6 +15,7 @@
 // QueryArena, so one index serves any number of threads concurrently.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -52,12 +53,49 @@ struct QueryParams {
   std::uint32_t shared_peak_min = 4;  ///< cPSM threshold (Shpeak)
   /// Precursor window ±Da; infinity = open search (paper: ΔM = ∞).
   double precursor_tolerance = std::numeric_limits<double>::infinity();
+  /// Block-max pruning (format v5 bound metadata): skip 128-posting blocks
+  /// whose bound proves they cannot contribute a reportable candidate —
+  /// mass-disjoint blocks under a finite precursor window, and (when
+  /// prune_top_k > 0) blocks whose score upper bound cannot displace the
+  /// current K-th candidate. Exact: psms.tsv is byte-identical either way,
+  /// because skipped postings belong only to peptides the emit-time
+  /// precursor filter would drop or whose score provably stays below the
+  /// reported top-K, and the walk order of surviving postings is unchanged.
+  bool prune_blocks = true;
+  /// Number of top candidates the caller will report per query; feeds the
+  /// score-threshold half of the pruning test (0 disables it). Set by
+  /// QueryEngine from SearchParams::top_k, not a user-facing knob.
+  std::uint32_t prune_top_k = 0;
 
   bool open_search() const {
     return !(precursor_tolerance <
              std::numeric_limits<double>::infinity());
   }
 };
+
+/// Per-128-posting-block bound metadata (format v5), aligned 1:1 with the
+/// v4 codec's block directory. `mass_lo`/`mass_hi` bound the precursor
+/// masses of the block's peptides (conservatively rounded outward to
+/// float); `max_frags` bounds the number of postings any single peptide of
+/// the block has in this index — together they upper-bound what any posting
+/// in the block can contribute to a candidate.
+struct BlockBound {
+  float mass_lo = 0.0f;
+  float mass_hi = 0.0f;
+  std::uint32_t max_frags = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(BlockBound) == 16, "BlockBound is an on-disk format");
+
+/// The canonical filtration ranking score: ln(shared!) + ln(1 + matched
+/// intensity). Defined here (not in search/) because block-max pruning must
+/// bound it with the exact same arithmetic the engine ranks with;
+/// search::filter_score delegates to this.
+inline double candidate_filter_score(std::uint32_t shared_peaks,
+                                     double matched_intensity) {
+  return std::lgamma(static_cast<double>(shared_peaks) + 1.0) +
+         std::log1p(matched_intensity);
+}
 
 /// One candidate produced by filtration. Matched query-peak intensity is
 /// accumulated during the scorecard pass (as MSFragger/SLM do), so ranking
@@ -145,6 +183,12 @@ class SlmIndex {
   /// Postings-per-bin histogram feeding the load-prediction model.
   std::vector<std::uint32_t> bin_occupancy() const;
 
+  /// Per-block bound metadata (one record per 128-posting block, v5).
+  /// Non-empty for built indexes and v5 loads alike.
+  std::span<const BlockBound> block_bounds() const noexcept {
+    return bounds_;
+  }
+
   /// Dumps the transformed arrays (bin offsets + postings) in the
   /// versioned, checksummed container of index/serialize.hpp; reload with
   /// `load` against the SAME store contents to skip re-fragmentation —
@@ -167,7 +211,7 @@ class SlmIndex {
   /// Points the spans at the owned storage vectors.
   void bind_owned() noexcept;
 
-  // Raw transformed-array payload (format v4, no framing): what `save`
+  // Raw transformed-array payload (format v5, no framing): what `save`
   // wraps in a checksummed raw section and ChunkedIndex records per chunk
   // in its directory. Layout, starting 8-aligned:
   //   [bin_offset_count u64][posting_count u64]
@@ -175,6 +219,7 @@ class SlmIndex {
   //   bin_offsets u32[],             zero-padded to 8
   //   blocks      codec::BlockMeta[] (16 B each, inherently 8-aligned)
   //   packed posting stream bytes,   zero-padded to 8
+  //   bounds      BlockBound[block_count] (16 B each, v5)
   // Size and CRC are computable without materializing the payload (the
   // pack runs once and is cached), so the chunk directory — which
   // precedes the payloads — can be written first.
@@ -206,10 +251,19 @@ class SlmIndex {
 
   /// `query` with span reuse: when `rebuild_spans` is false the walk runs
   /// over arena.spans as-is (they must stem from this spectrum/params and
-  /// an identically-binned index).
+  /// an identically-binned index). `score_floor` is a lower bound on the
+  /// final K-th reported filter score (-inf = unknown): blocks whose score
+  /// upper bound stays strictly below it are skipped. ChunkedIndex raises
+  /// it at chunk boundaries from already-final candidates.
   void query_impl(const chem::Spectrum& spectrum, const QueryParams& params,
                   std::vector<Candidate>& out, QueryWork& work,
-                  QueryArena& arena, bool rebuild_spans) const;
+                  QueryArena& arena, bool rebuild_spans,
+                  double score_floor =
+                      -std::numeric_limits<double>::infinity()) const;
+
+  /// Fills bounds_storage_ from the freshly built postings (one pass over
+  /// the postings plus a per-peptide fragment-count tally).
+  void compute_block_bounds();
 
   /// Peak windows -> coalesced spans, in arena scratch.
   void build_spans(const chem::Spectrum& spectrum, const QueryParams& params,
@@ -247,6 +301,11 @@ class SlmIndex {
   mutable std::vector<codec::BlockMeta> blocks_storage_;
   mutable std::vector<std::byte> packed_storage_;
   mutable bool packed_cached_ = false;
+
+  // Per-block bound metadata (v5). Computed at build, parsed (and
+  // validated) from v5 payloads; mapped loads bind the span in place.
+  std::span<const BlockBound> bounds_;
+  std::vector<BlockBound> bounds_storage_;
   std::uint64_t posting_count_ = 0;
   bool packed_mode_ = false;
 

@@ -76,6 +76,7 @@ void register_all_benches() {
     register_index_io_benches(registry);
     register_serve_benches(registry);
     register_mpi_backend_benches(registry);
+    register_open_benches(registry);
     register_figure_benches(registry);
     register_ablation_benches(registry);
     return true;

@@ -113,6 +113,8 @@ void write_search_params(mpi::ByteWriter& writer, const SearchParams& params) {
   writer.pod(params.filter.fragment_tolerance);
   writer.pod(params.filter.shared_peak_min);
   writer.pod(params.filter.precursor_tolerance);
+  // prune_top_k travels implicitly: QueryEngine re-derives it from top_k.
+  writer.pod(params.filter.prune_blocks);
   writer.pod(params.score.fragment_tolerance);
   write_fragment_params(writer, params.score.fragments);
   writer.pod(params.top_k);
@@ -128,6 +130,7 @@ SearchParams read_search_params(mpi::ByteReader& reader) {
   params.filter.fragment_tolerance = reader.pod<double>();
   params.filter.shared_peak_min = reader.pod<std::uint32_t>();
   params.filter.precursor_tolerance = reader.pod<double>();
+  params.filter.prune_blocks = reader.pod<bool>();
   params.score.fragment_tolerance = reader.pod<double>();
   params.score.fragments = read_fragment_params(reader);
   params.top_k = reader.pod<std::uint32_t>();
@@ -183,6 +186,11 @@ mpi::Bytes encode_rank_stats(const RankStats& stats) {
   writer.pod(stats.work.bins_visited);
   writer.pod(stats.work.postings_touched);
   writer.pod(stats.work.candidates);
+  writer.pod(stats.work.spans_walked);
+  writer.pod(stats.work.spans_pruned);
+  writer.pod(stats.work.blocks_walked);
+  writer.pod(stats.work.blocks_pruned);
+  writer.pod(stats.work.candidates_scored);
   writer.pod(stats.index_bytes);
   writer.pod(stats.index_entries);
   return bytes;
@@ -200,6 +208,11 @@ RankStats decode_rank_stats(const mpi::Bytes& payload) {
   stats.work.bins_visited = reader.pod<std::uint64_t>();
   stats.work.postings_touched = reader.pod<std::uint64_t>();
   stats.work.candidates = reader.pod<std::uint64_t>();
+  stats.work.spans_walked = reader.pod<std::uint64_t>();
+  stats.work.spans_pruned = reader.pod<std::uint64_t>();
+  stats.work.blocks_walked = reader.pod<std::uint64_t>();
+  stats.work.blocks_pruned = reader.pod<std::uint64_t>();
+  stats.work.candidates_scored = reader.pod<std::uint64_t>();
   stats.index_bytes = reader.pod<std::uint64_t>();
   stats.index_entries = reader.pod<std::uint64_t>();
   require(reader.exhausted(), "malformed rank stats: trailing bytes");

@@ -28,9 +28,16 @@ GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
     throw ConfigError("spectra generator: bad precursor charge range");
   }
 
+  if (params.ptm_shift_fraction < 0.0 || params.ptm_shift_fraction > 1.0 ||
+      (params.ptm_shift_fraction > 0.0 &&
+       !(params.ptm_shift_min <= params.ptm_shift_max))) {
+    throw ConfigError("spectra generator: bad PTM shift parameters");
+  }
+
   GeneratedSpectra out;
   out.spectra.reserve(params.num_spectra);
   out.truth.reserve(params.num_spectra);
+  out.ptm_shift.reserve(params.num_spectra);
   Xoshiro256 rng(params.seed);
 
   for (std::uint32_t s = 0; s < params.num_spectra; ++s) {
@@ -50,12 +57,34 @@ GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
       }
     }
 
+    // Open-search mode: with probability ptm_shift_fraction, plant an
+    // unannounced mass shift at one residue site. The guard keeps the draw
+    // sequence untouched when the mode is off, so every pre-existing
+    // workload stays byte-identical.
+    Mass ptm_delta = 0.0;
+    std::size_t ptm_site = 0;
+    if (params.ptm_shift_fraction > 0.0 &&
+        rng.bernoulli(params.ptm_shift_fraction)) {
+      ptm_delta = rng.uniform(params.ptm_shift_min, params.ptm_shift_max);
+      ptm_site = static_cast<std::size_t>(rng.below(base.size()));
+    }
+
     chem::Spectrum spec;
     const auto fragments =
         theospec::fragment_peptide(peptide, mods, params.fragments);
     for (const auto& fragment : fragments) {
       if (!rng.bernoulli(params.peak_observe_prob)) continue;
-      const Mz mz = fragment.mz + rng.normal() * params.mz_jitter_stddev;
+      Mz mz = fragment.mz + rng.normal() * params.mz_jitter_stddev;
+      if (ptm_delta != 0.0) {
+        // A fragment moves iff it contains the shifted residue: y-ions
+        // cover the last `ordinal` residues, every other series (b, a) the
+        // first `ordinal`.
+        const bool contains_site =
+            fragment.series == theospec::IonSeries::kY
+                ? ptm_site >= base.size() - fragment.ordinal
+                : ptm_site < fragment.ordinal;
+        if (contains_site) mz += ptm_delta / fragment.charge;
+      }
       // y-ions fly better than b-ions in CID; keep that bias so intensity
       // ranking is realistic for hyperscore tests.
       const double series_base =
@@ -74,7 +103,7 @@ GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
         rng.below(static_cast<std::uint64_t>(params.precursor_charge_max -
                                              params.precursor_charge_min) +
                   1));
-    spec.precursor.neutral_mass = peptide.mass(mods);
+    spec.precursor.neutral_mass = peptide.mass(mods) + ptm_delta;
     spec.precursor.charge = z;
     spec.precursor.mz = chem::mz_from_mass(spec.precursor.neutral_mass, z);
     spec.scan_id = s + 1;
@@ -83,6 +112,7 @@ GeneratedSpectra generate_spectra(const std::vector<std::string>& peptides,
 
     out.spectra.push_back(std::move(spec));
     out.truth.push_back(pick);
+    out.ptm_shift.push_back(ptm_delta);
   }
   return out;
 }

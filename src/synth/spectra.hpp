@@ -26,6 +26,17 @@ struct SpectraParams {
   Mz noise_max_mz = 2000.0;
   double modified_fraction = 0.3;  ///< queries drawn from modified variants
   std::uint32_t max_mods_per_query = 2;
+  /// Open-search workload: fraction of spectra carrying an *unannounced*
+  /// PTM-like mass shift. A shifted spectrum picks a delta uniform in
+  /// [ptm_shift_min, ptm_shift_max] and a residue site; fragments containing
+  /// the site (b-ions past it, y-ions covering it from the C terminus) move
+  /// by delta/charge and the precursor moves by delta, exactly like a real
+  /// modification the database does not know about. Such spectra are only
+  /// findable with a precursor window wider than the shift. The default 0
+  /// consumes no RNG draws, so existing workloads stay byte-identical.
+  double ptm_shift_fraction = 0.0;
+  Mass ptm_shift_min = 12.0;   ///< Da, smallest unannounced shift
+  Mass ptm_shift_max = 120.0;  ///< Da, largest unannounced shift
   Charge precursor_charge_min = 2;
   Charge precursor_charge_max = 3;
   theospec::FragmentParams fragments;  ///< true-peak generator settings
@@ -36,6 +47,9 @@ struct GeneratedSpectra {
   std::vector<chem::Spectrum> spectra;
   /// truth[i] = index into the source peptide list for spectra[i].
   std::vector<std::uint32_t> truth;
+  /// ptm_shift[i] = unannounced precursor mass shift applied to spectra[i]
+  /// (0 for unshifted spectra). Always sized like `spectra`.
+  std::vector<Mass> ptm_shift;
 
   io::Ms2File to_ms2() const;
 };

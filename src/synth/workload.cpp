@@ -68,11 +68,13 @@ Workload make_workload(const WorkloadParams& params) {
 }
 
 Workload make_paper_workload(std::uint64_t target_entries,
-                             std::uint32_t num_queries, std::uint64_t seed) {
+                             std::uint32_t num_queries, std::uint64_t seed,
+                             double ptm_fraction) {
   WorkloadParams params;
   params.target_entries = target_entries;
   params.num_queries = num_queries;
   params.seed = seed;
+  params.spectra.ptm_shift_fraction = ptm_fraction;
   params.variants.max_mod_residues = 5;  // §V-A: <= 5 modified residues
   // Cap the blow-up per peptide so scaled-down runs stay tractable while
   // preserving the "index grows much faster than the peptide count" effect.

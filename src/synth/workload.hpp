@@ -45,9 +45,12 @@ struct Workload {
 Workload make_workload(const WorkloadParams& params);
 
 /// Convenience used by every figure bench: paper-default settings at a
-/// given index size and query count.
+/// given index size and query count. `ptm_fraction` > 0 plants unannounced
+/// PTM-like mass shifts on that fraction of queries (the open-search
+/// workload, synth/spectra.hpp); 0 keeps the generator stream untouched.
 Workload make_paper_workload(std::uint64_t target_entries,
                              std::uint32_t num_queries,
-                             std::uint64_t seed = 2019);
+                             std::uint64_t seed = 2019,
+                             double ptm_fraction = 0.0);
 
 }  // namespace lbe::synth

@@ -1,0 +1,330 @@
+// Block-max pruning (format v5 bound metadata): bound construction,
+// serialization round trips, corruption handling, and — the property the
+// whole feature rests on — exact candidate equivalence between the pruned
+// and unpruned walks, raw and packed, flat and chunked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "index/chunked_index.hpp"
+#include "index/posting_codec.hpp"
+#include "index/slm_index.hpp"
+#include "synth/workload.hpp"
+#include "theospec/fragmenter.hpp"
+
+namespace lbe::index {
+namespace {
+
+class BlockPruningTest : public ::testing::Test {
+ protected:
+  BlockPruningTest() {
+    // Coarse 1.0 Da bins pile enough postings per bin that the 128-posting
+    // codec blocks — the pruning granule — actually partition bins.
+    params_.resolution = 1.0;
+    params_.max_fragment_mz = 2000.0;
+    params_.fragments.max_fragment_charge = 1;
+    query_.fragment_tolerance = 1.0;
+    query_.shared_peak_min = 4;
+    query_.prune_blocks = true;
+  }
+
+  PeptideStore make_store(const std::vector<std::string>& seqs) {
+    PeptideStore store(&mods_);
+    for (const auto& s : seqs) store.add(chem::Peptide(s), mods_);
+    return store;
+  }
+
+  // The open-search bench workload in miniature: PTM-shifted queries over
+  // a dense synthetic peptide set. Built once, shared by every test.
+  static const synth::Workload& workload() {
+    static const synth::Workload w = [] {
+      synth::WorkloadParams p;
+      p.target_entries = 4000;
+      p.num_queries = 8;
+      p.seed = 2019;
+      p.spectra.ptm_shift_fraction = 0.5;
+      p.variants.max_mod_residues = 5;
+      p.variants.max_variants_per_peptide = 64;
+      return synth::make_workload(p);
+    }();
+    return w;
+  }
+
+  PeptideStore workload_store() {
+    PeptideStore store(&mods_);
+    for (const auto& seq : workload().base_peptides) {
+      store.add(chem::Peptide(seq), mods_);
+    }
+    return store;
+  }
+
+  static bool same_candidates(const std::vector<Candidate>& a,
+                              const std::vector<Candidate>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].peptide != b[i].peptide ||
+          a[i].shared_peaks != b[i].shared_peaks ||
+          a[i].matched_intensity != b[i].matched_intensity) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  IndexParams params_;
+  QueryParams query_;
+};
+
+TEST_F(BlockPruningTest, BoundsComputedAtBuild) {
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+  const auto bounds = index.block_bounds();
+  const std::uint64_t expect_blocks =
+      (index.num_postings() + codec::kBlockValues - 1) / codec::kBlockValues;
+  ASSERT_EQ(bounds.size(), expect_blocks);
+  ASSERT_GE(bounds.size(), 1u);
+
+  // One peptide: every block's mass range brackets its mass, and no block
+  // can claim more postings for one peptide than the index holds.
+  const Mass mass = store.mass(0);
+  for (const BlockBound& bound : bounds) {
+    EXPECT_LE(static_cast<double>(bound.mass_lo), mass);
+    EXPECT_GE(static_cast<double>(bound.mass_hi), mass);
+    EXPECT_GE(bound.max_frags, 1u);
+    EXPECT_LE(bound.max_frags, index.num_postings());
+    EXPECT_EQ(bound.reserved, 0u);
+  }
+  // The full index is one peptide, so some block must see its whole
+  // posting share.
+  std::uint32_t max_seen = 0;
+  for (const BlockBound& bound : bounds) {
+    max_seen = std::max(max_seen, bound.max_frags);
+  }
+  const std::uint64_t last_block_size =
+      index.num_postings() - (bounds.size() - 1) * codec::kBlockValues;
+  EXPECT_GE(max_seen, std::min<std::uint64_t>(last_block_size,
+                                              codec::kBlockValues));
+}
+
+TEST_F(BlockPruningTest, BoundInvariantsOnDenseIndex) {
+  const auto store = workload_store();
+  const SlmIndex index(store, mods_, params_);
+  ASSERT_GT(index.block_bounds().size(), 4u);
+  for (const BlockBound& bound : index.block_bounds()) {
+    EXPECT_TRUE(std::isfinite(bound.mass_lo));
+    EXPECT_TRUE(std::isfinite(bound.mass_hi));
+    EXPECT_LE(bound.mass_lo, bound.mass_hi);
+    EXPECT_GE(bound.max_frags, 1u);
+    EXPECT_EQ(bound.reserved, 0u);
+  }
+}
+
+// The core exactness property: with a finite precursor window, the pruned
+// walk must emit candidate-for-candidate (order and bits) what the
+// unpruned walk emits, while actually skipping blocks.
+TEST_F(BlockPruningTest, MassPruningIsExactOnRawAndPackedIndexes) {
+  const auto store = workload_store();
+  SlmIndex index(store, mods_, params_);
+
+  for (const bool packed : {false, true}) {
+    if (packed) index.compress_in_memory();
+    std::uint64_t total_pruned = 0;
+    for (const double window : {5.0, 100.0}) {
+      QueryParams pruned = query_;
+      pruned.precursor_tolerance = window;
+      QueryParams plain = pruned;
+      plain.prune_blocks = false;
+
+      for (const auto& spectrum : workload().queries) {
+        std::vector<Candidate> out_pruned;
+        std::vector<Candidate> out_plain;
+        QueryWork work_pruned;
+        QueryWork work_plain;
+        index.query(spectrum, pruned, out_pruned, work_pruned);
+        index.query(spectrum, plain, out_plain, work_plain);
+        EXPECT_TRUE(same_candidates(out_pruned, out_plain))
+            << "packed=" << packed << " window=" << window;
+        EXPECT_EQ(work_plain.blocks_pruned, 0u);
+        EXPECT_EQ(work_plain.spans_pruned, 0u);
+        // Pruning only ever removes walked work.
+        EXPECT_LE(work_pruned.postings_touched, work_plain.postings_touched);
+        total_pruned += work_pruned.blocks_pruned;
+      }
+    }
+    EXPECT_GT(total_pruned, 0u) << "packed=" << packed
+                                << ": mass pruning never fired (vacuous)";
+  }
+}
+
+// Candidate sets must also agree with the pre-batching reference walk —
+// the oracle that predates both batching and pruning. Order differs by
+// contract, so compare (peptide, shared_peaks) multisets.
+TEST_F(BlockPruningTest, PrunedWalkMatchesReferenceOracle) {
+  const auto store = workload_store();
+  const SlmIndex index(store, mods_, params_);
+  QueryParams pruned = query_;
+  pruned.precursor_tolerance = 50.0;
+
+  QueryArena arena;
+  for (const auto& spectrum : workload().queries) {
+    std::vector<Candidate> batched;
+    std::vector<Candidate> reference;
+    QueryWork work;
+    index.query(spectrum, pruned, batched, work, arena);
+    index.query_reference(spectrum, pruned, reference, work, arena);
+
+    const auto key = [](const Candidate& c) {
+      return std::pair<LocalPeptideId, std::uint32_t>{c.peptide,
+                                                      c.shared_peaks};
+    };
+    std::vector<std::pair<LocalPeptideId, std::uint32_t>> a;
+    std::vector<std::pair<LocalPeptideId, std::uint32_t>> b;
+    for (const auto& c : batched) a.push_back(key(c));
+    for (const auto& c : reference) b.push_back(key(c));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+// The score-threshold half: once earlier (lighter) chunks have produced K
+// final candidates, later chunks' blocks whose score upper bound cannot
+// displace the K-th are skipped — even on a fully open window, where mass
+// bounds exclude nothing. Light glycine-rich peptides (many fragments,
+// strong self-match) fill chunk 1; heavy tryptophan 5-mers (few fragments
+// each, so a low block score bound) fill chunk 2.
+TEST_F(BlockPruningTest, ScoreFloorPrunesLaterChunks) {
+  std::vector<std::string> seqs;
+  const std::string strong = "GGGGGGGGGGGK";  // light, 22 postings
+  seqs.push_back(strong);
+  for (const char a : {'A', 'S', 'P', 'V', 'T', 'L', 'N', 'Q'}) {
+    seqs.push_back(std::string("GGGGGGGGGG") + a + "K");  // light fillers
+  }
+  std::vector<std::string> heavy;
+  for (const char a : {'A', 'S', 'P', 'V', 'T', 'L', 'N', 'Q', 'G', 'E'}) {
+    heavy.push_back(std::string("WWWW") + a + "K");  // ~1100+ Da, 10 postings
+  }
+  seqs.insert(seqs.end(), heavy.begin(), heavy.end());
+
+  ChunkingParams chunking;
+  chunking.max_chunk_entries = 9;  // all light peptides, then all heavy
+  const ChunkedIndex index(make_store(seqs), mods_, params_, chunking);
+  ASSERT_EQ(index.num_chunks(), 3u);
+  ASSERT_LT(index.chunk_mass_range(0).second,
+            index.chunk_mass_range(1).first);
+
+  // Query: the strong peptide's own spectrum, plus one fragment peak per
+  // heavy peptide so the span walk genuinely reaches chunk 2's postings
+  // instead of never touching them.
+  chem::Spectrum spectrum =
+      theospec::theoretical_spectrum(chem::Peptide(strong), mods_,
+                                     params_.fragments);
+  chem::Spectrum query;
+  for (std::size_t p = 0; p < spectrum.size(); ++p) {
+    query.add_peak(spectrum.mz(p), spectrum.intensity(p));
+  }
+  for (const auto& seq : heavy) {
+    const auto fragments = theospec::fragment_peptide(
+        chem::Peptide(seq), mods_, params_.fragments);
+    query.add_peak(fragments[fragments.size() / 2].mz, 1.0f);
+  }
+  query.precursor = spectrum.precursor;
+  query.finalize();
+
+  QueryParams pruned = query_;
+  pruned.precursor_tolerance = std::numeric_limits<double>::infinity();
+  pruned.prune_top_k = 1;
+  QueryParams plain = pruned;
+  plain.prune_blocks = false;
+
+  std::vector<Candidate> out_pruned;
+  std::vector<Candidate> out_plain;
+  QueryWork work_pruned;
+  QueryWork work_plain;
+  index.query(query, pruned, out_pruned, work_pruned);
+  index.query(query, plain, out_plain, work_plain);
+
+  // Score pruning's exactness contract is at the reported-top-K level: a
+  // pruned candidate list may drop (or under-count) peptides that provably
+  // cannot displace the K-th candidate, so compare the K = 1 winners, not
+  // the full lists.
+  const auto best = [](const std::vector<Candidate>& out) {
+    return *std::max_element(
+        out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+          return candidate_filter_score(a.shared_peaks, a.matched_intensity) <
+                 candidate_filter_score(b.shared_peaks, b.matched_intensity);
+        });
+  };
+  ASSERT_FALSE(out_pruned.empty());
+  ASSERT_FALSE(out_plain.empty());
+  const Candidate top_pruned = best(out_pruned);
+  const Candidate top_plain = best(out_plain);
+  EXPECT_EQ(top_pruned.peptide, top_plain.peptide);
+  EXPECT_EQ(top_pruned.shared_peaks, top_plain.shared_peaks);
+  EXPECT_EQ(top_pruned.matched_intensity, top_plain.matched_intensity);
+  EXPECT_GT(work_pruned.blocks_pruned, 0u)
+      << "score floor never pruned a block (vacuous)";
+  EXPECT_EQ(work_plain.blocks_pruned, 0u);
+  EXPECT_LT(work_pruned.postings_touched, work_plain.postings_touched);
+}
+
+TEST_F(BlockPruningTest, SaveLoadRoundTripPreservesBounds) {
+  const auto store = workload_store();
+  const SlmIndex built(store, mods_, params_);
+  std::stringstream stream;
+  built.save(stream);
+  const SlmIndex loaded = SlmIndex::load(stream, store, mods_, params_);
+
+  const auto a = built.block_bounds();
+  const auto b = loaded.block_bounds();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mass_lo, b[i].mass_lo);
+    EXPECT_EQ(a[i].mass_hi, b[i].mass_hi);
+    EXPECT_EQ(a[i].max_frags, b[i].max_frags);
+  }
+
+  // And the loaded index prunes exactly like the built one.
+  QueryParams pruned = query_;
+  pruned.precursor_tolerance = 50.0;
+  for (const auto& spectrum : workload().queries) {
+    std::vector<Candidate> out_built;
+    std::vector<Candidate> out_loaded;
+    QueryWork wb;
+    QueryWork wl;
+    built.query(spectrum, pruned, out_built, wb);
+    loaded.query(spectrum, pruned, out_loaded, wl);
+    EXPECT_TRUE(same_candidates(out_built, out_loaded));
+    EXPECT_EQ(wb.blocks_pruned, wl.blocks_pruned);
+  }
+}
+
+TEST_F(BlockPruningTest, CorruptedBoundBytesAreIoError) {
+  const auto store = make_store({"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK"});
+  const SlmIndex index(store, mods_, params_);
+  std::stringstream stream;
+  index.save(stream);
+  std::string bytes = stream.str();
+
+  // The BlockBound records sit at the tail of the arrays payload; flip one
+  // byte there. Whether the container CRC or the bound validation catches
+  // it, the contract is the same: IoError, never a silently wrong bound.
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() - 48] ^= 0x40;
+  std::istringstream corrupted(bytes);
+  EXPECT_THROW(SlmIndex::load(corrupted, store, mods_, params_), IoError);
+
+  // Truncation inside the bounds region is IoError too.
+  std::istringstream truncated(stream.str().substr(0, bytes.size() - 24));
+  EXPECT_THROW(SlmIndex::load(truncated, store, mods_, params_), IoError);
+}
+
+}  // namespace
+}  // namespace lbe::index

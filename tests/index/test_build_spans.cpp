@@ -1,0 +1,166 @@
+// Span construction at extreme tolerance widths. The batched query walk
+// coalesces per-peak tolerance windows into maximal constant-coverage
+// BinSpans (index/query_arena.hpp); these tests pin the edge geometry —
+// windows covering the whole bin range, the tolerance_bins clamp, adjacent
+// windows merging, and arena reuse across queries — by querying through the
+// public API and inspecting the spans left in the caller's arena.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/binning.hpp"
+#include "index/slm_index.hpp"
+
+namespace lbe::index {
+namespace {
+
+class BuildSpansTest : public ::testing::Test {
+ protected:
+  BuildSpansTest() {
+    params_.resolution = 1.0;
+    params_.max_fragment_mz = 2000.0;
+    params_.fragments.max_fragment_charge = 1;
+    query_.shared_peak_min = 1;
+  }
+
+  PeptideStore make_store(const std::vector<std::string>& seqs) {
+    PeptideStore store(&mods_);
+    for (const auto& s : seqs) store.add(chem::Peptide(s), mods_);
+    return store;
+  }
+
+  Binning binning() const {
+    return Binning(params_.resolution, params_.max_fragment_mz);
+  }
+
+  /// Runs one query and returns the spans the walk built.
+  const std::vector<BinSpan>& spans_for(const SlmIndex& index,
+                                        const chem::Spectrum& spectrum) {
+    std::vector<Candidate> out;
+    QueryWork work;
+    index.query(spectrum, query_, out, work, arena_);
+    return arena_.spans;
+  }
+
+  static chem::Spectrum spectrum_of(
+      const std::vector<std::pair<Mz, float>>& peaks) {
+    chem::Spectrum spectrum;
+    for (const auto& [mz, intensity] : peaks) {
+      spectrum.add_peak(mz, intensity);
+    }
+    spectrum.finalize();
+    return spectrum;
+  }
+
+  chem::ModificationSet mods_ = chem::ModificationSet::paper_default();
+  IndexParams params_;
+  QueryParams query_;
+  QueryArena arena_;
+};
+
+TEST_F(BuildSpansTest, WindowCoveringAllBinsYieldsOneSpan) {
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+  // Tolerance wider than the whole indexed range: every peak's window
+  // clamps to [0, num_bins) and the sweep merges them into a single span
+  // whose multiplicity is the in-range peak count.
+  query_.fragment_tolerance = 10.0 * params_.max_fragment_mz;
+  const auto spectrum =
+      spectrum_of({{100.0, 1.0f}, {500.0, 2.0f}, {1500.0, 4.0f}});
+  const auto& spans = spans_for(index, spectrum);
+
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].lo, 0u);
+  EXPECT_EQ(spans[0].hi, binning().num_bins());
+  EXPECT_EQ(spans[0].multiplicity, 3u);
+  EXPECT_EQ(spans[0].intensity, 7.0f);
+}
+
+TEST_F(BuildSpansTest, ToleranceBinsClampsAtNumBins) {
+  const Binning binning = this->binning();
+  // The clamp is what keeps a huge tolerance from overflowing MzBin in
+  // the double -> u32 cast and from wrapping `center + tol` sums.
+  EXPECT_EQ(binning.tolerance_bins(1e18), binning.num_bins());
+  EXPECT_EQ(binning.tolerance_bins(0.0), 0u);
+
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+  query_.fragment_tolerance = 1e18;
+  const auto& spans = spans_for(index, spectrum_of({{1000.0, 1.0f}}));
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].lo, 0u);
+  EXPECT_EQ(spans[0].hi, binning.num_bins());
+  EXPECT_EQ(spans[0].multiplicity, 1u);
+}
+
+TEST_F(BuildSpansTest, AdjacentWindowsCoalesceWithMultiplicityProfile) {
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+  query_.fragment_tolerance = 5.0;  // ±5 bins at r = 1.0
+
+  const Binning binning = this->binning();
+  const MzBin tol = binning.tolerance_bins(query_.fragment_tolerance);
+  const Mz a = 100.0;
+  const Mz b = 104.0;  // windows overlap by 7 bins
+  const auto& spans = spans_for(index, spectrum_of({{a, 1.0f}, {b, 2.0f}}));
+
+  const MzBin a_lo = binning.bin(a) - tol;
+  const MzBin a_hi = binning.bin(a) + tol + 1;  // exclusive
+  const MzBin b_lo = binning.bin(b) - tol;
+  const MzBin b_hi = binning.bin(b) + tol + 1;
+  ASSERT_LT(b_lo, a_hi) << "windows must overlap for this test";
+
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].lo, a_lo);
+  EXPECT_EQ(spans[0].hi, b_lo);
+  EXPECT_EQ(spans[0].multiplicity, 1u);
+  EXPECT_EQ(spans[0].intensity, 1.0f);
+  EXPECT_EQ(spans[1].lo, b_lo);
+  EXPECT_EQ(spans[1].hi, a_hi);
+  EXPECT_EQ(spans[1].multiplicity, 2u);
+  EXPECT_EQ(spans[1].intensity, 3.0f);
+  EXPECT_EQ(spans[2].lo, a_hi);
+  EXPECT_EQ(spans[2].hi, b_hi);
+  EXPECT_EQ(spans[2].multiplicity, 1u);
+  EXPECT_EQ(spans[2].intensity, 2.0f);
+}
+
+TEST_F(BuildSpansTest, DisjointWindowsStaySeparate) {
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+  query_.fragment_tolerance = 1.0;
+  const auto& spans =
+      spans_for(index, spectrum_of({{100.0, 1.0f}, {900.0, 1.0f}}));
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].multiplicity, 1u);
+  EXPECT_EQ(spans[1].multiplicity, 1u);
+  EXPECT_LT(spans[0].hi, spans[1].lo);
+}
+
+TEST_F(BuildSpansTest, ArenaIsReusedAndSpansReplacedAcrossQueries) {
+  const auto store = make_store({"PEPTIDEK"});
+  const SlmIndex index(store, mods_, params_);
+
+  // Wide query first: the arena's span scratch grows...
+  query_.fragment_tolerance = 10.0 * params_.max_fragment_mz;
+  const auto wide = spectrum_of({{100.0, 1.0f}, {500.0, 1.0f}});
+  ASSERT_EQ(spans_for(index, wide).size(), 1u);
+
+  // ...then a narrow query on the SAME arena must see only its own spans,
+  // not stale wide-window state.
+  query_.fragment_tolerance = 1.0;
+  const auto narrow = spectrum_of({{100.0, 1.0f}, {900.0, 1.0f}});
+  const auto& spans = spans_for(index, narrow);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LT(spans[0].hi - spans[0].lo, 10u);
+
+  // And an edge peak clamps its window at bin 0 without wrapping.
+  query_.fragment_tolerance = 5.0;
+  const auto& edge = spans_for(index, spectrum_of({{1.0, 1.0f}}));
+  ASSERT_EQ(edge.size(), 1u);
+  EXPECT_EQ(edge[0].lo, 0u);
+}
+
+}  // namespace
+}  // namespace lbe::index

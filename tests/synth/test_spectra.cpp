@@ -137,6 +137,64 @@ TEST_F(SpectraTest, BadChargeRangeRejected) {
   EXPECT_THROW(generate_spectra(peptides_, mods_, bad), ConfigError);
 }
 
+TEST_F(SpectraTest, PtmShiftFractionZeroLeavesGeneratorStreamUntouched) {
+  // The open-search knob must be a strict no-op at fraction 0: the Bernoulli
+  // draw is guarded, so existing workloads stay byte-identical.
+  SpectraParams with_knob = params_;
+  with_knob.ptm_shift_fraction = 0.0;
+  const auto a = generate_spectra(peptides_, mods_, params_);
+  const auto b = generate_spectra(peptides_, mods_, with_knob);
+  ASSERT_EQ(a.spectra.size(), b.spectra.size());
+  EXPECT_EQ(a.truth, b.truth);
+  ASSERT_EQ(b.ptm_shift.size(), b.spectra.size());
+  for (std::size_t i = 0; i < a.spectra.size(); ++i) {
+    EXPECT_EQ(b.ptm_shift[i], 0.0);
+    ASSERT_EQ(a.spectra[i].size(), b.spectra[i].size());
+    EXPECT_EQ(a.spectra[i].precursor.neutral_mass,
+              b.spectra[i].precursor.neutral_mass);
+    for (std::size_t p = 0; p < a.spectra[i].size(); ++p) {
+      EXPECT_EQ(a.spectra[i].mz(p), b.spectra[i].mz(p));
+    }
+  }
+}
+
+TEST_F(SpectraTest, PtmShiftMovesPrecursorByRecordedDelta) {
+  SpectraParams shifted = params_;
+  shifted.ptm_shift_fraction = 1.0;
+  shifted.modified_fraction = 0.0;  // isolate the PTM shift from variants
+  const auto out = generate_spectra(peptides_, mods_, shifted);
+  ASSERT_EQ(out.ptm_shift.size(), out.spectra.size());
+  for (std::size_t i = 0; i < out.spectra.size(); ++i) {
+    const Mass delta = out.ptm_shift[i];
+    EXPECT_GE(delta, shifted.ptm_shift_min);
+    EXPECT_LE(delta, shifted.ptm_shift_max);
+    const chem::Peptide base(peptides_[out.truth[i]]);
+    EXPECT_NEAR(out.spectra[i].precursor.neutral_mass,
+                base.mass(mods_) + delta, 1e-6);
+  }
+}
+
+TEST_F(SpectraTest, PtmShiftFractionIsApproximatelyHonored) {
+  SpectraParams half = params_;
+  half.ptm_shift_fraction = 0.5;
+  half.num_spectra = 200;
+  const auto out = generate_spectra(peptides_, mods_, half);
+  std::size_t shifted = 0;
+  for (const Mass delta : out.ptm_shift) shifted += delta != 0.0 ? 1 : 0;
+  EXPECT_GT(shifted, 60u);
+  EXPECT_LT(shifted, 140u);
+}
+
+TEST_F(SpectraTest, BadPtmShiftParamsRejected) {
+  SpectraParams bad = params_;
+  bad.ptm_shift_fraction = 1.5;
+  EXPECT_THROW(generate_spectra(peptides_, mods_, bad), ConfigError);
+  bad.ptm_shift_fraction = 0.5;
+  bad.ptm_shift_min = 100.0;
+  bad.ptm_shift_max = 10.0;
+  EXPECT_THROW(generate_spectra(peptides_, mods_, bad), ConfigError);
+}
+
 TEST_F(SpectraTest, Ms2ExportRoundTrips) {
   params_.num_spectra = 5;
   const auto out = generate_spectra(peptides_, mods_, params_);
