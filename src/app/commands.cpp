@@ -149,6 +149,18 @@ int run_search(const AppOptions& opts) {
               100.0 * outcome.work_stats.imbalance);
   std::printf("makespan %.1f ms (threads/rank=%u, batch=%u)\n",
               outcome.report.makespan * 1e3, opts.threads, opts.batch);
+  if (opts.search.schedule.schedule != core::Schedule::kLbeStatic) {
+    std::uint64_t stolen = 0;
+    for (const auto count : outcome.report.batches_stolen) stolen += count;
+    std::printf("schedule %s: %llu batches stolen",
+                core::schedule_name(opts.search.schedule.schedule),
+                static_cast<unsigned long long>(stolen));
+    if (!outcome.calibration_weights.empty()) {
+      std::printf(", re-planned from a %.0f ms probe",
+                  outcome.calibration_seconds * 1e3);
+    }
+    std::printf("\n");
+  }
 
   if (opts.write_report) {
     write_reports(opts.out_dir, plan, outcome);

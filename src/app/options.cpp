@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/scheduling.hpp"
 #include "index/posting_codec.hpp"
 
 namespace lbe::app {
@@ -16,7 +17,7 @@ namespace {
 
 // Every key the driver understands; parse_cli/options_from_config reject
 // anything else so a misspelled knob cannot silently fall back to a default.
-constexpr std::array<std::string_view, 48> kKnownKeys = {
+constexpr std::array<std::string_view, 51> kKnownKeys = {
     "db",          "queries",       "plan",
     "index",       "index_out",     "mmap",
     "simd",
@@ -34,6 +35,7 @@ constexpr std::array<std::string_view, 48> kKnownKeys = {
     "threads",     "batch",         "backend",
     "report",      "verify",        "socket",
     "queue_depth", "workers",       "shutdown",
+    "schedule",    "steal_threshold", "calibration_queries",
 };
 
 bool known_key(std::string_view key) {
@@ -94,6 +96,7 @@ void AppOptions::validate() const {
   digestion.validate();
   lbe.grouping.validate();
   lbe.partition.validate();
+  search.schedule.validate();
 }
 
 AppOptions options_from_config(const Config& config) {
@@ -212,6 +215,13 @@ AppOptions options_from_config(const Config& config) {
   opts.send_shutdown = config.get_bool("shutdown", false);
   opts.search.threads_per_rank = opts.threads;
   opts.search.result_batch = opts.batch;
+
+  opts.search.schedule.schedule =
+      core::schedule_from_string(config.get_string("schedule", "lbe_static"));
+  opts.search.schedule.steal_threshold =
+      config.get_double("steal_threshold", 1.2);
+  opts.search.schedule.calibration_queries =
+      get_u32(config, "calibration_queries", 16);
 
   opts.write_report = config.get_bool("report", true);
   opts.verify_baseline = config.get_bool("verify", false);
@@ -343,6 +353,19 @@ Open-search options:
   --ptm_fraction F     synthetic spectra only: fraction of queries carrying
                        an unannounced PTM-like mass shift   (default 0)
 
+Scheduling options (search):
+  --schedule NAME      lbe_static|calibrated|stealing      (default lbe_static)
+                       lbe_static: the paper's fixed placement. calibrated:
+                       probe a few queries, refit the cost model to observed
+                       per-rank speeds, re-partition with matching weights.
+                       stealing: static placement plus runtime rebalancing —
+                       idle ranks claim query batches from the most-loaded
+                       rank's unstarted tail; psms.tsv stays byte-identical
+                       to lbe_static on every backend (CI proves it)
+  --steal_threshold F  steal only from a rank whose backlog is at least F x
+                       the mean remaining load                (default 1.2)
+  --calibration_queries N  probe size for --schedule calibrated (default 16)
+
 Serving options:
   --socket PATH        serve/query: Unix-domain socket path (required)
   --queue_depth N      serve: bounded request-queue depth   (default 64)
@@ -356,6 +379,7 @@ Examples:
   lbectl search --plan run1/plan.lbe --queries spectra.ms2 --out run1
   lbectl search --plan run1/plan.lbe --index run1 --out run1
   lbectl search --plan run1/plan.lbe --index run1 --backend process
+  lbectl search --ranks 8 --schedule stealing --steal-threshold 1.5
   lbectl serve --plan run1/plan.lbe --index run1 --socket /tmp/lbe.sock
   lbectl query --plan run1/plan.lbe --socket /tmp/lbe.sock --out client
   lbectl stats --policy chunk --ranks 16

@@ -15,9 +15,11 @@
 #include "digest/digestor.hpp"
 #include "digest/enzyme.hpp"
 #include "app/rank_programs.hpp"
+#include "core/scheduling.hpp"
 #include "index/posting_codec.hpp"
 #include "io/fasta.hpp"
 #include "io/ms2.hpp"
+#include "search/load_model.hpp"
 #include "search/report.hpp"
 #include "search/wire.hpp"
 #include "simmpi/process.hpp"
@@ -402,17 +404,80 @@ namespace {
 /// one at a time (prepare's streaming idiom), so staging's peak memory is
 /// one partial index; the saved arrays are the built ones, so results are
 /// identical to an in-memory cold build.
-std::string stage_process_bundle(const PlanBundle& plan,
+std::string stage_process_bundle(const core::LbePlan& plan,
                                  const AppOptions& opts) {
   const std::string dir = opts.out_dir + "/rank-bundle";
   std::filesystem::create_directories(dir);
-  for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
-    const index::ChunkedIndex partial(plan.plan->build_rank_store(rank),
-                                      plan.plan->mods(), opts.search.index,
+  for (int rank = 0; rank < plan.ranks(); ++rank) {
+    const index::ChunkedIndex partial(plan.build_rank_store(rank),
+                                      plan.mods(), opts.search.index,
                                       opts.search.chunking);
     partial.save_file(index::bundle_rank_path(dir, rank));
   }
   return dir;
+}
+
+/// `--schedule calibrated`: run a short *static* probe over the first few
+/// queries on an in-process backend, refit the Eq. 1 cost model to the
+/// observed per-rank speeds (core::calibration_weights), and re-partition
+/// the plan with matching weights. Returns a null plan — keeping the static
+/// placement — when the probe is degenerate (a rank with no time or no
+/// work, e.g. on an unmetered clock) or the fleet is trivial.
+struct CalibrationOutcome {
+  std::unique_ptr<core::LbePlan> plan;
+  std::vector<double> weights;
+  double probe_seconds = 0.0;
+};
+
+CalibrationOutcome calibrate_plan(const core::LbePlan& plan,
+                                  const QueryBundle& queries,
+                                  const AppOptions& opts,
+                                  const index::IndexBundle* warm) {
+  CalibrationOutcome out;
+  const auto probe_n = std::min<std::size_t>(
+      opts.search.schedule.calibration_queries, queries.spectra.size());
+  if (probe_n == 0 || plan.ranks() < 2) return out;
+
+  Stopwatch timer;
+  const std::vector<chem::Spectrum> probe_queries(
+      queries.spectra.begin(),
+      queries.spectra.begin() + static_cast<std::ptrdiff_t>(probe_n));
+  search::DistributedParams params = opts.search;
+  params.schedule = core::ScheduleParams{};  // the probe itself runs static
+  params.prep_seconds = 0.0;
+  if (warm != nullptr) params.preloaded = &warm->per_rank;
+
+  mpi::ClusterOptions cluster_options;
+  cluster_options.ranks = plan.ranks();
+  // Probe on the matching in-process engine. The process backend probes via
+  // kThreads: forking a fleet to time a handful of queries would cost more
+  // than it measures, and real thread timing is what its workers see too.
+  cluster_options.engine = opts.backend == "virtual" ? mpi::Engine::kVirtual
+                                                     : mpi::Engine::kThreads;
+  mpi::Cluster cluster(cluster_options);
+  const search::DistributedReport probe =
+      search::run_distributed_search(cluster, plan, probe_queries, params);
+
+  core::CostFeedback feedback;
+  feedback.rank_seconds = probe.query_phase_seconds();
+  feedback.rank_cost_units.reserve(probe.work.size());
+  for (const auto& work : probe.work) {
+    feedback.rank_cost_units.push_back(
+        static_cast<double>(work.cost_units()));
+  }
+  out.weights = core::calibration_weights(feedback);
+  if (out.weights.empty()) {
+    log::warn("calibration probe was degenerate (a rank observed no time or "
+              "no work); keeping the static placement");
+    out.probe_seconds = timer.seconds();
+    return out;
+  }
+  const auto policy = core::make_policy(core::Schedule::kCalibrated);
+  const core::PartitionParams fitted =
+      policy->plan_params(plan.params().partition, feedback);
+  out.plan = std::make_unique<core::LbePlan>(plan, fitted);
+  out.probe_seconds = timer.seconds();
+  return out;
 }
 
 }  // namespace
@@ -423,6 +488,32 @@ SearchOutcome run_search_pipeline(const PlanBundle& plan,
                                   const index::IndexBundle* warm) {
   search::DistributedParams params = opts.search;
   params.prep_seconds = plan.prep_seconds;
+
+  // `--schedule calibrated`: probe, refit, re-partition. The re-planned
+  // LbePlan shares the original's grouping and global variant id space, so
+  // decoy labels and locate_variant stay valid; only placement (and the
+  // mapping table) changes.
+  const core::LbePlan* lbe = plan.plan.get();
+  SearchOutcome outcome;
+  std::unique_ptr<core::LbePlan> replanned;
+  if (opts.search.schedule.schedule == core::Schedule::kCalibrated) {
+    CalibrationOutcome calibration =
+        calibrate_plan(*plan.plan, queries, opts, warm);
+    outcome.calibration_weights = std::move(calibration.weights);
+    outcome.calibration_seconds = calibration.probe_seconds;
+    // The probe is serial master work before the fleet starts — charge it
+    // like the plan-construction prep it is.
+    params.prep_seconds += calibration.probe_seconds;
+    if (calibration.plan != nullptr) {
+      replanned = std::move(calibration.plan);
+      lbe = replanned.get();
+      if (warm != nullptr && !(warm->mapping == lbe->mapping())) {
+        log::warn("calibrated re-plan changed the rank assignment; the warm "
+                  "index bundle no longer matches and will be ignored");
+        warm = nullptr;
+      }
+    }
+  }
   if (warm != nullptr) params.preloaded = &warm->per_rank;
 
   std::unique_ptr<mpi::Transport> transport;
@@ -439,11 +530,11 @@ SearchOutcome run_search_pipeline(const PlanBundle& plan,
     if (warm != nullptr && !opts.index_dir.empty()) {
       bundle_dir = opts.index_dir;
     } else {
-      bundle_dir = stage_process_bundle(plan, opts);
-      staged.reserve(static_cast<std::size_t>(plan.plan->ranks()));
-      for (int rank = 0; rank < plan.plan->ranks(); ++rank) {
+      bundle_dir = stage_process_bundle(*lbe, opts);
+      staged.reserve(static_cast<std::size_t>(lbe->ranks()));
+      for (int rank = 0; rank < lbe->ranks(); ++rank) {
         staged.push_back(index::ChunkedIndex::map_file(
-            index::bundle_rank_path(bundle_dir, rank), plan.plan->mods(),
+            index::bundle_rank_path(bundle_dir, rank), lbe->mods(),
             opts.search.index));
       }
       params.preloaded = &staged;
@@ -455,37 +546,37 @@ SearchOutcome run_search_pipeline(const PlanBundle& plan,
     // same decode kernels even if dispatch defaults ever diverge.
     setup.simd_level =
         index::codec::simd_level_name(index::codec::resolved_simd_level());
-    setup.mods = plan.plan->mods();
+    setup.mods = lbe->mods();
     setup.index_params = opts.search.index;
     setup.search = opts.search.search;
     setup.result_batch = opts.search.result_batch;
     setup.threads_per_rank = opts.search.threads_per_rank;
+    setup.schedule = opts.search.schedule;
     setup.queries = queries.spectra;
 
     mpi::ProcessTransportOptions process_options;
-    process_options.ranks = plan.plan->ranks();
+    process_options.ranks = lbe->ranks();
     process_options.program = kSearchRankProgram;
     process_options.setup = search::wire::encode_search_setup(setup);
     transport =
         std::make_unique<mpi::ProcessTransport>(std::move(process_options));
   } else {
     mpi::ClusterOptions cluster_options;
-    cluster_options.ranks = plan.plan->ranks();
+    cluster_options.ranks = lbe->ranks();
     cluster_options.engine = opts.backend == "threads"
                                  ? mpi::Engine::kThreads
                                  : mpi::Engine::kVirtual;
     transport = std::make_unique<mpi::Cluster>(cluster_options);
   }
 
-  SearchOutcome outcome;
-  outcome.report = search::run_distributed_search(*transport, *plan.plan,
+  outcome.report = search::run_distributed_search(*transport, *lbe,
                                                   queries.spectra, params);
   outcome.comm = transport->reports();
 
   for (const auto& result : outcome.report.results) {
     if (result.top.empty()) continue;
     ++outcome.queries_with_results;
-    const auto location = plan.plan->locate_variant(result.top[0].peptide);
+    const auto location = lbe->locate_variant(result.top[0].peptide);
     outcome.fdr_inputs.push_back(search::FdrInput{
         result.top[0].score, plan.decoy_bases[location.base_id]});
   }
@@ -531,15 +622,40 @@ void write_reports(const std::string& out_dir, const PlanBundle& plan,
     // backends, where ranks share one address space).
     // spans_*/blocks_pruned/candidates_scored expose block-max pruning per
     // rank (index/query_work.hpp); work_units deliberately excludes them.
+    // The scheduling columns: batches_executed/stolen per *executing* rank,
+    // and — when the schedule consumed cost predictions — the summed
+    // predicted cost plus the relative-error summary of the Eq. 1 model per
+    // *index* rank (|predicted - observed| / observed over that rank's
+    // partial index; all 0 under lbe_static, where no model is built).
     CsvWriter csv(out, {"rank", "entries", "index_bytes", "build_seconds",
                         "query_seconds", "work_units", "spans_walked",
                         "spans_pruned", "blocks_pruned", "candidates_scored",
-                        "comm_messages", "comm_bytes", "peak_rss_bytes"});
+                        "comm_messages", "comm_bytes", "peak_rss_bytes",
+                        "batches_executed", "batches_stolen",
+                        "predicted_cost", "pred_rel_err_mean",
+                        "pred_rel_err_p95"});
     const auto& report = outcome.report;
-    for (std::size_t rank = 0; rank < report.times.size(); ++rank) {
+
+    // Per-index-rank fit of predicted vs observed (postings touched is what
+    // the model predicts; see search/load_model.hpp).
+    const std::size_t ranks = report.times.size();
+    std::vector<std::vector<double>> predicted(ranks);
+    std::vector<std::vector<double>> observed(ranks);
+    for (const auto& record : report.query_costs) {
+      const auto slot = static_cast<std::size_t>(record.index_rank);
+      predicted[slot].push_back(record.predicted);
+      observed[slot].push_back(
+          static_cast<double>(record.work.postings_touched));
+    }
+
+    for (std::size_t rank = 0; rank < ranks; ++rank) {
       const mpi::RankReport comm = rank < outcome.comm.size()
                                        ? outcome.comm[rank]
                                        : mpi::RankReport{};
+      const search::CostModelFit fit =
+          search::fit_cost_model(predicted[rank], observed[rank]);
+      double predicted_total = 0.0;
+      for (const double value : predicted[rank]) predicted_total += value;
       csv.row({CsvWriter::field(static_cast<std::uint64_t>(rank)),
                CsvWriter::field(report.index_entries[rank]),
                CsvWriter::field(report.index_bytes[rank]),
@@ -552,7 +668,32 @@ void write_reports(const std::string& out_dir, const PlanBundle& plan,
                CsvWriter::field(report.work[rank].candidates_scored),
                CsvWriter::field(comm.messages_sent),
                CsvWriter::field(comm.bytes_sent),
-               CsvWriter::field(comm.peak_rss_bytes)});
+               CsvWriter::field(comm.peak_rss_bytes),
+               CsvWriter::field(report.batches_executed[rank]),
+               CsvWriter::field(report.batches_stolen[rank]),
+               CsvWriter::field(predicted_total),
+               CsvWriter::field(fit.samples == 0 ? 0.0 : fit.mean_rel_error),
+               CsvWriter::field(fit.samples == 0 ? 0.0 : fit.p95_rel_error)});
+    }
+  }
+
+  // Per-query predicted vs observed cost, one row per (index rank, query) —
+  // only written when the schedule actually built the cost model.
+  if (!outcome.report.query_costs.empty()) {
+    std::ofstream out(out_dir + "/query_costs.csv");
+    if (!out) throw IoError("cannot write " + out_dir + "/query_costs.csv");
+    CsvWriter csv(out, {"index_rank", "query_id", "executed_by",
+                        "predicted_cost", "observed_postings",
+                        "observed_work_units"});
+    for (const auto& record : outcome.report.query_costs) {
+      csv.row({CsvWriter::field(static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(record.index_rank))),
+               CsvWriter::field(static_cast<std::uint64_t>(record.query_id)),
+               CsvWriter::field(static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(record.executed_by))),
+               CsvWriter::field(record.predicted),
+               CsvWriter::field(record.work.postings_touched),
+               CsvWriter::field(record.work.cost_units())});
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/scheduling.hpp"
 #include "io/fasta.hpp"
 
 namespace lbe::core {
@@ -14,7 +15,6 @@ LbePlan::LbePlan(std::vector<std::string> base_peptides,
                  const LbeParams& params)
     : mods_(&mods), variant_params_(variant_params), params_(params) {
   grouping_ = group_peptides(std::move(base_peptides), params_.grouping);
-  base_plan_ = partition(grouping_.group_sizes, params_.partition);
 
   // Global variant enumeration: prefix sums over per-base variant counts.
   const std::size_t n = grouping_.sequences.size();
@@ -28,6 +28,31 @@ LbePlan::LbePlan(std::vector<std::string> base_peptides,
   LBE_CHECK(total_variants_ < kInvalidPeptideId,
             "variant count exceeds 32-bit id space; shrink the database or "
             "tighten VariantParams");
+
+  apply_partition();
+}
+
+LbePlan::LbePlan(const LbePlan& other, const PartitionParams& partition)
+    : mods_(other.mods_),
+      variant_params_(other.variant_params_),
+      params_(other.params_),
+      grouping_(other.grouping_),
+      variant_offsets_(other.variant_offsets_),
+      total_variants_(other.total_variants_) {
+  // Grouping and the global variant id space are placement-independent, so
+  // only the partition (and the mapping derived from it) is recomputed.
+  params_.partition = partition;
+  apply_partition();
+}
+
+void LbePlan::apply_partition() {
+  base_plan_ = partition(grouping_.group_sizes, params_.partition);
+  // The partition-invariant oracle (core/scheduling.hpp): every base placed
+  // exactly once, in range, no rank starved. O(N) against a plan the whole
+  // pipeline is about to trust — cheap insurance for every policy.
+  check_partition(base_plan_, grouping_.sequences.size(),
+                  grouping_.group_sizes.size(),
+                  policy_name(params_.partition.policy));
 
   // Mapping table: rank m's local variant l -> global variant id. Local
   // order = rank's bases ascending, then variant ordinal — the exact order

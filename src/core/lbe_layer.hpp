@@ -40,6 +40,14 @@ class LbePlan {
           const digest::VariantParams& variant_params,
           const LbeParams& params);
 
+  /// Re-partitions an existing plan under new partition parameters — the
+  /// calibrated schedule's re-plan step. Grouping, variant enumeration and
+  /// global variant ids are copied unchanged (they depend only on grouping,
+  /// not placement), so locate_variant/variant_peptide and any decoy labels
+  /// derived from the original plan stay valid; only the per-rank base
+  /// assignment and the mapping table are recomputed.
+  LbePlan(const LbePlan& other, const PartitionParams& partition);
+
   const GroupingResult& grouping() const noexcept { return grouping_; }
   const PartitionPlan& base_partition() const noexcept { return base_plan_; }
   const index::MappingTable& mapping() const noexcept { return mapping_; }
@@ -80,6 +88,10 @@ class LbePlan {
   index::PeptideStore build_global_store() const;
 
  private:
+  /// Partition + oracle + mapping-table rebuild over the (already set)
+  /// grouping and variant offsets; shared by both constructors.
+  void apply_partition();
+
   const chem::ModificationSet* mods_;
   digest::VariantParams variant_params_;
   LbeParams params_;

@@ -425,4 +425,15 @@ std::vector<std::uint64_t> ChunkedIndex::bin_occupancy() const {
   return total;
 }
 
+const std::vector<std::uint64_t>& ChunkedIndex::occupancy_prefix() const {
+  std::call_once(occupancy_once_, [&] {
+    const auto occupancy = bin_occupancy();
+    occupancy_prefix_.assign(occupancy.size() + 1, 0);
+    for (std::size_t b = 0; b < occupancy.size(); ++b) {
+      occupancy_prefix_[b + 1] = occupancy_prefix_[b] + occupancy[b];
+    }
+  });
+  return occupancy_prefix_;
+}
+
 }  // namespace lbe::index

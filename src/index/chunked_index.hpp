@@ -102,6 +102,14 @@ class ChunkedIndex {
   /// database can overflow 32 bits once summed. Forces materialization.
   std::vector<std::uint64_t> bin_occupancy() const;
 
+  /// bin_occupancy() prefix-summed (size bins+1), cached after the first
+  /// call — the cost model's O(1)-per-span lookup table. Under work
+  /// stealing a thief building a cost model against a victim's shared
+  /// index reuses the owner's build-phase computation instead of
+  /// re-walking every chunk mid-query-phase. Thread-safe; forces
+  /// materialization on a mapped index (on the first call only).
+  const std::vector<std::uint64_t>& occupancy_prefix() const;
+
   const IndexParams& index_params() const noexcept { return index_params_; }
 
   /// On-disk format (the paper's §II-B disk-resident chunks): store columns
@@ -160,6 +168,8 @@ class ChunkedIndex {
   /// chunk, or null while a mapped chunk is still cold.
   mutable std::vector<std::atomic<const SlmIndex*>> live_;
   mutable std::mutex materialize_mutex_;
+  mutable std::once_flag occupancy_once_;
+  mutable std::vector<std::uint64_t> occupancy_prefix_;
   std::shared_ptr<const bin::MmapFile> mapping_;
   // Backs the no-arena convenience overload only (shared across chunks so
   // a chunked index pays for one scorecard, not one per chunk).

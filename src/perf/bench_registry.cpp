@@ -77,6 +77,7 @@ void register_all_benches() {
     register_serve_benches(registry);
     register_mpi_backend_benches(registry);
     register_open_benches(registry);
+    register_schedule_benches(registry);
     register_figure_benches(registry);
     register_ablation_benches(registry);
     return true;

@@ -96,6 +96,7 @@ void register_index_io_benches(BenchRegistry& registry);
 void register_serve_benches(BenchRegistry& registry);
 void register_mpi_backend_benches(BenchRegistry& registry);
 void register_open_benches(BenchRegistry& registry);
+void register_schedule_benches(BenchRegistry& registry);
 
 struct BenchRunOptions {
   std::string suite = "smoke";

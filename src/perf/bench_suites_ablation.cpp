@@ -2,6 +2,7 @@
 // communication cost models, grouping parameters, heterogeneous clusters.
 #include <map>
 
+#include "core/scheduling.hpp"
 #include "perf/bench_common.hpp"
 #include "perf/bench_registry.hpp"
 #include "search/load_model.hpp"
@@ -180,16 +181,21 @@ void ablation_grouping(BenchContext& ctx) {
 }
 
 // Heterogeneous clusters and the load-prediction model (§VIII future
-// work): 8 ranks, half 3x slower. Weighted partitioning with weights =
-// 1/slowdown restores balance; predicted per-rank cost tracks measured
+// work): 8 ranks, half 3x slower. The calibrated policy refits per-rank
+// speeds from the uniform run's own observations (CostFeedback ->
+// plan_params, the same hooks `lbectl search --schedule calibrated` uses)
+// and its weighted re-plan restores balance; work stealing attacks the
+// same skew at runtime instead; predicted per-rank cost tracks measured
 // work units.
 void ablation_heterogeneous(BenchContext& ctx) {
   using namespace lbe;
   Figure fig(
       "Ablation: heterogeneous",
-      "weighted partitioning + load prediction on a heterogeneous cluster",
-      "weights = 1/slowdown rebalances a heterogeneous cluster; predicted "
-      "per-rank load tracks measured work",
+      "calibrated re-plan, work stealing + load prediction on a "
+      "heterogeneous cluster",
+      "probe-fitted weights rebalance a heterogeneous cluster offline, "
+      "stealing rebalances it at runtime; predicted per-rank load tracks "
+      "measured work",
       {"config", "metric", "value"});
 
   constexpr std::uint64_t kEntries = 120000;
@@ -201,20 +207,25 @@ void ablation_heterogeneous(BenchContext& ctx) {
   const std::vector<double> slowdown = {1.0, 1.0, 1.0, 1.0,
                                         3.0, 3.0, 3.0, 3.0};
 
+  core::PartitionParams base_partition;
+  base_partition.policy = core::Policy::kCyclic;
+  base_partition.ranks = kRanks;
+
   struct HeteroRun {
     search::DistributedReport report;      ///< first repeat (counters)
     std::vector<double> query_seconds;     ///< per-rank min over repeats
     double wall = 0.0;
   };
   // Best-of-3 per rank: single-core timing noise is strictly additive.
-  auto run_with = [&](core::Policy policy,
-                      const std::vector<double>& weights) {
+  auto run_with = [&](const core::PartitionParams& partition,
+                      core::Schedule schedule, std::uint32_t batch) {
     core::LbeParams lbe;
-    lbe.partition.policy = policy;
-    lbe.partition.ranks = kRanks;
-    lbe.partition.weights = weights;
+    lbe.partition = partition;
     const core::LbePlan plan(workload.base_peptides, workload.mods,
                              workload.variant_params, lbe);
+    search::DistributedParams run_params = params;
+    run_params.result_batch = batch;
+    run_params.schedule.schedule = schedule;
     HeteroRun out;
     for (int rep = 0; rep < 3; ++rep) {
       mpi::ClusterOptions options;
@@ -223,8 +234,8 @@ void ablation_heterogeneous(BenchContext& ctx) {
       options.measured_time = true;
       options.slowdown = slowdown;
       mpi::Cluster cluster(options);
-      auto report = search::run_distributed_search(cluster, plan,
-                                                   workload.queries, params);
+      auto report = search::run_distributed_search(
+          cluster, plan, workload.queries, run_params);
       const auto seconds = report.query_phase_seconds();
       if (rep == 0) {
         out.query_seconds = seconds;
@@ -240,28 +251,55 @@ void ablation_heterogeneous(BenchContext& ctx) {
   };
 
   // Uniform cyclic on heterogeneous hardware.
-  const auto uniform = run_with(core::Policy::kCyclic, {});
+  const auto uniform = run_with(base_partition, core::Schedule::kLbeStatic,
+                                params.result_batch);
   const double uniform_li = load_imbalance(uniform.query_seconds);
   const double uniform_wall = uniform.wall;
 
-  // Weighted by inverse slowdown.
-  std::vector<double> weights;
-  for (const double s : slowdown) weights.push_back(1.0 / s);
-  const auto weighted = run_with(core::Policy::kWeighted, weights);
+  // Calibrated re-plan through the policy hooks: the uniform run doubles as
+  // the probe, its observed per-rank seconds + deterministic work units are
+  // the CostFeedback, and CalibratedPolicy fits the speed weights — the
+  // bench no longer hand-codes 1/slowdown anywhere.
+  core::CostFeedback feedback;
+  feedback.rank_seconds = uniform.query_seconds;
+  feedback.rank_cost_units = work_unit_loads(uniform.report.work);
+  const core::PartitionParams fitted =
+      core::make_policy(core::Schedule::kCalibrated)
+          ->plan_params(base_partition, feedback);
+  const auto weighted = run_with(fitted, core::Schedule::kLbeStatic,
+                                 params.result_batch);
   const double weighted_li = load_imbalance(weighted.query_seconds);
   const double weighted_wall = weighted.wall;
 
+  // Runtime rebalancing on the unchanged static plan: static vs stealing
+  // side by side, small result batches so the steal ledger has granularity
+  // to move (the schedule suite owns the strict 1.2x makespan gate).
+  const auto static_sched =
+      run_with(base_partition, core::Schedule::kLbeStatic, 8);
+  const auto stealing_sched =
+      run_with(base_partition, core::Schedule::kStealing, 8);
+  std::uint64_t stolen = 0;
+  for (const auto batches : stealing_sched.report.batches_stolen) {
+    stolen += batches;
+  }
+
   fig.row({"uniform_cyclic", "time_li_pct", bench::fmt(100.0 * uniform_li)});
-  fig.row({"weighted", "time_li_pct", bench::fmt(100.0 * weighted_li)});
+  fig.row({"calibrated", "time_li_pct", bench::fmt(100.0 * weighted_li)});
   fig.row({"uniform_cyclic", "query_wall_s", bench::fmt(uniform_wall)});
-  fig.row({"weighted", "query_wall_s", bench::fmt(weighted_wall)});
+  fig.row({"calibrated", "query_wall_s", bench::fmt(weighted_wall)});
+  fig.row({"static_batch8", "query_wall_s", bench::fmt(static_sched.wall)});
+  fig.row({"stealing_batch8", "query_wall_s",
+           bench::fmt(stealing_sched.wall)});
+  fig.row({"stealing_batch8", "batches_stolen", bench::fmt(stolen)});
   for (int rank = 0; rank < kRanks; ++rank) {
     const auto r = static_cast<std::size_t>(rank);
     fig.row({"uniform_rank" + std::to_string(rank), "query_s",
              bench::fmt(uniform.query_seconds[r])});
-    fig.row({"weighted_rank" + std::to_string(rank), "query_s",
+    fig.row({"calibrated_rank" + std::to_string(rank), "query_s",
              bench::fmt(weighted.query_seconds[r])});
-    fig.row({"weighted_rank" + std::to_string(rank), "entries",
+    fig.row({"calibrated_rank" + std::to_string(rank), "weight",
+             bench::fmt(fitted.weights.empty() ? 0.0 : fitted.weights[r])});
+    fig.row({"calibrated_rank" + std::to_string(rank), "entries",
              bench::fmt(weighted.report.index_entries[r])});
   }
 
@@ -307,15 +345,24 @@ void ablation_heterogeneous(BenchContext& ctx) {
   // down; at this scale we demand a halving plus a meaningful makespan cut.
   fig.check("uniform cyclic is imbalanced on heterogeneous ranks (LI > 40%)",
             uniform_li > 0.40);
-  fig.check("weighted partitioning at least halves the LI",
+  fig.check("calibration fits weighted params from the probe",
+            fitted.policy == core::Policy::kWeighted &&
+                fitted.weights.size() == kRanks);
+  fig.check("calibrated re-plan at least halves the LI",
             weighted_li < 0.5 * uniform_li);
-  fig.check("weighted LI below 30%", weighted_li < 0.30);
-  fig.check("weighted cuts the query makespan by > 15%",
+  fig.check("calibrated LI below 30%", weighted_li < 0.30);
+  fig.check("calibrated re-plan cuts the query makespan by > 15%",
             weighted_wall < 0.85 * uniform_wall);
+  fig.check("stealing beats the static schedule on the same plan",
+            stealing_sched.wall < static_sched.wall);
+  fig.check("stealing migrates batches on the heterogeneous cluster",
+            stolen > 0);
   fig.finish();
   ctx.absorb_checks(fig);
   ctx.result.add_metric("uniform_li", uniform_li);
-  ctx.result.add_metric("weighted_li", weighted_li);
+  ctx.result.add_metric("calibrated_li", weighted_li);
+  ctx.result.add_metric("stealing_speedup",
+                        static_sched.wall / stealing_sched.wall);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/lbe_layer.hpp"
+#include "core/scheduling.hpp"
 #include "index/chunked_index.hpp"
 #include "search/query_engine.hpp"
 #include "simmpi/cluster.hpp"
@@ -50,7 +51,20 @@ struct DistributedParams {
   /// the pointees must outlive the search. Results are identical to a cold
   /// build: the serialized transformed arrays are the built ones.
   const std::vector<std::unique_ptr<index::ChunkedIndex>>* preloaded = nullptr;
+  /// Scheduling policy (core/scheduling.hpp). kLbeStatic reproduces the
+  /// fixed owner-computes protocol bit for bit; kStealing keeps static
+  /// placement but lets idle ranks claim query batches from the most-loaded
+  /// rank's unstarted tail; kCalibrated only changes the *plan* (the caller
+  /// re-partitions before invoking this), so the runtime treats it like
+  /// static placement plus cost-record collection.
+  core::ScheduleParams schedule;
 };
+
+/// Whether the steal-request/steal-grant protocol is live for a run. Both
+/// sides of a process boundary must agree, so it is a pure function of data
+/// both sides have: master passes plan.ranks(), a worker comm.size().
+bool steal_protocol_active(const core::ScheduleParams& schedule, int ranks,
+                           std::size_t num_queries);
 
 /// A PSM with master-side (global) peptide identity.
 struct GlobalPsm {
@@ -83,6 +97,18 @@ struct PhaseTimes {
   double query_seconds() const { return query_done - query_start; }
 };
 
+/// One query's predicted vs observed cost against one rank's partial index.
+/// Collected master-side (from result-batch payloads) whenever the schedule
+/// consumes predictions; sorted by (index_rank, query_id) so the record
+/// stream is executor- and arrival-order-independent.
+struct QueryCostRecord {
+  std::uint32_t query_id = 0;
+  RankId index_rank = -1;   ///< whose partial index the query ran against
+  RankId executed_by = -1;  ///< who searched it (differs when stolen)
+  double predicted = 0.0;   ///< Eq. 1 cost-model prediction
+  index::QueryWork work;    ///< observed counters for this query alone
+};
+
 struct DistributedReport {
   std::vector<PhaseTimes> times;           ///< per rank
   std::vector<index::QueryWork> work;      ///< per rank, deterministic
@@ -91,6 +117,13 @@ struct DistributedReport {
   std::uint64_t mapping_bytes = 0;         ///< master-side mapping table
   std::vector<GlobalQueryResult> results;  ///< final, at master
   double makespan = 0.0;                   ///< max rank finish time
+  /// Per-rank result batches searched / stolen (empty counters under
+  /// lbe_static where no rank can execute foreign work).
+  std::vector<std::uint64_t> batches_executed;
+  std::vector<std::uint64_t> batches_stolen;
+  /// Predicted-vs-observed per query; empty under lbe_static (the cost
+  /// model is never built there, keeping mapped indexes lazy).
+  std::vector<QueryCostRecord> query_costs;
 
   /// Query-phase compute times, the series Fig. 6's LI is computed from.
   std::vector<double> query_phase_seconds() const;
@@ -114,6 +147,14 @@ struct WorkerSearchConfig {
   SearchParams search;
   std::uint32_t result_batch = 256;
   std::uint32_t threads_per_rank = 1;
+  /// Run the steal-request/steal-grant loop instead of the fixed batch
+  /// schedule. Must equal steal_protocol_active(...) on the master, or the
+  /// two sides deadlock waiting for messages the other never sends.
+  bool stealing = false;
+  /// Build the per-index QueryCostModel and ship per-query predictions in
+  /// result batches. Off under lbe_static: building the model materializes
+  /// mapped index chunks, defeating lazy warm starts.
+  bool cost_model = false;
 };
 
 /// A worker rank's partial index: `view` is always valid; `owned` keeps a

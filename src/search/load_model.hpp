@@ -14,8 +14,16 @@
 // lower-order approximation of total cost (it ignores the per-candidate
 // term), so its correlation with measured work is high but deliberately
 // not 1.0.
+//
+// QueryCostModel is the per-index form the scheduling layer uses: build the
+// occupancy prefix sums once, then predict per query — the per-query
+// predicted-vs-observed records metrics.csv reports come from it. NOTE:
+// constructing one against a mapped (lazy) index materializes every chunk
+// (ChunkedIndex::bin_occupancy), so the runtime only builds it when a
+// schedule actually consumes predictions.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "chem/spectrum.hpp"
@@ -23,6 +31,28 @@
 #include "search/preprocess.hpp"
 
 namespace lbe::search {
+
+class QueryCostModel {
+ public:
+  /// Borrows `index`'s cached occupancy prefix (ChunkedIndex computes it
+  /// once, typically during the build phase); the index must outlive the
+  /// model. Borrowing instead of snapshotting is what makes a thief's
+  /// foreign-index cost model O(1) to construct mid-query-phase.
+  QueryCostModel(const index::ChunkedIndex& index,
+                 const index::QueryParams& filter,
+                 const PreprocessParams& preprocess);
+
+  /// Predicted postings traffic for one *raw* query spectrum
+  /// (preprocessing applied internally, same as the engine).
+  double predict(const chem::Spectrum& raw) const;
+
+ private:
+  index::Binning binning_;
+  /// The index's occupancy prefix sums, size bins+1 (not owned).
+  const std::vector<std::uint64_t>* prefix_ = nullptr;
+  index::MzBin tol_bins_ = 0;
+  PreprocessParams preprocess_;
+};
 
 /// Predicted postings traffic for searching `queries` against `index`
 /// (preprocessing applied, tolerance window from `filter`).
@@ -35,5 +65,20 @@ double predict_query_cost(const index::ChunkedIndex& index,
 /// Returns 0 when either vector is degenerate (zero variance).
 double prediction_correlation(const std::vector<double>& predicted,
                               const std::vector<double>& measured);
+
+/// Least-squares refit of the Eq. 1 cost model against observation:
+/// observed ≈ slope * predicted + intercept, plus the relative-error
+/// summary metrics.csv reports (|predicted - observed| / observed over
+/// samples with observed > 0).
+struct CostModelFit {
+  double slope = 1.0;
+  double intercept = 0.0;
+  double mean_rel_error = 0.0;
+  double p95_rel_error = 0.0;
+  std::size_t samples = 0;
+};
+
+CostModelFit fit_cost_model(const std::vector<double>& predicted,
+                            const std::vector<double>& observed);
 
 }  // namespace lbe::search

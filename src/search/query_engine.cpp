@@ -119,13 +119,25 @@ std::vector<QueryResult> QueryEngine::search_all(
 void QueryEngine::search_range(const std::vector<chem::Spectrum>& raw_queries,
                                std::size_t lo, std::size_t hi,
                                std::vector<QueryResult>& results,
-                               index::QueryWork& work, ThreadPool* pool) const {
+                               index::QueryWork& work, ThreadPool* pool,
+                               std::vector<index::QueryWork>* per_query) const {
   LBE_CHECK(lo <= hi && hi <= raw_queries.size(), "bad query range");
   LBE_CHECK(results.size() >= hi, "result buffer too small for range");
+  LBE_CHECK(per_query == nullptr || per_query->size() >= hi,
+            "per-query work buffer too small for range");
   if (pool == nullptr || pool->size() == 1 || hi - lo < 2) {
+    if (per_query == nullptr) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        results[i] =
+            search(raw_queries[i], static_cast<std::uint32_t>(i), work);
+      }
+      return;
+    }
     for (std::size_t i = lo; i < hi; ++i) {
-      results[i] =
-          search(raw_queries[i], static_cast<std::uint32_t>(i), work);
+      (*per_query)[i] = index::QueryWork{};
+      results[i] = search(raw_queries[i], static_cast<std::uint32_t>(i),
+                          (*per_query)[i]);
+      work += (*per_query)[i];
     }
     return;
   }
@@ -133,15 +145,23 @@ void QueryEngine::search_range(const std::vector<chem::Spectrum>& raw_queries,
   // Hybrid mode: split the range over the pool. Every block runs the whole
   // per-query pipeline — preprocessing, filtration, scoring — against its
   // private arena; the shared index is read-only, so no lock is needed.
-  // Work counters are per-block and merged at the end so totals stay exact.
+  // Work counters are per-block (or per-query) and merged at the end so
+  // totals stay exact.
   std::vector<index::QueryWork> block_work(pool->size());
   std::vector<index::QueryArena> block_arenas(pool->size());
   std::atomic<std::size_t> block_counter{0};
   pool->parallel_for(lo, hi, [&](std::size_t block_lo, std::size_t block_hi) {
     const std::size_t block = block_counter.fetch_add(1);
     for (std::size_t i = block_lo; i < block_hi; ++i) {
-      results[i] = search(raw_queries[i], static_cast<std::uint32_t>(i),
-                          block_work[block], block_arenas[block]);
+      if (per_query != nullptr) {
+        (*per_query)[i] = index::QueryWork{};
+        results[i] = search(raw_queries[i], static_cast<std::uint32_t>(i),
+                            (*per_query)[i], block_arenas[block]);
+        block_work[block] += (*per_query)[i];
+      } else {
+        results[i] = search(raw_queries[i], static_cast<std::uint32_t>(i),
+                            block_work[block], block_arenas[block]);
+      }
     }
   });
   for (const auto& bw : block_work) work += bw;

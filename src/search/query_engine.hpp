@@ -82,10 +82,17 @@ class QueryEngine {
   /// overlap delivery of the previous one. With a pool, each worker gets a
   /// private arena, so preprocessing, filtration and scoring all run in
   /// parallel; results are identical to the serial path.
+  ///
+  /// When `per_query` is non-null it must also span at least `hi` slots;
+  /// slots [lo, hi) are overwritten with each query's own counters (the
+  /// scheduling layer's observed-cost records) while `work` still receives
+  /// the range total — counters are u64 sums, so totals are identical with
+  /// or without the per-query split.
   void search_range(const std::vector<chem::Spectrum>& raw_queries,
                     std::size_t lo, std::size_t hi,
                     std::vector<QueryResult>& results, index::QueryWork& work,
-                    ThreadPool* pool = nullptr) const;
+                    ThreadPool* pool = nullptr,
+                    std::vector<index::QueryWork>* per_query = nullptr) const;
 
   const SearchParams& params() const noexcept { return params_; }
 

@@ -105,6 +105,32 @@ index::IndexParams read_index_params(mpi::ByteReader& reader) {
   return params;
 }
 
+void write_query_work(mpi::ByteWriter& writer, const index::QueryWork& work) {
+  writer.pod(work.peaks_processed);
+  writer.pod(work.bins_visited);
+  writer.pod(work.postings_touched);
+  writer.pod(work.candidates);
+  writer.pod(work.spans_walked);
+  writer.pod(work.spans_pruned);
+  writer.pod(work.blocks_walked);
+  writer.pod(work.blocks_pruned);
+  writer.pod(work.candidates_scored);
+}
+
+index::QueryWork read_query_work(mpi::ByteReader& reader) {
+  index::QueryWork work;
+  work.peaks_processed = reader.pod<std::uint64_t>();
+  work.bins_visited = reader.pod<std::uint64_t>();
+  work.postings_touched = reader.pod<std::uint64_t>();
+  work.candidates = reader.pod<std::uint64_t>();
+  work.spans_walked = reader.pod<std::uint64_t>();
+  work.spans_pruned = reader.pod<std::uint64_t>();
+  work.blocks_walked = reader.pod<std::uint64_t>();
+  work.blocks_pruned = reader.pod<std::uint64_t>();
+  work.candidates_scored = reader.pod<std::uint64_t>();
+  return work;
+}
+
 void write_search_params(mpi::ByteWriter& writer, const SearchParams& params) {
   writer.pod(params.preprocess.top_peaks);
   writer.pod(params.preprocess.min_mz);
@@ -148,6 +174,9 @@ mpi::Bytes encode_search_setup(const SearchSetup& setup) {
   write_search_params(writer, setup.search);
   writer.pod(setup.result_batch);
   writer.pod(setup.threads_per_rank);
+  writer.pod(static_cast<std::uint8_t>(setup.schedule.schedule));
+  writer.pod(setup.schedule.steal_threshold);
+  writer.pod(setup.schedule.calibration_queries);
   writer.pod(static_cast<std::uint64_t>(setup.queries.size()));
   for (const auto& spectrum : setup.queries) write_spectrum(writer, spectrum);
   return bytes;
@@ -163,6 +192,12 @@ SearchSetup decode_search_setup(const mpi::Bytes& payload) {
   setup.search = read_search_params(reader);
   setup.result_batch = reader.pod<std::uint32_t>();
   setup.threads_per_rank = reader.pod<std::uint32_t>();
+  const auto schedule = reader.pod<std::uint8_t>();
+  require(schedule <= static_cast<std::uint8_t>(core::Schedule::kStealing),
+          "malformed setup: unknown schedule");
+  setup.schedule.schedule = static_cast<core::Schedule>(schedule);
+  setup.schedule.steal_threshold = reader.pod<double>();
+  setup.schedule.calibration_queries = reader.pod<std::uint32_t>();
   const auto count = reader.pod<std::uint64_t>();
   require(count <= kMaxWireQueries,
           "malformed setup: implausible query count");
@@ -193,7 +228,62 @@ mpi::Bytes encode_rank_stats(const RankStats& stats) {
   writer.pod(stats.work.candidates_scored);
   writer.pod(stats.index_bytes);
   writer.pod(stats.index_entries);
+  writer.pod(stats.batches_executed);
+  writer.pod(stats.batches_stolen);
   return bytes;
+}
+
+mpi::Bytes encode_steal_request(const StealRequest& request) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(request.batches_executed);
+  return bytes;
+}
+
+StealRequest decode_steal_request(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  StealRequest request;
+  request.batches_executed = reader.pod<std::uint64_t>();
+  require(reader.exhausted(), "malformed steal request: trailing bytes");
+  return request;
+}
+
+mpi::Bytes encode_steal_grant(const StealGrant& grant) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(grant.done);
+  writer.pod(grant.index_rank);
+  writer.pod(grant.query_lo);
+  writer.pod(grant.query_hi);
+  return bytes;
+}
+
+StealGrant decode_steal_grant(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  StealGrant grant;
+  grant.done = reader.pod<bool>();
+  grant.index_rank = reader.pod<std::int32_t>();
+  grant.query_lo = reader.pod<std::uint64_t>();
+  grant.query_hi = reader.pod<std::uint64_t>();
+  require(reader.exhausted(), "malformed steal grant: trailing bytes");
+  require(grant.done || (grant.index_rank >= 0 && grant.query_lo < grant.query_hi),
+          "malformed steal grant: empty batch");
+  return grant;
+}
+
+mpi::Bytes encode_steal_tail_cut(const StealTailCut& cut) {
+  mpi::Bytes bytes;
+  mpi::ByteWriter writer(bytes);
+  writer.pod(cut.new_tail);
+  return bytes;
+}
+
+StealTailCut decode_steal_tail_cut(const mpi::Bytes& payload) {
+  mpi::ByteReader reader(payload);
+  StealTailCut cut;
+  cut.new_tail = reader.pod<std::uint64_t>();
+  require(reader.exhausted(), "malformed steal tail cut: trailing bytes");
+  return cut;
 }
 
 RankStats decode_rank_stats(const mpi::Bytes& payload) {
@@ -215,6 +305,8 @@ RankStats decode_rank_stats(const mpi::Bytes& payload) {
   stats.work.candidates_scored = reader.pod<std::uint64_t>();
   stats.index_bytes = reader.pod<std::uint64_t>();
   stats.index_entries = reader.pod<std::uint64_t>();
+  stats.batches_executed = reader.pod<std::uint64_t>();
+  stats.batches_stolen = reader.pod<std::uint64_t>();
   require(reader.exhausted(), "malformed rank stats: trailing bytes");
   return stats;
 }

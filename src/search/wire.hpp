@@ -43,6 +43,12 @@ void write_index_params(mpi::ByteWriter& writer,
                         const index::IndexParams& params);
 index::IndexParams read_index_params(mpi::ByteReader& reader);
 
+/// Per-query observed work counters, field-by-field in declaration order.
+/// Result batches carry one per query so the scheduling layer can refit the
+/// Eq. 1 cost model against what actually ran.
+void write_query_work(mpi::ByteWriter& writer, const index::QueryWork& work);
+index::QueryWork read_query_work(mpi::ByteReader& reader);
+
 void write_search_params(mpi::ByteWriter& writer, const SearchParams& params);
 SearchParams read_search_params(mpi::ByteReader& reader);
 
@@ -58,11 +64,49 @@ struct SearchSetup {
   SearchParams search;
   std::uint32_t result_batch = 256;
   std::uint32_t threads_per_rank = 1;
+  /// Scheduling policy the master runs; workers derive from it whether the
+  /// steal protocol is live and whether to build the per-index cost model.
+  core::ScheduleParams schedule;
   std::vector<chem::Spectrum> queries;
 };
 
 mpi::Bytes encode_search_setup(const SearchSetup& setup);
 SearchSetup decode_search_setup(const mpi::Bytes& payload);
+
+/// Worker -> master (kStealRequestTag): "my queue is empty, give me work".
+/// Carries the requester's progress so the master's ledger never depends on
+/// message-arrival heuristics.
+struct StealRequest {
+  std::uint64_t batches_executed = 0;
+};
+
+mpi::Bytes encode_steal_request(const StealRequest& request);
+StealRequest decode_steal_request(const mpi::Bytes& payload);
+
+/// Master -> worker (kStealGrantTag): either one claimed batch — queries
+/// [query_lo, query_hi) searched against rank `index_rank`'s partial index —
+/// or `done`, releasing the worker to its stats send.
+struct StealGrant {
+  bool done = false;
+  std::int32_t index_rank = -1;
+  std::uint64_t query_lo = 0;
+  std::uint64_t query_hi = 0;
+};
+
+mpi::Bytes encode_steal_grant(const StealGrant& grant);
+StealGrant decode_steal_grant(const mpi::Bytes& payload);
+
+/// Master -> victim (kStealTailTag): "batches >= new_tail of your own queue
+/// have been granted to a thief — stop before them". The victim applies the
+/// cut monotonically (min with what it already saw). Arrival may race the
+/// victim past the cut; the master deduplicates result cells, so a lost
+/// race costs one duplicated batch, never a wrong result.
+struct StealTailCut {
+  std::uint64_t new_tail = 0;
+};
+
+mpi::Bytes encode_steal_tail_cut(const StealTailCut& cut);
+StealTailCut decode_steal_tail_cut(const mpi::Bytes& payload);
 
 /// Per-rank phase/work accounting shipped to the master at the end of a
 /// distributed search (kStatsTag), on every backend, so metrics and reports
@@ -72,6 +116,8 @@ struct RankStats {
   index::QueryWork work;
   std::uint64_t index_bytes = 0;
   std::uint64_t index_entries = 0;
+  std::uint64_t batches_executed = 0;  ///< result batches this rank searched
+  std::uint64_t batches_stolen = 0;    ///< of those, claimed from other ranks
 };
 
 mpi::Bytes encode_rank_stats(const RankStats& stats);

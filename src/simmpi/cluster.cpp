@@ -277,7 +277,21 @@ Bytes Cluster::do_recv(int rank, int src, int tag, RecvInfo* info) {
 bool Cluster::do_probe(int rank, int src, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   meter_locked(rank);
-  const bool found = find_match_locked(rank, src, tag) != kNoMatch;
+  const std::size_t idx = find_match_locked(rank, src, tag);
+  bool found = idx != kNoMatch;
+  // Virtual engine: a message has not *arrived* until the prober's own
+  // clock reaches its availability time. Threads physically interleave out
+  // of virtual order here (a behind-in-vtime rank runs just as often as a
+  // fast one), so without this gate a probe could observe traffic from its
+  // virtual future — e.g. the steal ledger would see every rank's progress
+  // in lockstep and never a backlog. find_match_locked returns the
+  // earliest-available match, so one check covers them all. Blocking recv
+  // stays ungated: it models waiting, and advances the clock to the
+  // message's availability instead.
+  if (found && serialize_) {
+    const auto& r = ranks_[static_cast<std::size_t>(rank)];
+    found = r.mailbox[idx].available_at <= r.vclock;
+  }
   resume_slice_locked(rank);
   return found;
 }
@@ -331,6 +345,24 @@ double Cluster::do_vclock(int rank) {
   meter_locked(rank);
   resume_slice_locked(rank);
   return ranks_[static_cast<std::size_t>(rank)].vclock;
+}
+
+void Cluster::do_yield(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!serialize_) return;
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  meter_locked(rank);
+  // Re-enter the scheduler as an ordinary ready rank: whoever is furthest
+  // behind in virtual time (possibly this rank again) runs next.
+  r.state = State::kReady;
+  schedule_next_locked();
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return aborting_ || r.state == State::kRunning; });
+  if (aborting_) {
+    throw CommError("cluster aborted while rank " + std::to_string(rank) +
+                    " was in yield()");
+  }
+  resume_slice_locked(rank);
 }
 
 void Cluster::do_charge(int rank, double seconds) {

@@ -117,6 +117,7 @@ class Cluster final : public Transport {
     void charge(double seconds) override {
       cluster_->do_charge(rank(), seconds);
     }
+    void yield() override { cluster_->do_yield(rank()); }
 
    protected:
     void send_any(int dest, int tag, Bytes payload) override {
@@ -152,8 +153,6 @@ class Cluster final : public Transport {
   // All private methods below require mutex_ held.
   void meter_locked(int rank);
   void resume_slice_locked(int rank);
-  void yield_token_locked(int rank, State new_state);
-  void wait_for_token_locked(std::unique_lock<std::mutex>& lock, int rank);
   void schedule_next_locked();
   bool matches_locked(const Envelope& env, int src, int tag) const;
   std::size_t find_match_locked(int rank, int src, int tag) const;
@@ -170,6 +169,7 @@ class Cluster final : public Transport {
   void do_barrier(int rank);
   double do_vclock(int rank);
   void do_charge(int rank, double seconds);
+  void do_yield(int rank);
 
   ClusterOptions options_;
   std::vector<RankReport> reports_;

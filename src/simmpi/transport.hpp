@@ -96,6 +96,14 @@ class Comm {
   /// offset on backends whose clock is real time).
   virtual void charge(double seconds) = 0;
 
+  /// Scheduling hint for long compute loops with no blocking calls: on the
+  /// token-serialized virtual engine, re-enters the scheduler so any rank
+  /// that is *behind* in virtual time runs first — without it, a rank that
+  /// never blocks executes arbitrarily far ahead in one slice and protocols
+  /// that read cross-rank progress (e.g. work stealing) see a distorted
+  /// picture. A no-op on every concurrently-executing backend.
+  virtual void yield() {}
+
  protected:
   explicit Comm(int rank) : rank_(rank) {}
 

@@ -1,0 +1,214 @@
+#include "core/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace lbe::core {
+namespace {
+
+std::vector<std::uint32_t> uniform_groups(std::size_t count,
+                                          std::uint32_t size) {
+  return std::vector<std::uint32_t>(count, size);
+}
+
+TEST(ScheduleParsing, RoundTrip) {
+  EXPECT_EQ(schedule_from_string("lbe_static"), Schedule::kLbeStatic);
+  EXPECT_EQ(schedule_from_string("static"), Schedule::kLbeStatic);
+  EXPECT_EQ(schedule_from_string("Calibrated"), Schedule::kCalibrated);
+  EXPECT_EQ(schedule_from_string("STEALING"), Schedule::kStealing);
+  EXPECT_THROW(schedule_from_string("dynamic"), ConfigError);
+  EXPECT_STREQ(schedule_name(Schedule::kLbeStatic), "lbe_static");
+  EXPECT_STREQ(schedule_name(Schedule::kCalibrated), "calibrated");
+  EXPECT_STREQ(schedule_name(Schedule::kStealing), "stealing");
+}
+
+TEST(ScheduleParams, Validation) {
+  ScheduleParams params;
+  params.validate();  // defaults are valid
+  params.steal_threshold = 0.5;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params.steal_threshold = 1.0;
+  params.validate();
+  params.calibration_queries = 0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(PartitionOracle, AcceptsExactPartition) {
+  PartitionPlan plan;
+  plan.per_rank = {{0, 2}, {1, 3}};
+  const PartitionCheck check = assert_is_partition(plan, 4, 4);
+  EXPECT_TRUE(check.ok()) << check.detail;
+}
+
+TEST(PartitionOracle, RejectsDuplicate) {
+  PartitionPlan plan;
+  plan.per_rank = {{0, 1}, {1, 2, 3}};
+  const PartitionCheck check = assert_is_partition(plan, 4, 4);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.unique);
+  EXPECT_NE(check.detail.find("placed twice"), std::string::npos);
+}
+
+TEST(PartitionOracle, RejectsMissing) {
+  PartitionPlan plan;
+  plan.per_rank = {{0}, {2, 3}};
+  const PartitionCheck check = assert_is_partition(plan, 4, 4);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.covered);
+}
+
+TEST(PartitionOracle, RejectsOutOfRange) {
+  PartitionPlan plan;
+  plan.per_rank = {{0, 1}, {2, 7}};
+  const PartitionCheck check = assert_is_partition(plan, 4, 4);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.in_range);
+}
+
+TEST(PartitionOracle, RejectsEmptyRankAtSaneSizes) {
+  PartitionPlan plan;
+  plan.per_rank = {{0, 1, 2, 3}, {}};
+  const PartitionCheck check = assert_is_partition(plan, 4, 4);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.no_empty_rank);
+}
+
+TEST(PartitionOracle, AllowsEmptyRankWithMoreRanksThanGroups) {
+  PartitionPlan plan;
+  plan.per_rank = {{0}, {1}, {}};
+  const PartitionCheck check = assert_is_partition(plan, 2, 2);
+  EXPECT_TRUE(check.ok()) << check.detail;
+}
+
+TEST(PartitionOracle, ThrowingFormNamesThePolicy) {
+  PartitionPlan plan;
+  plan.per_rank = {{0, 0}};
+  try {
+    check_partition(plan, 1, 1, "test_policy");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("test_policy"), std::string::npos);
+  }
+}
+
+// Every policy's place() must produce an oracle-clean partition, with or
+// without feedback.
+class PolicyPlacement : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(PolicyPlacement, PlacesAnExactPartition) {
+  const auto policy = make_policy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->schedule(), GetParam());
+
+  PartitionParams base;
+  base.ranks = 4;
+  const auto group_sizes = uniform_groups(37, 3);
+
+  CostFeedback none;
+  const PartitionPlan cold = policy->place(group_sizes, base, none);
+  EXPECT_EQ(cold.per_rank.size(), 4u);
+
+  CostFeedback observed;
+  observed.rank_seconds = {1.0, 1.0, 3.0, 3.0};
+  observed.rank_cost_units = {100.0, 100.0, 100.0, 100.0};
+  const PartitionPlan warm = policy->place(group_sizes, base, observed);
+  EXPECT_EQ(warm.per_rank.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, PolicyPlacement,
+                         ::testing::Values(Schedule::kLbeStatic,
+                                           Schedule::kCalibrated,
+                                           Schedule::kStealing));
+
+TEST(PolicyPlacement, OnlyStealingStealsAtRuntime) {
+  EXPECT_FALSE(make_policy(Schedule::kLbeStatic)->steals_at_runtime());
+  EXPECT_FALSE(make_policy(Schedule::kCalibrated)->steals_at_runtime());
+  EXPECT_TRUE(make_policy(Schedule::kStealing)->steals_at_runtime());
+}
+
+TEST(PolicyPlacement, StaticAndStealingKeepThePlacement) {
+  PartitionParams base;
+  base.ranks = 3;
+  CostFeedback observed;
+  observed.rank_seconds = {1.0, 2.0, 4.0};
+  observed.rank_cost_units = {100.0, 100.0, 100.0};
+  for (const Schedule s : {Schedule::kLbeStatic, Schedule::kStealing}) {
+    const PartitionParams fitted =
+        make_policy(s)->plan_params(base, observed);
+    EXPECT_EQ(fitted.policy, base.policy) << schedule_name(s);
+    EXPECT_TRUE(fitted.weights.empty()) << schedule_name(s);
+  }
+}
+
+TEST(PolicyPlacement, CalibratedSwitchesToWeighted) {
+  PartitionParams base;
+  base.ranks = 3;
+  CostFeedback observed;
+  observed.rank_seconds = {1.0, 1.0, 2.0};
+  observed.rank_cost_units = {100.0, 100.0, 100.0};
+  const PartitionParams fitted =
+      make_policy(Schedule::kCalibrated)->plan_params(base, observed);
+  EXPECT_EQ(fitted.policy, Policy::kWeighted);
+  ASSERT_EQ(fitted.weights.size(), 3u);
+  // Rank 2 took twice the time for the same work: half the speed weight.
+  EXPECT_GT(fitted.weights[0], fitted.weights[2]);
+  EXPECT_NEAR(fitted.weights[0] / fitted.weights[2], 2.0, 1e-9);
+}
+
+TEST(PolicyPlacement, CalibratedWithoutFeedbackStaysStatic) {
+  PartitionParams base;
+  base.ranks = 3;
+  const PartitionParams fitted =
+      make_policy(Schedule::kCalibrated)->plan_params(base, CostFeedback{});
+  EXPECT_EQ(fitted.policy, base.policy);
+  EXPECT_TRUE(fitted.weights.empty());
+}
+
+TEST(CalibrationWeights, NormalizedToMeanOne) {
+  CostFeedback feedback;
+  feedback.rank_seconds = {1.0, 1.0, 3.0, 3.0};
+  feedback.rank_cost_units = {90.0, 90.0, 90.0, 90.0};
+  const std::vector<double> weights = calibration_weights(feedback);
+  ASSERT_EQ(weights.size(), 4u);
+  double mean = 0.0;
+  for (const double w : weights) mean += w;
+  mean /= 4.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  // The 3x-slower ranks get a third of the fast ranks' weight.
+  EXPECT_NEAR(weights[0] / weights[2], 3.0, 1e-9);
+}
+
+TEST(CalibrationWeights, DegenerateFeedbackIsEmpty) {
+  EXPECT_TRUE(calibration_weights(CostFeedback{}).empty());
+
+  CostFeedback mismatched;
+  mismatched.rank_seconds = {1.0, 1.0};
+  mismatched.rank_cost_units = {1.0};
+  EXPECT_TRUE(calibration_weights(mismatched).empty());
+
+  CostFeedback zero_time;
+  zero_time.rank_seconds = {1.0, 0.0};
+  zero_time.rank_cost_units = {1.0, 1.0};
+  EXPECT_TRUE(calibration_weights(zero_time).empty());
+
+  CostFeedback zero_work;
+  zero_work.rank_seconds = {1.0, 1.0};
+  zero_work.rank_cost_units = {1.0, 0.0};
+  EXPECT_TRUE(calibration_weights(zero_work).empty());
+}
+
+TEST(CalibrationWeights, OutliersAreClamped) {
+  CostFeedback feedback;
+  feedback.rank_seconds = {1.0, 1e6};
+  feedback.rank_cost_units = {100.0, 100.0};
+  const std::vector<double> weights = calibration_weights(feedback);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_LE(weights[0], 20.0);
+  EXPECT_GE(weights[1], 0.05);
+}
+
+}  // namespace
+}  // namespace lbe::core

@@ -234,6 +234,143 @@ TEST(DistributedSearch, HybridThreadsPerRankSameResults) {
   EXPECT_EQ(serial_postings, hybrid_postings);
 }
 
+// Result equivalence across scheduling policies: stealing must produce
+// *exactly* the results of the static schedule — same PSMs, same order —
+// on both in-process engines, since the merge order never depends on which
+// rank executed a batch.
+class ScheduleEquivalence : public ::testing::TestWithParam<mpi::Engine> {
+ protected:
+  Fixture fx_;
+
+  mpi::Cluster cluster(int ranks, std::vector<double> slowdown = {}) const {
+    mpi::ClusterOptions options;
+    options.ranks = ranks;
+    options.engine = GetParam();
+    options.measured_time = GetParam() == mpi::Engine::kVirtual;
+    options.slowdown = std::move(slowdown);
+    return mpi::Cluster(options);
+  }
+
+  static void expect_same_results(const DistributedReport& a,
+                                  const DistributedReport& b) {
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t q = 0; q < a.results.size(); ++q) {
+      const auto& ra = a.results[q].top;
+      const auto& rb = b.results[q].top;
+      ASSERT_EQ(ra.size(), rb.size()) << "query " << q;
+      for (std::size_t k = 0; k < ra.size(); ++k) {
+        EXPECT_EQ(ra[k].peptide, rb[k].peptide) << "query " << q;
+        EXPECT_EQ(ra[k].shared_peaks, rb[k].shared_peaks) << "query " << q;
+        EXPECT_FLOAT_EQ(ra[k].score, rb[k].score) << "query " << q;
+        EXPECT_EQ(ra[k].source_rank, rb[k].source_rank) << "query " << q;
+      }
+    }
+  }
+};
+
+TEST_P(ScheduleEquivalence, StealingMatchesStaticExactly) {
+  const int ranks = 4;
+  const auto plan = fx_.plan(core::Policy::kCyclic, ranks);
+  const auto queries = fx_.queries();
+
+  auto cluster_static = cluster(ranks);
+  const auto baseline =
+      run_distributed_search(cluster_static, plan, queries, fx_.params);
+
+  DistributedParams steal_params = fx_.params;
+  steal_params.schedule.schedule = core::Schedule::kStealing;
+  auto cluster_steal = cluster(ranks);
+  const auto stolen =
+      run_distributed_search(cluster_steal, plan, queries, steal_params);
+
+  expect_same_results(baseline, stolen);
+
+  // Ledger invariant: every batch cell merged, so at least one execution
+  // per cell; a tail-cut racing its victim may duplicate a batch (the
+  // master deduplicates before merging), so `executed` can exceed the grid
+  // but never undershoot it.
+  const std::uint64_t batches_per_rank =
+      (queries.size() + fx_.params.result_batch - 1) / fx_.params.result_batch;
+  std::uint64_t executed = 0;
+  for (const auto n : stolen.batches_executed) executed += n;
+  EXPECT_GE(executed, batches_per_rank * static_cast<std::uint64_t>(ranks));
+}
+
+TEST_P(ScheduleEquivalence, StealingOnSlowedClusterMatchesStatic) {
+  // A heterogeneous fleet (half the ranks 3x slower) forces real steals on
+  // the virtual engine; results must not move.
+  const int ranks = 4;
+  const auto plan = fx_.plan(core::Policy::kCyclic, ranks);
+  const auto queries = fx_.queries();
+
+  auto cluster_static = cluster(ranks);
+  const auto baseline =
+      run_distributed_search(cluster_static, plan, queries, fx_.params);
+
+  DistributedParams steal_params = fx_.params;
+  steal_params.schedule.schedule = core::Schedule::kStealing;
+  steal_params.schedule.steal_threshold = 1.0;
+  auto cluster_steal = cluster(ranks, {1.0, 1.0, 3.0, 3.0});
+  const auto stolen =
+      run_distributed_search(cluster_steal, plan, queries, steal_params);
+
+  expect_same_results(baseline, stolen);
+}
+
+TEST_P(ScheduleEquivalence, CostModelRecordsCoverEveryQueryOnce) {
+  // Any non-static schedule ships per-query predicted/observed cost
+  // records: one per (index rank, query), regardless of who executed it.
+  const int ranks = 3;
+  const auto plan = fx_.plan(core::Policy::kCyclic, ranks);
+  const auto queries = fx_.queries();
+
+  DistributedParams params = fx_.params;
+  params.schedule.schedule = core::Schedule::kStealing;
+  auto steal_cluster = cluster(ranks);
+  const auto report =
+      run_distributed_search(steal_cluster, plan, queries, params);
+
+  ASSERT_EQ(report.query_costs.size(), queries.size() * ranks);
+  std::size_t i = 0;
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (std::uint32_t q = 0; q < queries.size(); ++q, ++i) {
+      EXPECT_EQ(report.query_costs[i].index_rank, rank);
+      EXPECT_EQ(report.query_costs[i].query_id, q);
+      EXPECT_GE(report.query_costs[i].predicted, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ScheduleEquivalence,
+                         ::testing::Values(mpi::Engine::kVirtual,
+                                           mpi::Engine::kThreads),
+                         [](const auto& info) {
+                           return info.param == mpi::Engine::kVirtual
+                                      ? "virtual_engine"
+                                      : "threads_engine";
+                         });
+
+TEST(DistributedSearch, StealProtocolActivation) {
+  core::ScheduleParams stealing;
+  stealing.schedule = core::Schedule::kStealing;
+  EXPECT_TRUE(steal_protocol_active(stealing, 4, 100));
+  EXPECT_FALSE(steal_protocol_active(stealing, 1, 100));  // nobody to rob
+  EXPECT_FALSE(steal_protocol_active(stealing, 4, 0));    // nothing to do
+  EXPECT_FALSE(steal_protocol_active(core::ScheduleParams{}, 4, 100));
+}
+
+TEST(DistributedSearch, StealingSingleRankDegradesToStatic) {
+  Fixture fx;
+  const auto plan = fx.plan(core::Policy::kCyclic, 1);
+  const auto queries = fx.queries();
+  DistributedParams params = fx.params;
+  params.schedule.schedule = core::Schedule::kStealing;
+  auto cluster = fx.cluster(1);
+  const auto report = run_distributed_search(cluster, plan, queries, params);
+  ASSERT_EQ(report.results.size(), queries.size());
+  EXPECT_EQ(report.batches_stolen[0], 0u);
+}
+
 TEST(DistributedSearch, LargeBatchSizeSingleMessage) {
   Fixture fx;
   fx.params.result_batch = 10000;  // everything in one batch

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "theospec/fragmenter.hpp"
 
 namespace lbe::search {
@@ -115,6 +117,79 @@ TEST_F(LoadModelTest, HugeToleranceClampsToWholeIndex) {
   // One peak whose window covers every bin touches every posting once.
   const double predicted = predict_query_cost(index, {q}, wide, preprocess_);
   EXPECT_DOUBLE_EQ(predicted, static_cast<double>(index.num_postings()));
+}
+
+TEST_F(LoadModelTest, PerQueryModelMatchesAggregatePrediction) {
+  const auto index =
+      make_index({"PEPTIDEK", "MKWVTFISLLK", "GGGGGGK", "AAAAAAGK"});
+  const std::vector<chem::Spectrum> queries = {theo("PEPTIDEK"),
+                                               theo("GGGGGGK"),
+                                               theo("AAAAAAGK")};
+  const QueryCostModel model(index, filter_, preprocess_);
+  double per_query_sum = 0.0;
+  for (const auto& query : queries) per_query_sum += model.predict(query);
+  EXPECT_DOUBLE_EQ(per_query_sum,
+                   predict_query_cost(index, queries, filter_, preprocess_));
+}
+
+TEST_F(LoadModelTest, ModelOutlivesTheIndex) {
+  // The model snapshots the occupancy histogram — predictions must not
+  // depend on the index staying alive.
+  std::unique_ptr<QueryCostModel> model;
+  double live = 0.0;
+  const auto query = theo("PEPTIDEK");
+  {
+    const auto index = make_index({"PEPTIDEK", "GGGGGGK"});
+    model = std::make_unique<QueryCostModel>(index, filter_, preprocess_);
+    live = model->predict(query);
+  }
+  EXPECT_DOUBLE_EQ(model->predict(query), live);
+  EXPECT_GT(live, 0.0);
+}
+
+TEST(CostModelFit, PerfectPredictionsFitIdentity) {
+  const std::vector<double> predicted = {10.0, 20.0, 40.0};
+  const CostModelFit fit = fit_cost_model(predicted, predicted);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(fit.p95_rel_error, 0.0);
+  EXPECT_EQ(fit.samples, 3u);
+}
+
+TEST(CostModelFit, RecoversLinearTransform) {
+  // observed = 2 * predicted + 5, exactly.
+  const std::vector<double> predicted = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> observed = {7.0, 9.0, 11.0, 13.0};
+  const CostModelFit fit = fit_cost_model(predicted, observed);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_GT(fit.mean_rel_error, 0.0);  // raw predictions are off by the map
+}
+
+TEST(CostModelFit, RelativeErrorSummary) {
+  // |predicted - observed| / observed: {0.5, 0.25} -> mean 0.375.
+  const CostModelFit fit = fit_cost_model({5.0, 15.0}, {10.0, 12.0});
+  EXPECT_EQ(fit.samples, 2u);
+  EXPECT_NEAR(fit.mean_rel_error, 0.375, 1e-9);
+  EXPECT_NEAR(fit.p95_rel_error, 0.5, 1e-9);
+}
+
+TEST(CostModelFit, DegenerateInputsKeepDefaults) {
+  const CostModelFit empty = fit_cost_model({}, {});
+  EXPECT_DOUBLE_EQ(empty.slope, 1.0);
+  EXPECT_DOUBLE_EQ(empty.intercept, 0.0);
+  EXPECT_EQ(empty.samples, 0u);
+
+  const CostModelFit mismatched = fit_cost_model({1.0, 2.0}, {1.0});
+  EXPECT_EQ(mismatched.samples, 0u);
+
+  // All-zero observations: the fit runs but there is nothing to measure
+  // relative error against, so the summary stays at zero.
+  const CostModelFit zeros = fit_cost_model({1.0, 2.0}, {0.0, 0.0});
+  EXPECT_EQ(zeros.samples, 2u);
+  EXPECT_DOUBLE_EQ(zeros.mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(zeros.p95_rel_error, 0.0);
 }
 
 TEST(PredictionCorrelation, PerfectAndInverse) {
